@@ -1,0 +1,42 @@
+// Extension experiment: full test-flow coverage on the benchmark netlists,
+// comparing the classical flow (stuck-at + two-pattern, voltage-observed)
+// against the flow extended with the paper's new models (IDDQ polarity
+// tests and the channel-break procedure).
+#include <iostream>
+
+#include "core/experiments.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace cpsinw;
+  const core::AtpgCoverageData data = core::run_atpg_coverage();
+
+  std::cout << "=== ATPG coverage: classical flow vs flow with the "
+               "paper's new fault models ===\n\n";
+  util::AsciiTable table({"Circuit", "gates", "transistors", "faults",
+                          "classical cov.", "full cov.", "via IDDQ",
+                          "via 2-pattern", "via CB proc."});
+  for (const core::CoverageRow& row : data.rows) {
+    table.row()
+        .cell(row.circuit)
+        .cell(std::to_string(row.gate_count))
+        .cell(std::to_string(row.transistor_count))
+        .cell(std::to_string(row.fault_count))
+        .num(100.0 * row.classical_coverage, 1)
+        .num(100.0 * row.full_coverage, 1)
+        .cell(std::to_string(row.via_iddq))
+        .cell(std::to_string(row.via_two_pattern))
+        .cell(std::to_string(row.via_channel_break));
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading guide: the coverage gap between the two flows is "
+               "exactly the fault\n"
+               "population the paper identifies — pull-up polarity bridges "
+               "(IDDQ-only) and\n"
+               "channel breaks masked by the DP pass-transistor redundancy "
+               "(CB procedure).\n"
+               "XOR/MAJ-rich circuits (adders, parity trees) show the "
+               "largest gaps.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Extension experiment: the two additional fault universes the paper's
+// background motivates — transition (gross-delay) faults (GOS and
+// sub-threshold floating gates manifest as delay faults) and inter-net
+// bridging faults (metallization defects of Table I, classically tested
+// by IDDQ) — with full ATPG coverage on the benchmark netlists.
+#include <iostream>
+
+#include "atpg/bridge_atpg.hpp"
+#include "atpg/transition.hpp"
+#include "logic/benchmarks.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace cpsinw;
+
+  struct Named {
+    std::string name;
+    logic::Circuit ckt;
+  };
+  std::vector<Named> circuits;
+  circuits.push_back({"c17", logic::c17()});
+  circuits.push_back({"full_adder", logic::full_adder()});
+  circuits.push_back({"ripple_adder_4", logic::ripple_adder(4)});
+  circuits.push_back({"parity_tree_8", logic::parity_tree(8)});
+  circuits.push_back({"multiplier_2x2", logic::multiplier_2x2()});
+  circuits.push_back({"alu_slice", logic::alu_slice()});
+
+  std::cout << "=== Transition (gross-delay) fault ATPG ===\n";
+  std::cout << "(launch justifies the pre-transition value; capture is a "
+               "stuck-at test for the late value)\n\n";
+  util::AsciiTable tr({"Circuit", "faults", "detected", "untestable",
+                       "aborted", "coverage [%]"});
+  for (const Named& n : circuits) {
+    const atpg::TransitionCoverage cov =
+        atpg::generate_all_transition_tests(n.ckt);
+    tr.row()
+        .cell(n.name)
+        .cell(std::to_string(cov.total))
+        .cell(std::to_string(cov.detected))
+        .cell(std::to_string(cov.untestable))
+        .cell(std::to_string(cov.aborted))
+        .num(100.0 * cov.coverage(), 1);
+  }
+  tr.print(std::cout);
+
+  std::cout << "\n=== Bridging-fault IDDQ ATPG (adjacent-net universe, "
+               "4 behaviours per pair) ===\n\n";
+  util::AsciiTable br({"Circuit", "bridges", "IDDQ covered",
+                       "also output-visible", "IDDQ patterns",
+                       "coverage [%]"});
+  for (const Named& n : circuits) {
+    const atpg::BridgeCoverage cov = atpg::generate_all_bridge_tests(n.ckt);
+    br.row()
+        .cell(n.name)
+        .cell(std::to_string(cov.total))
+        .cell(std::to_string(cov.iddq_covered))
+        .cell(std::to_string(cov.also_output_detectable))
+        .cell(std::to_string(static_cast<int>(cov.iddq_patterns.size())))
+        .num(100.0 * cov.coverage(), 1);
+  }
+  br.print(std::cout);
+
+  std::cout << "\nReading guide: IDDQ covers essentially the whole bridge "
+               "universe with one pattern\nper net pair (excite opposite "
+               "values), while voltage observation alone sees only a\n"
+               "fraction — the supply-current observable carries the "
+               "paper's polarity faults and the\nclassical bridges alike.\n";
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Reproduces paper Fig. 4: electron-density distribution of the n-type
+// TIG-SiNWFET with and without a GOS at each gate dielectric.
+#include <iostream>
+
+#include "core/experiments.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace cpsinw;
+  const core::Fig4Data data = core::run_fig4();
+
+  std::cout << "=== Fig. 4: channel electron density with/without GOS "
+               "===\n\n";
+  util::AsciiTable table({"Case", "measured n_e [cm^-3]",
+                          "paper n_e [cm^-3]", "measured/paper"});
+  for (const core::Fig4Case& c : data.cases) {
+    table.row()
+        .cell(c.label)
+        .sci(c.reported_cm3, 3)
+        .sci(c.paper_cm3, 3)
+        .num(c.reported_cm3 / c.paper_cm3, 3);
+  }
+  table.print(std::cout);
+
+  std::cout << "\n--- Density profiles along the channel (x = 0 at the "
+               "source contact; PGS @ 11 nm, CG @ 51 nm, PGD @ 91 nm) "
+               "---\n\n";
+  for (const core::Fig4Case& c : data.cases) {
+    // Print a decimated profile (every 10th sample) for terminal use.
+    std::cout << "# " << c.label << '\n';
+    for (std::size_t i = 0; i < c.profile.size(); i += 10) {
+      std::cout << "  x=" << c.profile.x()[i] << " nm  n_e="
+                << c.profile.column(0)[i] << " cm^-3\n";
+    }
+    std::cout << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Performance microbenchmarks (google-benchmark) for the computational
+// kernels: device-model evaluation, MNA operating point, transient step,
+// switch-level evaluation, packed fault simulation, and PODEM.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "atpg/channel_break.hpp"
+#include "atpg/podem.hpp"
+#include "device/table_model.hpp"
+#include "faults/fault_sim.hpp"
+#include "gates/spice_builder.hpp"
+#include "gates/switch_level.hpp"
+#include "logic/benchmarks.hpp"
+#include "spice/dcop.hpp"
+#include "spice/transient.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace cpsinw;
+
+void BM_DeviceEval(benchmark::State& state) {
+  const device::TigModel model((device::TigParams()));
+  double v = 0.0;
+  for (auto _ : state) {
+    v += 1e-4;
+    if (v > 1.2) v = 0.0;
+    benchmark::DoNotOptimize(model.ids(
+        {.vcg = v, .vpgs = 1.2, .vpgd = 1.2, .vs = 0.0, .vd = 1.2}));
+  }
+}
+BENCHMARK(BM_DeviceEval);
+
+void BM_TableModelEval(benchmark::State& state) {
+  const device::TigModel model((device::TigParams()));
+  const device::TableModel table = device::TableModel::build(model);
+  double v = 0.0;
+  for (auto _ : state) {
+    v += 1e-4;
+    if (v > 1.2) v = 0.0;
+    benchmark::DoNotOptimize(table.ids(
+        {.vcg = v, .vpgs = 1.2, .vpgd = 1.2, .vs = 0.0, .vd = 1.2}));
+  }
+}
+BENCHMARK(BM_TableModelEval);
+
+void BM_XorDcOperatingPoint(benchmark::State& state) {
+  gates::CellCircuitSpec spec;
+  spec.kind = gates::CellKind::kXor2;
+  spec.inputs = gates::dc_inputs(gates::CellKind::kXor2, 0b01u, 1.2);
+  gates::CellCircuit cc = gates::build_cell_circuit(spec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spice::dc_operating_point(cc.ckt));
+  }
+}
+BENCHMARK(BM_XorDcOperatingPoint);
+
+void BM_InverterTransient(benchmark::State& state) {
+  gates::CellCircuitSpec spec;
+  spec.kind = gates::CellKind::kInv;
+  spec.inputs = {spice::Waveform::step(1.2, 0.0, 0.2e-9, 10e-12)};
+  gates::CellCircuit cc = gates::build_cell_circuit(spec);
+  spice::TranOptions opt;
+  opt.t_stop = 1e-9;
+  opt.dt = 4e-12;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spice::transient(cc.ckt, opt));
+  }
+}
+BENCHMARK(BM_InverterTransient);
+
+void BM_SwitchLevelEval(benchmark::State& state) {
+  unsigned v = 0;
+  for (auto _ : state) {
+    v = (v + 1) & 7u;
+    benchmark::DoNotOptimize(
+        gates::eval_switch(gates::CellKind::kMaj3, v,
+                           {1, gates::TransistorFault::kStuckAtNType}));
+  }
+}
+BENCHMARK(BM_SwitchLevelEval);
+
+void BM_PackedFaultSim(benchmark::State& state) {
+  const logic::Circuit ckt = logic::ripple_adder(8);
+  const faults::FaultSimulator fsim(ckt);
+  faults::FaultListOptions flo;
+  flo.include_transistor_faults = false;
+  const auto faults = generate_fault_list(ckt, flo);
+  std::vector<logic::Pattern> patterns;
+  util::SplitMix64 rng(7);
+  for (int k = 0; k < 64; ++k) {
+    logic::Pattern p;
+    for (std::size_t i = 0; i < ckt.primary_inputs().size(); ++i)
+      p.push_back(logic::from_bool(rng.chance(0.5)));
+    patterns.push_back(std::move(p));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fsim.run(faults, patterns));
+  }
+  state.counters["faults"] = static_cast<double>(faults.size());
+}
+BENCHMARK(BM_PackedFaultSim);
+
+void BM_PodemLineFault(benchmark::State& state) {
+  const logic::Circuit ckt = logic::multiplier_2x2();
+  const atpg::PodemEngine engine(ckt);
+  const faults::Fault f =
+      faults::Fault::net_stuck(ckt.find_net("m2"), false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.generate_line(f));
+  }
+}
+BENCHMARK(BM_PodemLineFault);
+
+void BM_ChannelBreakDerivation(benchmark::State& state) {
+  int t = 0;
+  for (auto _ : state) {
+    t = (t + 1) & 3;
+    benchmark::DoNotOptimize(
+        atpg::derive_cell_test(gates::CellKind::kXor3, t));
+  }
+}
+BENCHMARK(BM_ChannelBreakDerivation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

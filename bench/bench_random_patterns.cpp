@@ -1,0 +1,81 @@
+// Extension experiment: random-pattern coverage curves under the three
+// observation regimes — voltage-only, voltage + IDDQ, and voltage + IDDQ
+// with sequential retention (chance two-pattern sequences) — quantifying
+// how much of the CP fault universe each observable unlocks.
+#include <iostream>
+
+#include "faults/random_patterns.hpp"
+#include "logic/benchmarks.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace cpsinw;
+
+  struct Named {
+    std::string name;
+    logic::Circuit ckt;
+  };
+  std::vector<Named> circuits;
+  circuits.push_back({"full_adder", logic::full_adder()});
+  circuits.push_back({"ripple_adder_4", logic::ripple_adder(4)});
+  circuits.push_back({"c17", logic::c17()});
+  circuits.push_back({"alu_slice", logic::alu_slice()});
+
+  std::cout << "=== Random-pattern coverage by observation regime "
+               "(256 patterns, seed 1) ===\n\n";
+  util::AsciiTable table({"Circuit", "faults", "voltage-only [%]",
+                          "+IDDQ [%]", "+IDDQ+sequences [%]",
+                          "patterns used"});
+  for (const Named& n : circuits) {
+    const auto faults = faults::generate_fault_list(n.ckt);
+
+    faults::RandomPatternOptions base;
+    base.max_patterns = 256;
+    base.stale_limit = 96;
+
+    faults::RandomPatternOptions voltage = base;
+    voltage.sim.observe_iddq = false;
+    voltage.sim.sequential_patterns = false;
+    const auto r_v = run_random_patterns(n.ckt, faults, voltage);
+
+    faults::RandomPatternOptions iddq = base;
+    iddq.sim.sequential_patterns = false;
+    const auto r_i = run_random_patterns(n.ckt, faults, iddq);
+
+    const auto r_s = run_random_patterns(n.ckt, faults, base);
+
+    table.row()
+        .cell(n.name)
+        .cell(std::to_string(faults.size()))
+        .num(100.0 * r_v.final_coverage(), 1)
+        .num(100.0 * r_i.final_coverage(), 1)
+        .num(100.0 * r_s.final_coverage(), 1)
+        .cell(std::to_string(r_s.patterns.size()));
+  }
+  table.print(std::cout);
+
+  std::cout << "\n--- Coverage growth on the CP full adder (voltage + "
+               "IDDQ + sequences) ---\n\n";
+  const logic::Circuit fa = logic::full_adder();
+  const auto faults = faults::generate_fault_list(fa);
+  faults::RandomPatternOptions opt;
+  opt.max_patterns = 64;
+  const auto run = run_random_patterns(fa, faults, opt);
+  util::AsciiTable curve({"patterns", "detected", "coverage [%]"});
+  for (const auto& pt : run.curve) {
+    if (pt.patterns == 1 || pt.patterns % 8 == 0 ||
+        pt.patterns == static_cast<int>(run.curve.size()))
+      curve.row()
+          .cell(std::to_string(pt.patterns))
+          .cell(std::to_string(pt.detected))
+          .num(100.0 * pt.coverage, 1);
+  }
+  curve.print(std::cout);
+
+  std::cout << "\nReading: voltage observation alone saturates early — "
+               "the residue is exactly the\npaper's fault population "
+               "(IDDQ-only polarity bridges; channel breaks needing the\n"
+               "deterministic CB procedure, which random patterns cannot "
+               "emulate because it takes\nrail-inconsistent stimuli).\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Reproduces paper Sec. V-C: channel break in dynamic-polarity gates —
+// the masking effect (function preserved, bounded delay/leakage change)
+// and the paper's new polarity-complement detection procedure, evaluated
+// at both switch level and SPICE level on the 2-input XOR (FO4).
+#include <iostream>
+
+#include "core/experiments.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace cpsinw;
+  const core::Sec5cData data = core::run_sec5c();
+
+  std::cout << "=== Sec. V-C: channel break in the DP XOR2 ===\n\n";
+  std::cout << "--- Masking: behaviour of the broken gate under normal "
+               "operation ---\n";
+  std::cout << "(paper: functionality preserved; Delta-leakage <= 100 %, "
+               "Delta-delay <= 58 %)\n\n";
+  util::AsciiTable mask({"Device", "DC function preserved",
+                         "worst delay increase [%]",
+                         "leakage change [%]"});
+  for (const core::Sec5cEntry& e : data.entries) {
+    mask.row()
+        .cell("t" + std::to_string(e.transistor + 1))
+        .boolean(e.function_preserved_dc)
+        .num(e.worst_delay_increase_pct, 1)
+        .num(e.leakage_change_pct, 1);
+  }
+  mask.print(std::cout);
+
+  std::cout << "\n--- The new detection procedure: complement the device "
+               "polarity through the\n"
+               "    dual-rail inputs, apply the polarity-fault vector, "
+               "compare responses ---\n\n";
+  util::AsciiTable proc({"Device", "test exists", "switch-level verdict",
+                         "IDDQ intact [A]", "IDDQ broken [A]",
+                         "SPICE distinguishes"});
+  for (const core::Sec5cEntry& e : data.entries) {
+    proc.row()
+        .cell("t" + std::to_string(e.transistor + 1))
+        .boolean(e.cb_test_exists)
+        .boolean(e.cb_distinguishes_cell)
+        .sci(e.cb_iddq_intact_a, 2)
+        .sci(e.cb_iddq_broken_a, 2)
+        .boolean(e.cb_spice_distinguishes);
+  }
+  proc.print(std::cout);
+
+  std::cout << "\nInterpretation: an intact device conducts against the "
+               "opposite network under the\n"
+               "polarity-complemented stimulus (micro-amp IDDQ / wrong "
+               "output); a broken channel cannot\n"
+               "conduct, so the response stays clean — the clean response "
+               "reveals the break, exactly\n"
+               "the decision rule of the paper's algorithm.\n";
+  return 0;
+}

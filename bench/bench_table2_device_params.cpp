@@ -1,0 +1,57 @@
+// Reproduces paper Table II: structural and physical parameters of the
+// TIG-SiNWFET, plus the electrical characteristics our calibrated model
+// derives from them.
+#include <iostream>
+
+#include "core/experiments.hpp"
+#include "device/params.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace cpsinw;
+  const device::TigParams p;
+
+  std::cout << "=== Table II: TIG-SiNWFET structural and physical "
+               "parameters ===\n\n";
+  util::AsciiTable table({"Device parameter", "Value", "Paper value"});
+  table.add_row({"Length of control gate (L_CG)",
+                 util::format_fixed(p.l_cg_nm, 0) + " nm", "22 nm"});
+  table.add_row({"Length of polarity gates (L_PGS, L_PGD)",
+                 util::format_fixed(p.l_pgs_nm, 0) + " nm", "22 nm"});
+  table.add_row({"Length of spacer (L_CP)",
+                 util::format_fixed(p.l_sp_nm, 0) + " nm", "18 nm"});
+  table.add_row({"Channel doping concentration",
+                 util::format_sci(p.channel_doping_cm3, 0) + " cm^-3",
+                 "1e15 cm^-3"});
+  table.add_row({"Schottky barrier height",
+                 util::format_fixed(p.phi_b_ev, 2) + " eV", "0.41 eV"});
+  table.add_row({"Oxide thickness (T_ox)",
+                 util::format_fixed(p.t_ox_nm, 1) + " nm", "5.1 nm"});
+  table.add_row({"Radius of nanowire (R_NW)",
+                 util::format_fixed(p.r_nw_nm, 1) + " nm", "7.5 nm"});
+  table.add_row({"Supply voltage (V_DD)",
+                 util::format_fixed(p.vdd, 1) + " V", "1.2 V"});
+  table.print(std::cout);
+
+  std::cout << "\n=== Derived electricals of the calibrated analytical "
+               "model (TCAD substitute) ===\n\n";
+  const core::DerivedElectricals e = core::derived_electricals();
+  util::AsciiTable derived({"Quantity", "Value"});
+  derived.add_row({"I_DSAT (n-branch)", util::format_sci(e.ids_sat_n, 3) +
+                                            " A"});
+  derived.add_row({"I_DSAT (p-branch)", util::format_sci(e.ids_sat_p, 3) +
+                                            " A"});
+  derived.add_row({"n/p drive ratio",
+                   util::format_fixed(e.ids_sat_n / e.ids_sat_p, 2)});
+  derived.add_row({"I_off (n-config, V_CG = 0)",
+                   util::format_sci(e.ioff_n, 3) + " A"});
+  derived.add_row({"I_on / I_off", util::format_sci(e.on_off_ratio, 2)});
+  derived.add_row({"V_Th (n, constant-current)",
+                   util::format_fixed(e.vth_n, 3) + " V"});
+  derived.add_row({"Subthreshold swing",
+                   util::format_fixed(e.ss_mv_dec, 1) + " mV/dec"});
+  derived.add_row({"Channel length (source to drain)",
+                   util::format_fixed(p.channel_length_nm(), 0) + " nm"});
+  derived.print(std::cout);
+  return 0;
+}

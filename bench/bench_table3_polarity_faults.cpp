@@ -1,0 +1,59 @@
+// Reproduces paper Table III: detection of polarity defects (stuck-at
+// n-type / p-type) for each transistor of the 2-input TIG-SiNWFET XOR,
+// found by exhaustive fault injection and cross-checked in SPICE.
+#include <iostream>
+
+#include "core/experiments.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+std::string vector_ab(unsigned bits) {
+  // Paper notation: A first.
+  std::string s;
+  s += ((bits >> 0) & 1u) ? '1' : '0';
+  s += ((bits >> 1) & 1u) ? '1' : '0';
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  using namespace cpsinw;
+  const core::Table3Data data = core::run_table3();
+
+  std::cout << "=== Table III: detection of polarity defects on the "
+               "2-input TIG-SiNWFET XOR ===\n\n";
+  util::AsciiTable table({"Fault type", "Location", "Input for detection",
+                          "Leakage current", "Output voltage",
+                          "IDDQ faulty/good", "Vout faulty [V]",
+                          "Vout good [V]"});
+  for (const core::Table3Row& row : data.rows) {
+    table.row()
+        .cell(gates::to_string(row.kind))
+        .cell("t" + std::to_string(row.transistor + 1))
+        .cell(vector_ab(row.detect_vector))
+        .boolean(row.leakage_detect)
+        .boolean(row.output_detect)
+        .sci(row.iddq_faulty_a / row.iddq_ff_a, 2)
+        .num(row.vout_faulty, 3)
+        .num(row.vout_good, 3);
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nPaper invariants reproduced:\n"
+         "  * every polarity fault is IDDQ-detectable (leakage column all "
+         "Yes; swing > 1e4..1e6),\n"
+         "  * pull-down faults (t3, t4) are additionally detectable at the "
+         "output,\n"
+         "  * pull-up faults (t1, t2) keep the output correct — only the "
+         "supply current reveals them.\n"
+         "Note: under a single consistent transistor-level topology the "
+         "detecting vectors of the\n"
+         "n-type and p-type fault on the same device differ (the paper "
+         "lists one vector per device);\n"
+         "see EXPERIMENTS.md for the per-vector discussion.\n";
+  return 0;
+}

@@ -1,0 +1,182 @@
+// Ablation & variation studies for the modeling choices DESIGN.md calls
+// out:
+//
+//  1. Monte-Carlo process variation (paper Sec. II: line-edge roughness
+//     and process variation -> delay faults): sample the device
+//     calibration parameters and report the INV delay / leakage spread —
+//     the parametric fault population that motivates delay-fault testing.
+//
+//  2. Drive-asymmetry ablation: DESIGN.md attributes the Table III
+//     output-detectability split (pull-down polarity faults flip the
+//     output, pull-up ones lose the contention) to the electron/hole
+//     drive ratio.  Sweeping mu_n/mu_p shows where the paper's outcome
+//     holds and where it would break.
+//
+//  3. Stuck-open threshold sensitivity: how the Fig. 5 V_cut ~ 0.56 V SOF
+//     onset moves with the injection-barrier calibration.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <numeric>
+
+#include "gates/spice_builder.hpp"
+#include "spice/dcop.hpp"
+#include "spice/measure.hpp"
+#include "spice/transient.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace cpsinw;
+constexpr double kVdd = 1.2;
+
+double inverter_delay(const device::TigParams& params) {
+  gates::CellCircuitSpec spec;
+  spec.kind = gates::CellKind::kInv;
+  spec.params = params;
+  spec.inputs = {spice::Waveform::step(kVdd, 0.0, 0.2e-9, 10e-12)};
+  gates::CellCircuit cc = gates::build_cell_circuit(spec);
+  spice::TranOptions opt;
+  opt.t_stop = 2.5e-9;
+  opt.dt = 2e-12;
+  const spice::TranResult tr = spice::transient(cc.ckt, opt);
+  if (!tr.converged) return std::nan("");
+  const spice::DelayMeasurement d =
+      spice::propagation_delay(tr, cc.ins[0], cc.out, kVdd / 2.0, 0.1e-9);
+  return d.valid ? d.delay : std::nan("");
+}
+
+double inverter_leakage(const device::TigParams& params) {
+  gates::CellCircuitSpec spec;
+  spec.kind = gates::CellKind::kInv;
+  spec.params = params;
+  spec.inputs = {spice::Waveform::dc(kVdd)};
+  gates::CellCircuit cc = gates::build_cell_circuit(spec);
+  const spice::DcResult op = spice::dc_operating_point(cc.ckt);
+  return op.converged ? spice::iddq_total(op) : std::nan("");
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Variation & ablation studies ===\n";
+
+  // ----- 1. Monte-Carlo process variation --------------------------------
+  std::cout << "\n--- 1. Monte-Carlo device variation (25 samples; "
+               "sigma(V_Th) = 30 mV, sigma(k_n) = 10 %, sigma(barrier "
+               "onset) = 40 mV — LER-motivated) ---\n\n";
+  util::SplitMix64 rng(2015);
+  std::vector<double> delays, leaks;
+  for (int s = 0; s < 25; ++s) {
+    device::TigParams p;
+    p.vth_n = std::clamp(rng.normal(p.vth_n, 0.030), 0.25, 0.60);
+    p.vth_p = std::clamp(rng.normal(p.vth_p, 0.030), 0.25, 0.60);
+    p.k_n = p.k_n * std::exp(rng.normal(0.0, 0.10));
+    p.pg_onset_inj = std::clamp(rng.normal(p.pg_onset_inj, 0.040),
+                                0.55, 0.95);
+    const double d = inverter_delay(p);
+    const double l = inverter_leakage(p);
+    if (std::isfinite(d)) delays.push_back(d);
+    if (std::isfinite(l)) leaks.push_back(l);
+  }
+  const auto stats = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    const double mean =
+        std::accumulate(v.begin(), v.end(), 0.0) / static_cast<double>(v.size());
+    return std::tuple<double, double, double>(v.front(), mean, v.back());
+  };
+  {
+    const auto [dmin, dmean, dmax] = stats(delays);
+    const auto [lmin, lmean, lmax] = stats(leaks);
+    util::AsciiTable t({"metric", "min", "mean", "max", "max/min"});
+    t.row()
+        .cell("INV delay [ps]")
+        .num(util::to_ps(dmin), 1)
+        .num(util::to_ps(dmean), 1)
+        .num(util::to_ps(dmax), 1)
+        .num(dmax / dmin, 2);
+    t.row()
+        .cell("INV leakage [nA]")
+        .num(util::to_na(lmin), 3)
+        .num(util::to_na(lmean), 3)
+        .num(util::to_na(lmax), 3)
+        .num(lmax / lmin, 2);
+    t.print(std::cout);
+    std::cout << "\nReading: the delay spread across process corners is "
+                 "the parametric fault\npopulation that small-V_cut "
+                 "floating gates and GOS devices join (delay-fault "
+                 "region\nof Fig. 5).\n";
+  }
+
+  // ----- 2. Drive-asymmetry ablation --------------------------------------
+  std::cout << "\n--- 2. mu_n/mu_p ablation: XOR2 t3 stuck-at-n-type at "
+               "A=0,B=1 (paper Table III says the pull-down fault flips "
+               "the output) ---\n\n";
+  util::AsciiTable ab({"mu_n/mu_p", "Vout faulty [V]", "reads as",
+                       "IDDQ [A]", "Table III outcome holds"});
+  for (const double ratio : {1.0, 1.5, 2.0, 3.0}) {
+    device::TigParams p;
+    p.mu_ratio = ratio;
+    gates::CellCircuitSpec spec;
+    spec.kind = gates::CellKind::kXor2;
+    spec.params = p;
+    spec.inputs = gates::dc_inputs(gates::CellKind::kXor2, 0b10u, kVdd);
+    spec.pg_forces.push_back({2, kVdd});
+    gates::CellCircuit cc = gates::build_cell_circuit(spec);
+    const spice::DcResult op = spice::dc_operating_point(cc.ckt);
+    const double vout = op.voltage(cc.out);
+    const char* read = vout <= 0.45 ? "0 (flip)"
+                       : vout >= 0.75 ? "1 (masked)"
+                                      : "X";
+    ab.row()
+        .num(ratio, 1)
+        .num(vout, 3)
+        .cell(read)
+        .sci(spice::iddq_total(op), 2)
+        .boolean(vout < 0.75);
+  }
+  ab.print(std::cout);
+  std::cout << "\nReading: with equal drives the pull-down fault could "
+               "not win the contention\ncleanly; the calibrated "
+               "electron/hole asymmetry (x2) is what produces the "
+               "paper's\nwrong-output observation for t3/t4.\n";
+
+  // ----- 3. SOF threshold sensitivity -------------------------------------
+  std::cout << "\n--- 3. Stuck-open V_cut threshold vs injection-barrier "
+               "onset (paper: ~0.56 V) ---\n\n";
+  util::AsciiTable sof({"pg_onset_inj [V]", "V_cut at 5x delay [V]"});
+  for (const double onset : {0.65, 0.70, 0.75, 0.80}) {
+    device::TigParams p;
+    p.pg_onset_inj = onset;
+    const double nominal = inverter_delay(p);
+    // Scan the p pull-up PGS cut upward until delay exceeds 5x nominal.
+    double threshold = std::nan("");
+    for (double vcut = 0.30; vcut <= 0.80; vcut += 0.02) {
+      gates::CellCircuitSpec spec;
+      spec.kind = gates::CellKind::kInv;
+      spec.params = p;
+      spec.inputs = {spice::Waveform::step(kVdd, 0.0, 0.2e-9, 10e-12)};
+      spec.pg_floats.push_back({0, gates::PgTerminal::kPgs, vcut});
+      gates::CellCircuit cc = gates::build_cell_circuit(spec);
+      spice::TranOptions opt;
+      opt.t_stop = 4e-9;
+      opt.dt = 4e-12;
+      const spice::TranResult tr = spice::transient(cc.ckt, opt);
+      const spice::DelayMeasurement d = spice::propagation_delay(
+          tr, cc.ins[0], cc.out, kVdd / 2.0, 0.1e-9);
+      if (!d.valid || d.delay > 5.0 * nominal) {
+        threshold = vcut;
+        break;
+      }
+    }
+    sof.row().num(onset, 2).num(threshold, 2);
+  }
+  sof.print(std::cout);
+  std::cout << "\nReading: the calibrated onset (0.75 V) reproduces the "
+               "paper's ~0.56 V stuck-open\nthreshold; the threshold "
+               "tracks the barrier calibration one-to-one, which is why "
+               "it\nis a device-level anchor in DESIGN.md.\n";
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Full ATPG flow on a user-provided or built-in netlist: fault universe,
+// per-method test generation, verification and the final test program.
+//
+// Usage:
+//   atpg_flow                 # runs on the built-in 4-bit ripple adder
+//   atpg_flow netlist.cpn     # runs on a .cpn netlist (see docs/ for the
+//                             # format; logic/netlist_format.hpp parses it)
+#include <fstream>
+#include <iostream>
+
+#include "core/test_flow.hpp"
+#include "logic/benchmarks.hpp"
+#include "logic/netlist_format.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cpsinw;
+
+  logic::Circuit ckt;
+  if (argc > 1) {
+    std::ifstream file(argv[1]);
+    if (!file) {
+      std::cerr << "cannot open netlist '" << argv[1] << "'\n";
+      return 1;
+    }
+    try {
+      ckt = logic::read_netlist(file);
+    } catch (const std::exception& e) {
+      std::cerr << "parse error: " << e.what() << '\n';
+      return 1;
+    }
+    std::cout << "Loaded netlist " << argv[1] << '\n';
+  } else {
+    ckt = logic::ripple_adder(4);
+    std::cout << "Using the built-in 4-bit ripple-carry adder "
+                 "(XOR3 + MAJ3 per bit)\n";
+  }
+  std::cout << "  " << ckt.gate_count() << " gates, "
+            << ckt.transistor_count() << " transistors, "
+            << ckt.primary_inputs().size() << " inputs, "
+            << ckt.primary_outputs().size() << " outputs\n\n";
+
+  const core::TestSuite suite = core::run_test_flow(ckt);
+
+  util::AsciiTable summary({"metric", "value"});
+  summary.add_row({"fault universe", std::to_string(suite.outcomes.size())});
+  summary.add_row({"coverage",
+                   util::format_fixed(100.0 * suite.coverage(), 1) + " %"});
+  summary.add_row({"voltage-observed patterns",
+                   std::to_string(suite.logic_patterns.size())});
+  summary.add_row({"IDDQ patterns",
+                   std::to_string(suite.iddq_patterns.size())});
+  summary.add_row({"two-pattern tests",
+                   std::to_string(suite.two_pattern_tests.size())});
+  summary.add_row({"channel-break tests",
+                   std::to_string(suite.channel_break_tests.size())});
+  summary.print(std::cout);
+
+  std::cout << "\nCoverage by method:\n";
+  util::AsciiTable methods({"method", "faults covered"});
+  for (const core::CoverageMethod m :
+       {core::CoverageMethod::kStuckAtPattern,
+        core::CoverageMethod::kFunctionalPattern,
+        core::CoverageMethod::kIddqPattern,
+        core::CoverageMethod::kTwoPattern,
+        core::CoverageMethod::kChannelBreak,
+        core::CoverageMethod::kUncovered}) {
+    methods.add_row({to_string(m), std::to_string(suite.count(m))});
+  }
+  methods.print(std::cout);
+
+  // Print the actual test program.
+  std::cout << "\nVoltage-observed patterns (after compaction):\n";
+  const auto print_pattern = [&](const logic::Pattern& p) {
+    std::cout << "  ";
+    for (std::size_t i = 0; i < p.size(); ++i)
+      std::cout << ckt.net_name(ckt.primary_inputs()[i]) << '='
+                << to_string(p[i]) << (i + 1 < p.size() ? " " : "\n");
+  };
+  for (const logic::Pattern& p : suite.logic_patterns) print_pattern(p);
+  std::cout << "\nIDDQ measurement patterns:\n";
+  for (const logic::Pattern& p : suite.iddq_patterns) print_pattern(p);
+  if (!suite.two_pattern_tests.empty()) {
+    std::cout << "\nTwo-pattern sequences (init -> test):\n";
+    for (const atpg::TwoPatternTest& t : suite.two_pattern_tests) {
+      std::cout << "  [" << t.fault.describe(ckt) << "]\n";
+      print_pattern(t.init);
+      print_pattern(t.test);
+    }
+  }
+  if (!suite.channel_break_tests.empty()) {
+    std::cout << "\nChannel-break procedures (dual-rail test mode):\n";
+    for (const atpg::ChannelBreakTest& t : suite.channel_break_tests) {
+      std::cout << "  gate " << ckt.gate(t.gate).name << " t"
+                << t.transistor + 1 << ": local vector "
+                << t.local_vector << ", emulates "
+                << gates::to_string(t.emulated_polarity)
+                << (t.pi_accessible ? " (PI-accessible)"
+                                    : " (needs dual-rail test access)")
+                << '\n';
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+#include "atpg/bridge_atpg.hpp"
+
+#include <set>
+
+namespace cpsinw::atpg {
+
+using faults::BridgeFault;
+using logic::LogicV;
+
+BridgeTestResult generate_bridge_iddq_test(const logic::Circuit& ckt,
+                                           const BridgeFault& fault,
+                                           const PodemOptions& opt) {
+  const PodemEngine engine(ckt);
+  BridgeTestResult result;
+  bool aborted = false;
+  for (const LogicV va : {LogicV::k0, LogicV::k1}) {
+    const AtpgResult r = engine.justify_net_values(
+        {{fault.a, va}, {fault.b, logic_not(va)}}, opt);
+    if (r.status == AtpgStatus::kDetected) {
+      result.status = AtpgStatus::kDetected;
+      result.pattern = r.pattern;
+      return result;
+    }
+    if (r.status == AtpgStatus::kAborted) aborted = true;
+  }
+  result.status =
+      aborted ? AtpgStatus::kAborted : AtpgStatus::kUntestable;
+  return result;
+}
+
+BridgeCoverage generate_all_bridge_tests(const logic::Circuit& ckt,
+                                         const PodemOptions& opt) {
+  BridgeCoverage cov;
+  // The IDDQ excitation does not depend on the behaviour model, so each
+  // net pair is justified once and credits all four behaviours.
+  std::set<std::pair<logic::NetId, logic::NetId>> tested;
+  const std::vector<BridgeFault> universe =
+      faults::enumerate_adjacent_bridges(ckt);
+  cov.total = static_cast<int>(universe.size());
+  for (const BridgeFault& f : universe) {
+    const auto key = std::make_pair(std::min(f.a, f.b), std::max(f.a, f.b));
+    if (tested.count(key) != 0) continue;
+    tested.insert(key);
+    const BridgeTestResult r = generate_bridge_iddq_test(ckt, f, opt);
+    if (r.status != AtpgStatus::kDetected) continue;
+    cov.iddq_patterns.push_back(*r.pattern);
+    for (const BridgeFault& g : universe) {
+      if (std::min(g.a, g.b) != key.first ||
+          std::max(g.a, g.b) != key.second)
+        continue;
+      ++cov.iddq_covered;
+      if (faults::bridge_detected_by_output(ckt, g, *r.pattern))
+        ++cov.also_output_detectable;
+    }
+  }
+  return cov;
+}
+
+}  // namespace cpsinw::atpg

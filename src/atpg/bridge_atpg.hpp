@@ -1,0 +1,46 @@
+// IDDQ test generation for inter-net bridging faults: justify opposite
+// values on the bridged nets — the shorted drivers then fight and the
+// supply current rises by orders of magnitude (the classic IDDQ bridge
+// test the paper's background reviews).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "atpg/podem.hpp"
+#include "faults/bridge.hpp"
+
+namespace cpsinw::atpg {
+
+/// Result of one bridge IDDQ generation attempt.
+struct BridgeTestResult {
+  AtpgStatus status = AtpgStatus::kUntestable;
+  std::optional<logic::Pattern> pattern;
+};
+
+/// Generates a pattern driving the two bridged nets to opposite values.
+[[nodiscard]] BridgeTestResult generate_bridge_iddq_test(
+    const logic::Circuit& ckt, const faults::BridgeFault& fault,
+    const PodemOptions& opt = {});
+
+/// Summary over a bridge universe.
+struct BridgeCoverage {
+  int total = 0;
+  int iddq_covered = 0;
+  int also_output_detectable = 0;  ///< voltage-visible with the same set
+  std::vector<logic::Pattern> iddq_patterns;
+
+  [[nodiscard]] double coverage() const {
+    return total == 0 ? 1.0
+                      : static_cast<double>(iddq_covered) /
+                            static_cast<double>(total);
+  }
+};
+
+/// Generates IDDQ tests for every adjacent-net bridge of the circuit.
+/// Excitation is behaviour-independent, so each net pair is justified once
+/// and the pattern credits all four behaviour models of the pair.
+[[nodiscard]] BridgeCoverage generate_all_bridge_tests(
+    const logic::Circuit& ckt, const PodemOptions& opt = {});
+
+}  // namespace cpsinw::atpg

@@ -1,0 +1,29 @@
+// Test-set compaction: reverse-order fault-simulation-based compaction
+// (drop patterns that detect no not-yet-covered fault) for combinational
+// test sets.
+#pragma once
+
+#include <vector>
+
+#include "faults/fault_sim.hpp"
+
+namespace cpsinw::atpg {
+
+/// Result of a compaction pass.
+struct CompactionResult {
+  std::vector<logic::Pattern> patterns;  ///< the compacted set
+  int original_count = 0;
+  double coverage_before = 0.0;
+  double coverage_after = 0.0;
+};
+
+/// Reverse-order compaction: simulate patterns last-to-first, keep a
+/// pattern only if it detects at least one fault not detected by the
+/// already-kept ones.  Coverage never decreases.
+/// @param faults the fault universe to preserve coverage for
+[[nodiscard]] CompactionResult compact_patterns(
+    const logic::Circuit& ckt, const std::vector<faults::Fault>& faults,
+    const std::vector<logic::Pattern>& patterns,
+    const faults::FaultSimOptions& options = {});
+
+}  // namespace cpsinw::atpg

@@ -1,0 +1,51 @@
+// Composite good/faulty values for test generation (Roth's 5-valued
+// calculus: 0, 1, X, D = 1/0, D-bar = 0/1), represented as a pair of
+// 4-valued components.
+#pragma once
+
+#include "logic/types.hpp"
+
+namespace cpsinw::atpg {
+
+/// Composite circuit value: the good-machine and faulty-machine components.
+struct V5 {
+  logic::LogicV good = logic::LogicV::kX;
+  logic::LogicV faulty = logic::LogicV::kX;
+
+  [[nodiscard]] bool operator==(const V5&) const = default;
+
+  /// D: good 1, faulty 0.
+  [[nodiscard]] bool is_d() const {
+    return good == logic::LogicV::k1 && faulty == logic::LogicV::k0;
+  }
+  /// D-bar: good 0, faulty 1.
+  [[nodiscard]] bool is_dbar() const {
+    return good == logic::LogicV::k0 && faulty == logic::LogicV::k1;
+  }
+  /// Fault effect present (D or D-bar).
+  [[nodiscard]] bool is_fault_effect() const { return is_d() || is_dbar(); }
+  /// Both components defined and equal.
+  [[nodiscard]] bool is_definite_equal() const {
+    return is_binary(good) && good == faulty;
+  }
+
+  [[nodiscard]] static V5 zero() {
+    return {logic::LogicV::k0, logic::LogicV::k0};
+  }
+  [[nodiscard]] static V5 one() {
+    return {logic::LogicV::k1, logic::LogicV::k1};
+  }
+  [[nodiscard]] static V5 x() { return {}; }
+  [[nodiscard]] static V5 d() {
+    return {logic::LogicV::k1, logic::LogicV::k0};
+  }
+  [[nodiscard]] static V5 dbar() {
+    return {logic::LogicV::k0, logic::LogicV::k1};
+  }
+  [[nodiscard]] static V5 both(logic::LogicV v) { return {v, v}; }
+};
+
+/// Display string ("0", "1", "X", "D", "D'", or "g/f" for mixed states).
+[[nodiscard]] const char* to_string(const V5& v);
+
+}  // namespace cpsinw::atpg

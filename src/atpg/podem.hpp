@@ -1,0 +1,104 @@
+// PODEM-based automatic test pattern generation.
+//
+// One engine serves all the fault classes of the paper:
+//   * classical line stuck-at (stem and input-branch faults),
+//   * functional transistor faults (stuck-on and the new stuck-at-n-type /
+//     stuck-at-p-type polarity faults) — the fault transforms the faulted
+//     gate's function per its switch-level dictionary, and the engine
+//     excites one dictionary cube and propagates the resulting D,
+//   * IDDQ tests (justification-only: excite a contention cube; no output
+//     propagation is required because the supply current is globally
+//     observable — the paper's leakage-detect rows of Table III).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "atpg/five_valued.hpp"
+#include "atpg/scoap.hpp"
+#include "faults/fault.hpp"
+#include "logic/logic_sim.hpp"
+
+namespace cpsinw::atpg {
+
+/// Outcome of one generation attempt.
+enum class AtpgStatus {
+  kDetected,     ///< pattern generated (and internally consistent)
+  kUntestable,   ///< search space exhausted: no test exists in this mode
+  kAborted,      ///< backtrack limit hit
+};
+
+/// Readable status.
+[[nodiscard]] const char* to_string(AtpgStatus status);
+
+/// A generated test.
+struct AtpgResult {
+  AtpgStatus status = AtpgStatus::kUntestable;
+  logic::Pattern pattern;   ///< fully specified (X choices filled with 0)
+  int backtracks = 0;
+  /// For functional faults: the excited dictionary cube (local input bits).
+  std::optional<unsigned> excited_cube;
+};
+
+/// Engine options.
+struct PodemOptions {
+  int backtrack_limit = 5000;
+};
+
+/// PODEM engine bound to a finalized circuit.  SCOAP testability measures
+/// are computed once at construction and guide the backtrace (cheapest
+/// controllable input first) and D-frontier selection (most observable
+/// gate first).
+class PodemEngine {
+ public:
+  explicit PodemEngine(const logic::Circuit& ckt);
+
+  /// Generates a test detecting a line stuck-at fault at a primary output.
+  [[nodiscard]] AtpgResult generate_line(const faults::Fault& fault,
+                                         const PodemOptions& opt = {}) const;
+
+  /// Generates a test for a functional transistor fault (wrong output
+  /// value observable at a PO).  Marginal (X) faulty rows are not targeted
+  /// — they are only potentially detectable.
+  [[nodiscard]] AtpgResult generate_functional(
+      const faults::Fault& fault, const PodemOptions& opt = {}) const;
+
+  /// Generates an IDDQ test: justifies a contention cube of the fault.
+  [[nodiscard]] AtpgResult generate_iddq(const faults::Fault& fault,
+                                         const PodemOptions& opt = {}) const;
+
+  /// Second vector of a two-pattern stuck-open test: at local cube `cube`
+  /// the faulted gate's output floats and retains the initialized value
+  /// (the complement of the good output `good_is_one`); the engine
+  /// justifies the cube and propagates the resulting D to a PO.
+  [[nodiscard]] AtpgResult generate_functional_retained(
+      const faults::Fault& fault, unsigned cube, bool good_is_one,
+      const PodemOptions& opt = {}) const;
+
+  /// Justifies an arbitrary cube at a gate's local inputs (used by the
+  /// two-pattern and channel-break generators).
+  [[nodiscard]] AtpgResult justify_gate_cube(int gate, unsigned cube,
+                                             const PodemOptions& opt = {})
+      const;
+
+  /// Justifies a single net to a binary value (used by transition-fault
+  /// launch patterns).
+  [[nodiscard]] AtpgResult justify_net_value(logic::NetId net,
+                                             logic::LogicV value,
+                                             const PodemOptions& opt = {})
+      const;
+
+  /// Justifies several nets to binary values simultaneously (used by
+  /// bridging-fault IDDQ tests, which need opposite values on two nets).
+  [[nodiscard]] AtpgResult justify_net_values(
+      const std::vector<std::pair<logic::NetId, logic::LogicV>>& goals,
+      const PodemOptions& opt = {}) const;
+
+  [[nodiscard]] const logic::Circuit& circuit() const { return ckt_; }
+
+ private:
+  const logic::Circuit& ckt_;
+  std::vector<Testability> scoap_;
+};
+
+}  // namespace cpsinw::atpg

@@ -1,0 +1,115 @@
+#include "atpg/scoap.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cpsinw::atpg {
+
+namespace {
+constexpr int kInf = 1 << 28;
+}
+
+std::vector<Testability> compute_scoap(const logic::Circuit& ckt) {
+  if (!ckt.finalized())
+    throw std::invalid_argument("compute_scoap: circuit not finalized");
+
+  std::vector<Testability> t(static_cast<std::size_t>(ckt.net_count()),
+                             Testability{kInf, kInf, kInf});
+
+  for (const logic::NetId n : ckt.primary_inputs()) {
+    t[static_cast<std::size_t>(n)].cc0 = 1;
+    t[static_cast<std::size_t>(n)].cc1 = 1;
+  }
+  for (logic::NetId n = 0; n < ckt.net_count(); ++n) {
+    const logic::LogicV c = ckt.constant_of(n);
+    if (c == logic::LogicV::k0) t[static_cast<std::size_t>(n)].cc0 = 0;
+    if (c == logic::LogicV::k1) t[static_cast<std::size_t>(n)].cc1 = 0;
+  }
+
+  // Controllability: classic SCOAP composition generalized to arbitrary
+  // cells via ternary cubes — CC(out = val) = 1 + min over input cubes
+  // that *imply* val of the summed controllabilities of the specified
+  // literals (don't-care inputs cost nothing, e.g. NAND out=1 needs only
+  // one controlling 0).
+  for (const int gid : ckt.topo_order()) {
+    const logic::GateInst& g = ckt.gate(gid);
+    const int n_in = g.input_count();
+    int best[2] = {kInf, kInf};
+    // Ternary cube encoding: digit i of `cube` in base 3 is
+    // 0 -> input i = 0, 1 -> input i = 1, 2 -> don't care.
+    int n_cubes = 1;
+    for (int i = 0; i < n_in; ++i) n_cubes *= 3;
+    for (int cube = 0; cube < n_cubes; ++cube) {
+      int digits[3] = {2, 2, 2};
+      int rest = cube;
+      for (int i = 0; i < n_in; ++i) {
+        digits[i] = rest % 3;
+        rest /= 3;
+      }
+      // Does the cube imply a constant output?
+      int implied = -1;
+      bool constant = true;
+      for (unsigned v = 0; v < (1u << n_in) && constant; ++v) {
+        bool compatible = true;
+        for (int i = 0; i < n_in; ++i) {
+          const unsigned bit = (v >> i) & 1u;
+          if (digits[i] != 2 && bit != static_cast<unsigned>(digits[i]))
+            compatible = false;
+        }
+        if (!compatible) continue;
+        const int out_v = gates::good_output(g.kind, v);
+        if (implied < 0) implied = out_v;
+        else if (implied != out_v) constant = false;
+      }
+      if (!constant || implied < 0) continue;
+      long long cost = 1;
+      for (int i = 0; i < n_in; ++i) {
+        if (digits[i] == 2) continue;
+        const Testability& ti =
+            t[static_cast<std::size_t>(g.in[static_cast<std::size_t>(i)])];
+        cost += controllability(ti, digits[i]);
+      }
+      best[implied] = static_cast<int>(std::min<long long>(
+          best[implied], std::min<long long>(cost, kInf)));
+    }
+    t[static_cast<std::size_t>(g.out)].cc0 = best[0];
+    t[static_cast<std::size_t>(g.out)].cc1 = best[1];
+  }
+
+  // Observability: POs cost 0; a gate input pin is observable through the
+  // gate when some side-input assignment makes the output sensitive to it.
+  for (const logic::NetId po : ckt.primary_outputs())
+    t[static_cast<std::size_t>(po)].obs = 0;
+
+  const auto& topo = ckt.topo_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const logic::GateInst& g = ckt.gate(*it);
+    const int n_in = g.input_count();
+    const int out_obs = t[static_cast<std::size_t>(g.out)].obs;
+    if (out_obs >= kInf) continue;
+    for (int pin = 0; pin < n_in; ++pin) {
+      int best = kInf;
+      for (unsigned v = 0; v < (1u << n_in); ++v) {
+        const unsigned flipped = v ^ (1u << pin);
+        if (gates::good_output(g.kind, v) ==
+            gates::good_output(g.kind, flipped))
+          continue;  // this side assignment does not propagate the pin
+        long long cost = 1 + out_obs;
+        for (int i = 0; i < n_in; ++i) {
+          if (i == pin) continue;
+          const Testability& ti = t[static_cast<std::size_t>(
+              g.in[static_cast<std::size_t>(i)])];
+          cost += controllability(ti, (v >> i) & 1u);
+        }
+        best = static_cast<int>(
+            std::min<long long>(best, std::min<long long>(cost, kInf)));
+      }
+      Testability& tp =
+          t[static_cast<std::size_t>(g.in[static_cast<std::size_t>(pin)])];
+      tp.obs = std::min(tp.obs, best);
+    }
+  }
+  return t;
+}
+
+}  // namespace cpsinw::atpg

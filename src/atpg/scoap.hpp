@@ -1,0 +1,31 @@
+// SCOAP-style testability measures: combinational 0/1-controllability and
+// observability per net.  Used to guide PODEM's backtrace (choose the
+// cheapest input to justify an objective) and exported for testability
+// reporting.
+#pragma once
+
+#include <vector>
+
+#include "logic/circuit.hpp"
+
+namespace cpsinw::atpg {
+
+/// Testability numbers of one net (SCOAP convention: PIs cost 1; every
+/// gate traversal adds 1; larger = harder).
+struct Testability {
+  int cc0 = 0;  ///< cost of setting the net to 0
+  int cc1 = 0;  ///< cost of setting the net to 1
+  int obs = 0;  ///< cost of observing the net at a primary output
+};
+
+/// Computes SCOAP measures for every net of a finalized circuit.
+/// @throws std::invalid_argument when the circuit is not finalized
+[[nodiscard]] std::vector<Testability> compute_scoap(
+    const logic::Circuit& ckt);
+
+/// Controllability of value v (0/1) on a net.
+[[nodiscard]] inline int controllability(const Testability& t, int v) {
+  return v == 0 ? t.cc0 : t.cc1;
+}
+
+}  // namespace cpsinw::atpg

@@ -1,0 +1,76 @@
+#include "core/cp_fault_models.hpp"
+
+namespace cpsinw::core {
+
+const char* to_string(CpFaultModel model) {
+  switch (model) {
+    case CpFaultModel::kStuckAt: return "stuck-at";
+    case CpFaultModel::kStuckOpen: return "stuck-open";
+    case CpFaultModel::kStuckOn: return "stuck-on";
+    case CpFaultModel::kDelayFault: return "delay fault";
+    case CpFaultModel::kIddq: return "IDDQ";
+    case CpFaultModel::kBridge: return "bridging fault";
+    case CpFaultModel::kStuckAtNType: return "stuck-at-n-type";
+    case CpFaultModel::kStuckAtPType: return "stuck-at-p-type";
+    case CpFaultModel::kChannelBreakProcedure:
+      return "channel-break procedure";
+  }
+  return "?";
+}
+
+const char* description_of(CpFaultModel model) {
+  switch (model) {
+    case CpFaultModel::kStuckAt:
+      return "line permanently at 0/1; detected by single patterns";
+    case CpFaultModel::kStuckOpen:
+      return "transistor never conducts; detected by two-pattern tests";
+    case CpFaultModel::kStuckOn:
+      return "transistor always conducts; detected by IDDQ";
+    case CpFaultModel::kDelayFault:
+      return "parametric slowdown; detected by transition tests";
+    case CpFaultModel::kIddq:
+      return "quiescent supply-current observation";
+    case CpFaultModel::kBridge:
+      return "resistive short between nets";
+    case CpFaultModel::kStuckAtNType:
+      return "polarity terminals bridged to '1': device forced n-type";
+    case CpFaultModel::kStuckAtPType:
+      return "polarity terminals bridged to '0': device forced p-type";
+    case CpFaultModel::kChannelBreakProcedure:
+      return "complement the device polarity via dual-rail inputs; a clean "
+             "response to the polarity-fault vector reveals the break";
+  }
+  return "?";
+}
+
+bool is_new_model(CpFaultModel model) {
+  switch (model) {
+    case CpFaultModel::kStuckAtNType:
+    case CpFaultModel::kStuckAtPType:
+    case CpFaultModel::kChannelBreakProcedure:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::vector<CpFaultModel> recommended_models(
+    faults::DefectMechanism mechanism, bool dynamic_polarity) {
+  const faults::FaultModelCoverage c =
+      faults::coverage_for(mechanism, dynamic_polarity);
+  std::vector<CpFaultModel> out;
+  if (c.stuck_open) out.push_back(CpFaultModel::kStuckOpen);
+  if (c.stuck_on) out.push_back(CpFaultModel::kStuckOn);
+  if (c.delay_fault) out.push_back(CpFaultModel::kDelayFault);
+  if (c.iddq) out.push_back(CpFaultModel::kIddq);
+  if (c.stuck_at_polarity) {
+    out.push_back(CpFaultModel::kStuckAtNType);
+    out.push_back(CpFaultModel::kStuckAtPType);
+  }
+  if (c.classic_bridge) out.push_back(CpFaultModel::kBridge);
+  if (c.needs_cb_procedure)
+    out.push_back(CpFaultModel::kChannelBreakProcedure);
+  return out;
+}
+
+}  // namespace cpsinw::core

@@ -1,0 +1,42 @@
+// Formal catalogue of fault models for controllable-polarity circuits —
+// the paper's contribution layer.  Classical models (stuck-at, stuck-open,
+// stuck-on, delay, bridge, IDDQ) are complemented by the two new models
+// (stuck-at-n-type, stuck-at-p-type) and the channel-break detection
+// procedure for dynamic-polarity gates.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "faults/ifa.hpp"
+
+namespace cpsinw::core {
+
+/// Every fault model discussed by the paper.
+enum class CpFaultModel {
+  kStuckAt,             ///< classical line stuck-at-0/1
+  kStuckOpen,           ///< transistor stuck-open (two-pattern test)
+  kStuckOn,             ///< transistor stuck-on (IDDQ test)
+  kDelayFault,          ///< parametric delay degradation
+  kIddq,                ///< quiescent-supply-current observation
+  kBridge,              ///< classical inter-net bridging fault
+  kStuckAtNType,        ///< NEW: polarity terminals bridged to '1'
+  kStuckAtPType,        ///< NEW: polarity terminals bridged to '0'
+  kChannelBreakProcedure,  ///< NEW: polarity-complement CB detection
+};
+
+/// Short model name.
+[[nodiscard]] const char* to_string(CpFaultModel model);
+
+/// One-sentence description (used by documentation benches).
+[[nodiscard]] const char* description_of(CpFaultModel model);
+
+/// True for the models introduced by the paper.
+[[nodiscard]] bool is_new_model(CpFaultModel model);
+
+/// Models recommended to cover a defect mechanism in a given gate family —
+/// the paper's conclusion matrix.
+[[nodiscard]] std::vector<CpFaultModel> recommended_models(
+    faults::DefectMechanism mechanism, bool dynamic_polarity);
+
+}  // namespace cpsinw::core

@@ -1,0 +1,206 @@
+// Experiment drivers reproducing every table and figure of the paper's
+// evaluation.  Each driver returns plain data so that the benchmark
+// binaries can print it and the test suite can assert its invariants.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "atpg/channel_break.hpp"
+#include "atpg/two_pattern.hpp"
+#include "device/carrier_density.hpp"
+#include "device/iv_sweep.hpp"
+#include "gates/spice_builder.hpp"
+#include "util/series.hpp"
+
+namespace cpsinw::core {
+
+// --------------------------------------------------------------- Table II
+/// Derived electrical characteristics of the calibrated device.
+struct DerivedElectricals {
+  double ids_sat_n = 0.0;
+  double ids_sat_p = 0.0;
+  double ioff_n = 0.0;
+  double on_off_ratio = 0.0;
+  double vth_n = 0.0;
+  double ss_mv_dec = 0.0;
+};
+
+/// Computes the derived electricals of the default (fault-free) device.
+[[nodiscard]] DerivedElectricals derived_electricals();
+
+// ---------------------------------------------------------------- Fig. 3
+/// One device case of Fig. 3 (fault-free or one GOS location).
+struct Fig3Case {
+  std::string label;
+  util::DataSeries transfer;  ///< I_D vs V_CG at V_DS = V_DD
+  util::DataSeries output;    ///< I_D vs V_D at V_CG = V_DD
+  double i_sat = 0.0;
+  double vth = 0.0;
+  double isat_ratio_vs_ff = 1.0;
+  double delta_vth_vs_ff = 0.0;
+  double min_output_current = 0.0;  ///< negative with a GOS near source/CG
+};
+
+struct Fig3Data {
+  std::vector<Fig3Case> cases;  ///< fault-free, GOS@PGS, GOS@CG, GOS@PGD
+};
+
+/// Reproduces Fig. 3: transfer/output curves of the n-type device with and
+/// without a GOS at each gate.
+[[nodiscard]] Fig3Data run_fig3(int points = 61);
+
+// ---------------------------------------------------------------- Fig. 4
+struct Fig4Case {
+  std::string label;
+  double reported_cm3 = 0.0;  ///< our model's channel electron density
+  double paper_cm3 = 0.0;     ///< the paper's reported value
+  util::DataSeries profile;   ///< density along the channel
+};
+
+struct Fig4Data {
+  std::vector<Fig4Case> cases;
+};
+
+/// Reproduces Fig. 4: electron-density collapse for each GOS location.
+[[nodiscard]] Fig4Data run_fig4();
+
+// ---------------------------------------------------------------- Fig. 5
+/// One sample of a leakage/delay-vs-V_cut curve.
+struct Fig5Point {
+  double vcut = 0.0;
+  double leakage_a = 0.0;        ///< worst-case static supply current
+  double delay_s = 0.0;          ///< propagation delay (NaN when failed)
+  bool transition_failed = false;///< SOF region: output never switches
+};
+
+/// One curve of Fig. 5: a gate, a target transistor, and which PG contact
+/// is cut.
+struct Fig5Curve {
+  gates::CellKind gate = gates::CellKind::kInv;
+  std::string transistor_label;
+  gates::PgTerminal cut_terminal = gates::PgTerminal::kPgs;
+  double nominal_delay_s = 0.0;
+  double nominal_leakage_a = 0.0;
+  std::vector<Fig5Point> points;
+};
+
+struct Fig5Options {
+  int sweep_points = 13;
+  double dt = 2e-12;
+  double t_stop = 3.0e-9;
+};
+
+struct Fig5Data {
+  std::vector<Fig5Curve> curves;  ///< 3 gates x {t1, t3} x {PGS, PGD}
+};
+
+/// Reproduces Fig. 5: floating-PG leakage/delay sweeps on INV, NAND2 and
+/// XOR2 for the pull-up (t1) and pull-down (t3) transistors.
+[[nodiscard]] Fig5Data run_fig5(const Fig5Options& options = {});
+
+// -------------------------------------------------------------- Table III
+/// One row of Table III: a polarity fault on one XOR2 transistor.
+struct Table3Row {
+  int transistor = 0;  ///< 0..3 (t1..t4)
+  gates::TransistorFault kind = gates::TransistorFault::kStuckAtNType;
+  unsigned detect_vector = 0;   ///< local input bits (bit0 = A)
+  bool leakage_detect = false;
+  bool output_detect = false;
+  // SPICE cross-check at the detecting vector:
+  double iddq_faulty_a = 0.0;
+  double iddq_ff_a = 0.0;
+  double vout_faulty = 0.0;
+  double vout_good = 0.0;
+};
+
+struct Table3Data {
+  std::vector<Table3Row> rows;  ///< t1..t4 x {stuck-at-n, stuck-at-p}
+};
+
+/// Reproduces Table III by exhaustive polarity-fault injection on the
+/// 2-input XOR, cross-checked at SPICE level.
+[[nodiscard]] Table3Data run_table3();
+
+// ------------------------------------------------------------- Sec. V-C
+/// Channel-break behaviour of one XOR2 transistor (masking numbers plus
+/// the new detection procedure).
+struct Sec5cEntry {
+  int transistor = 0;
+  bool function_preserved_dc = false;
+  double worst_delay_increase_pct = 0.0;
+  double leakage_change_pct = 0.0;
+  // The paper's new procedure:
+  bool cb_test_exists = false;
+  bool cb_distinguishes_cell = false;  ///< switch-level verdict
+  double cb_iddq_intact_a = 0.0;       ///< SPICE, dual-rail override
+  double cb_iddq_broken_a = 0.0;
+  bool cb_spice_distinguishes = false;
+};
+
+struct Sec5cData {
+  std::vector<Sec5cEntry> entries;  ///< t1..t4 of the XOR2 (FO4)
+};
+
+/// Reproduces Sec. V-C: masking of channel breaks in the DP XOR2 and the
+/// effectiveness of the polarity-complement detection procedure.
+[[nodiscard]] Sec5cData run_sec5c();
+
+// ----------------------------------------------- Sec. V-C (NAND SOF set)
+struct NandSofData {
+  /// Two-pattern ATPG outcome per NAND2 transistor (t1..t4).
+  std::vector<atpg::TwoPatternResult> per_transistor;
+  /// Distinct (init, test) local vector pairs, formatted "AB->AB".
+  std::vector<std::string> distinct_pairs;
+};
+
+/// Regenerates the paper's NAND two-pattern stuck-open test set
+/// v1=(11->01), v2=(11->10), v3=(00->11).
+[[nodiscard]] NandSofData run_nand_sof();
+
+// ------------------------------------------- GOS detectability (conclusion)
+/// Circuit-level observability of one GOS defect (paper conclusion: "gate
+/// oxide short ... detectable by analyzing the performance parameters
+/// like delay and leakage").
+struct GosDetectEntry {
+  gates::CellKind kind = gates::CellKind::kInv;
+  int transistor = 0;
+  device::GateTerminal location = device::GateTerminal::kCG;
+  double delay_increase_pct = 0.0;  ///< worst transition vs fault-free
+  double iddq_ratio = 1.0;          ///< worst-state IDDQ vs fault-free
+  bool detectable_by_delay = false; ///< >= 30 % slowdown
+  bool detectable_by_iddq = false;  ///< >= 10x supply current
+};
+
+struct GosDetectData {
+  std::vector<GosDetectEntry> entries;
+};
+
+/// Injects a GOS at each gate dielectric of representative SP and DP
+/// devices and measures the delay/IDDQ signatures.
+[[nodiscard]] GosDetectData run_gos_detectability();
+
+// ----------------------------------------------------- ATPG coverage (ext)
+struct CoverageRow {
+  std::string circuit;
+  int gate_count = 0;
+  int transistor_count = 0;
+  int fault_count = 0;
+  double classical_coverage = 0.0;  ///< without the paper's new models
+  double full_coverage = 0.0;       ///< with IDDQ + CB procedures
+  int via_iddq = 0;
+  int via_two_pattern = 0;
+  int via_channel_break = 0;
+};
+
+struct AtpgCoverageData {
+  std::vector<CoverageRow> rows;
+};
+
+/// Extension experiment: full-flow coverage on the benchmark netlists,
+/// with and without the paper's new fault models.
+[[nodiscard]] AtpgCoverageData run_atpg_coverage();
+
+}  // namespace cpsinw::core

@@ -1,0 +1,95 @@
+#include "device/carrier_density.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/numeric.hpp"
+
+namespace cpsinw::device {
+
+namespace {
+
+/// Fault-free electron density at the source contact under saturation
+/// (paper Fig. 4 headline value).
+constexpr double kSourceDensityCm3 = 1.558e19;
+
+/// Saturation pinch-off: density falls quadratically toward the drain.
+constexpr double kPinchFraction = 0.60;
+
+/// Hole-injection depletion exponent E(x) = kFar + kAmp * exp(-x/kLambdaNm):
+/// the density at the GOS site is n_base(x) * exp(-E(x)).  The three
+/// constants encode the source-proximity enhancement of hole injection and
+/// are calibrated to the three GOS cases of Fig. 4 (see DESIGN.md §6).
+constexpr double kFar = 1.78;
+constexpr double kAmp = 5.77;
+constexpr double kLambdaNm = 16.0;
+
+double base_density(double x_nm, double length_nm) {
+  const double t = x_nm / length_nm;
+  return kSourceDensityCm3 * (1.0 - kPinchFraction * t * t);
+}
+
+double depletion_exponent(double x_nm) {
+  return kFar + kAmp * std::exp(-x_nm / kLambdaNm);
+}
+
+/// Width of the depletion dip around the GOS site [nm].
+double dip_sigma_nm(const GosDefect& gos) {
+  return 8.0 * std::sqrt(std::max(gos.severity(), 1e-3));
+}
+
+}  // namespace
+
+DensityProfile electron_density_profile(const TigParams& params,
+                                        const DefectState& defects,
+                                        int n) {
+  if (n < 2) throw std::invalid_argument("electron_density_profile: n < 2");
+  params.validate();
+  const double length = params.channel_length_nm();
+  DensityProfile out;
+  out.x_nm = util::linspace(0.0, length, n);
+  out.density_cm3.reserve(out.x_nm.size());
+
+  double x_gos = -1.0;
+  double depth = 0.0;
+  double sigma = 1.0;
+  if (defects.gos) {
+    x_gos = params.gate_center_nm(defects.gos->location);
+    // Depth so that the dip bottom equals n_base * exp(-E * severity).
+    depth = 1.0 - std::exp(-depletion_exponent(x_gos) *
+                           std::min(defects.gos->severity(), 1.0));
+    sigma = dip_sigma_nm(*defects.gos);
+  }
+
+  for (const double x : out.x_nm) {
+    double n_e = base_density(x, length);
+    if (defects.gos) {
+      const double dx = (x - x_gos) / sigma;
+      n_e *= 1.0 - depth * std::exp(-0.5 * dx * dx);
+    }
+    if (defects.nw_break) {
+      // A broken wire interrupts the electron population at the break
+      // point; model the break at mid-channel.
+      const double dx = (x - 0.5 * length) / 2.0;
+      const double residue = break_current_scale(*defects.nw_break);
+      n_e *= residue + (1.0 - residue) *
+                           (1.0 - std::exp(-0.5 * dx * dx) *
+                                      std::min(defects.nw_break->severity, 1.0));
+    }
+    out.density_cm3.push_back(n_e);
+  }
+  return out;
+}
+
+double reported_density_cm3(const TigParams& params,
+                            const DefectState& defects) {
+  params.validate();
+  if (!defects.gos) return kSourceDensityCm3;
+  const double x_gos = params.gate_center_nm(defects.gos->location);
+  const double n_base = base_density(x_gos, params.channel_length_nm());
+  const double e = depletion_exponent(x_gos) *
+                   std::min(defects.gos->severity(), 1.0);
+  return n_base * std::exp(-e);
+}
+
+}  // namespace cpsinw::device

@@ -1,0 +1,46 @@
+// Channel electron-density model reproducing paper Fig. 4: the density
+// collapse caused by hole injection through a gate-oxide short.
+//
+// Physical narrative (paper Sec. IV-B): in the n-configured device a GOS
+// injects holes from the (positively biased) gate into the channel, locally
+// depleting electrons.  Injection is strongest near the source because the
+// electron-rich source accelerates hole injection; near the drain the
+// baseline electron density is already suppressed by saturation pinch-off,
+// so even a weaker injection produces a large *relative* dip there.
+#pragma once
+
+#include <vector>
+
+#include "device/defects.hpp"
+#include "device/params.hpp"
+
+namespace cpsinw::device {
+
+/// Electron-density profile along the channel under saturation bias.
+struct DensityProfile {
+  std::vector<double> x_nm;        ///< position along the channel [nm]
+  std::vector<double> density_cm3; ///< electron density [cm^-3]
+};
+
+/// Computes the electron-density profile of a device under the paper's
+/// saturation bias (all gates and drain at V_DD).  When a GOS defect is
+/// present a localized depletion dip is superimposed at the defect site.
+/// @param n number of samples (>= 2)
+[[nodiscard]] DensityProfile electron_density_profile(
+    const TigParams& params, const DefectState& defects, int n = 205);
+
+/// The scalar "channel electron density" the paper quotes in Fig. 4: the
+/// density at the transport-limiting point — the source end for a
+/// fault-free device, the GOS site for a defective one.
+[[nodiscard]] double reported_density_cm3(const TigParams& params,
+                                          const DefectState& defects);
+
+/// Paper Fig. 4 reference values [cm^-3] for comparison printing.
+struct Fig4Reference {
+  double fault_free = 1.558e19;
+  double gos_cg = 1.763e18;
+  double gos_pgd = 1.316e18;
+  double gos_pgs = 1.426e17;
+};
+
+}  // namespace cpsinw::device

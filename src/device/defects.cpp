@@ -1,0 +1,76 @@
+#include "device/defects.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cpsinw::device {
+
+double GosDefect::severity() const {
+  return std::clamp(size_nm2 / 25.0, 0.0, 4.0);
+}
+
+std::string DefectState::describe() const {
+  if (is_fault_free()) return "fault-free";
+  std::ostringstream oss;
+  bool first = true;
+  if (gos) {
+    oss << "GOS@" << to_string(gos->location) << '(' << gos->size_nm2
+        << "nm2)";
+    first = false;
+  }
+  if (nw_break) {
+    if (!first) oss << '+';
+    oss << "NW-break(sev=" << nw_break->severity << ')';
+  }
+  return oss.str();
+}
+
+GosElectricalEffect gos_effect(const GosDefect& gos) {
+  // Reference effects at severity 1 (25 nm^2 cuboid), calibrated against
+  // paper Fig. 3a-c.  The gate->channel ohmic path splits between the
+  // source and drain side according to the defect position; its total
+  // conductance (2 uS) reproduces the negative-I_D magnitude at low V_D.
+  GosElectricalEffect ref;
+  constexpr double kGosPathSiemens = 2.0e-6;
+  switch (gos.location) {
+    case GateTerminal::kPGS:
+      ref.isat_scale = 0.35;   // Fig. 3a: strong I_DSAT collapse
+      // Intrinsic barrier shift; the *extracted* (constant-current) shift
+      // additionally absorbs the I_DSAT collapse and lands at the paper's
+      // observed Delta V_Th = 170 mV.
+      ref.delta_vth = 0.112;
+      ref.g_gate_s = 0.8 * kGosPathSiemens;
+      ref.g_gate_d = 0.2 * kGosPathSiemens;
+      break;
+    case GateTerminal::kCG:
+      ref.isat_scale = 0.55;   // Fig. 3b: milder reduction than PGS
+      ref.delta_vth = 0.100;
+      ref.g_gate_s = 0.5 * kGosPathSiemens;
+      ref.g_gate_d = 0.5 * kGosPathSiemens;
+      break;
+    case GateTerminal::kPGD:
+      ref.isat_scale = 1.07;   // Fig. 3c: slight current increase
+      ref.delta_vth = 0.0;     // Fig. 3c: no V_Th impact
+      ref.g_gate_s = 0.2 * kGosPathSiemens;
+      ref.g_gate_d = 0.8 * kGosPathSiemens;
+      break;
+  }
+
+  const double s = gos.severity();
+  GosElectricalEffect out;
+  out.isat_scale = 1.0 + (ref.isat_scale - 1.0) * s;
+  out.delta_vth = ref.delta_vth * s;
+  out.g_gate_s = ref.g_gate_s * s;
+  out.g_gate_d = ref.g_gate_d * s;
+  // A shorted dielectric can at worst stop the device, never invert it.
+  out.isat_scale = std::max(out.isat_scale, 0.0);
+  return out;
+}
+
+double break_current_scale(const BreakDefect& brk) {
+  const double sev = std::clamp(brk.severity, 0.0, 1.0);
+  constexpr double kTunnelResidue = 1e-6;
+  return (1.0 - sev) + kTunnelResidue;
+}
+
+}  // namespace cpsinw::device

@@ -1,0 +1,88 @@
+// Device-level manufacturing defects of the TIG-SiNWFET (paper Table I and
+// Section IV).  A DefectState is attached to a TigModel to obtain the
+// defective device characteristics used for inductive fault analysis.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "device/params.hpp"
+
+namespace cpsinw::device {
+
+/// Gate-oxide short: a pinhole through the dielectric of one gate filled
+/// with (lightly doped) silicon, creating a conductive path between that
+/// gate and the channel (paper Sec. IV-B).
+struct GosDefect {
+  /// Which gate dielectric is shorted.
+  GateTerminal location = GateTerminal::kCG;
+  /// Defect cross-section [nm^2]; the paper's TCAD experiment removes a
+  /// "tiny cuboid" — 25 nm^2 is our reference size, effects scale with it.
+  double size_nm2 = 25.0;
+
+  /// Severity in [0,1]: size relative to the reference cuboid, capped at 4x.
+  [[nodiscard]] double severity() const;
+};
+
+/// Nanowire break: pattern-transfer / Bosch-etch damage that interrupts the
+/// wire (paper Sec. IV-A).  severity = 1 is a full open; fractional values
+/// model partial thinning that only limits the driving current.
+struct BreakDefect {
+  double severity = 1.0;
+};
+
+/// Aggregate defect state of one device.  Only single-defect experiments
+/// appear in the paper, but both fields may be set simultaneously (needed
+/// by the channel-break detection analysis of Sec. V-C, which superimposes
+/// a polarity fault on a broken device).
+struct DefectState {
+  std::optional<GosDefect> gos;
+  std::optional<BreakDefect> nw_break;
+
+  [[nodiscard]] bool is_fault_free() const {
+    return !gos.has_value() && !nw_break.has_value();
+  }
+
+  /// Short diagnostic string, e.g. "GOS@PGS(25nm2)".
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Electrical consequences of a GOS defect, derived from the defect
+/// geometry.  These are the calibration anchors of paper Fig. 3:
+///  * GOS@PGS: strong I_DSAT reduction and Delta V_Th = +170 mV — the defect
+///    sits next to the electron-rich source, which accelerates hole
+///    injection into the channel;
+///  * GOS@CG:  moderate I_DSAT reduction, smaller V_Th shift;
+///  * GOS@PGD: slight I_DSAT *increase* (field enhancement near the drain
+///    under quasi-ballistic transport), no V_Th impact.
+struct GosElectricalEffect {
+  double isat_scale = 1.0;   ///< multiplier on the saturation current
+  double delta_vth = 0.0;    ///< shift of the CG threshold [V]
+  double g_gate_s = 0.0;     ///< ohmic gate->source-side path [S]
+  double g_gate_d = 0.0;     ///< ohmic gate->drain-side path [S]
+};
+
+/// Convenience factory: a defect state with one GOS.
+[[nodiscard]] inline DefectState make_gos_state(GateTerminal where,
+                                                double size_nm2 = 25.0) {
+  DefectState d;
+  d.gos = GosDefect{where, size_nm2};
+  return d;
+}
+
+/// Convenience factory: a defect state with one nanowire break.
+[[nodiscard]] inline DefectState make_break_state(double severity = 1.0) {
+  DefectState d;
+  d.nw_break = BreakDefect{severity};
+  return d;
+}
+
+/// Computes the electrical effect of a GOS defect at reference severity 1,
+/// scaled by GosDefect::severity().
+[[nodiscard]] GosElectricalEffect gos_effect(const GosDefect& gos);
+
+/// Current multiplier of a (possibly partial) nanowire break.  A full break
+/// leaves only a ~1e-6 tunneling residue.
+[[nodiscard]] double break_current_scale(const BreakDefect& brk);
+
+}  // namespace cpsinw::device

@@ -1,0 +1,76 @@
+// Double-Gate (DG) SiNWFET adapter.
+//
+// The paper (Sec. III-A) notes that its fault-modeling methodology carries
+// over directly from the three-independent-gate device to the double-gate
+// variant [De Marchi et al., IEDM'12]: a DG-SiNWFET has one control gate
+// and ONE polarity gate that wraps both Schottky junctions.  Electrically
+// this is the TIG device with PGS and PGD tied to the same terminal, which
+// is exactly how the Fig. 2 logic gates already operate their devices.
+//
+// The adapter exposes the three-terminal-gate view (CG, PG, S, D) over the
+// TIG transport core and maps DG-specific defects:
+//   * a GOS on the single PG covers both junctions: its electrical effect
+//     is the *stronger* (source-side) TIG case;
+//   * a floating PG detaches both junction gates at once, so the stuck-open
+//     threshold of Fig. 5 applies without the PGS/PGD asymmetry.
+#pragma once
+
+#include "device/tig_model.hpp"
+
+namespace cpsinw::device {
+
+/// Bias point of a DG device: one polarity gate.
+struct DgBias {
+  double vcg = 0.0;
+  double vpg = 0.0;
+  double vs = 0.0;
+  double vd = 0.0;
+
+  /// The equivalent TIG bias (both PGs tied).
+  [[nodiscard]] TigBias to_tig() const {
+    return {.vcg = vcg, .vpgs = vpg, .vpgd = vpg, .vs = vs, .vd = vd};
+  }
+};
+
+/// DG defect state: the single polarity gate hosts at most one GOS.
+struct DgDefectState {
+  bool gos_on_pg = false;
+  bool gos_on_cg = false;
+  double gos_size_nm2 = 25.0;
+  std::optional<BreakDefect> nw_break;
+
+  /// Maps to the TIG defect state: a PG short behaves like the worst-case
+  /// (source-side) TIG short because the wrapped gate touches the
+  /// injection junction.
+  [[nodiscard]] DefectState to_tig() const {
+    DefectState d;
+    if (gos_on_pg) d.gos = GosDefect{GateTerminal::kPGS, gos_size_nm2};
+    if (gos_on_cg) d.gos = GosDefect{GateTerminal::kCG, gos_size_nm2};
+    d.nw_break = nw_break;
+    return d;
+  }
+};
+
+/// The DG-SiNWFET compact device: a thin adapter over TigModel.
+class DgModel {
+ public:
+  explicit DgModel(TigParams params, DgDefectState defects = {})
+      : tig_(params, defects.to_tig()) {}
+
+  /// Drain-source current.
+  [[nodiscard]] double ids(const DgBias& bias) const {
+    return tig_.ids(bias.to_tig());
+  }
+
+  /// Saturation / off currents of the n-configuration.
+  [[nodiscard]] double ids_sat_n() const { return tig_.ids_sat_n(); }
+  [[nodiscard]] double ioff_n() const { return tig_.ioff_n(); }
+
+  /// The wrapped TIG core (shared calibration and fault behaviour).
+  [[nodiscard]] const TigModel& tig() const { return tig_; }
+
+ private:
+  TigModel tig_;
+};
+
+}  // namespace cpsinw::device

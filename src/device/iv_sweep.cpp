@@ -1,0 +1,44 @@
+#include "device/iv_sweep.hpp"
+
+#include "util/numeric.hpp"
+
+namespace cpsinw::device {
+
+util::DataSeries transfer_sweep(const TigModel& model, double vpg, double vds,
+                                double vcg_min, double vcg_max, int points) {
+  util::DataSeries s("transfer " + model.defects().describe(), "VCG [V]");
+  s.add_column("ID [A]");
+  for (const double vcg : util::linspace(vcg_min, vcg_max, points)) {
+    const double i = model.ids(
+        {.vcg = vcg, .vpgs = vpg, .vpgd = vpg, .vs = 0.0, .vd = vds});
+    s.add_sample(vcg, {i});
+  }
+  return s;
+}
+
+util::DataSeries output_sweep(const TigModel& model, double vpg, double vcg,
+                              double vd_min, double vd_max, int points) {
+  util::DataSeries s("output " + model.defects().describe(), "VD [V]");
+  s.add_column("ID [A]");
+  for (const double vd : util::linspace(vd_min, vd_max, points)) {
+    // Measured drain current includes the GOS gate-leak path: what an
+    // external ammeter at the drain sees (paper's negative-ID observation).
+    const TigCurrents c = model.currents(
+        {.vcg = vcg, .vpgs = vpg, .vpgd = vpg, .vs = 0.0, .vd = vd});
+    s.add_sample(vd, {c.into_drain});
+  }
+  return s;
+}
+
+TransferSummary summarize_transfer(const TigModel& model) {
+  const double vdd = model.params().vdd;
+  TransferSummary out;
+  out.i_sat = model.ids(
+      {.vcg = vdd, .vpgs = vdd, .vpgd = vdd, .vs = 0.0, .vd = vdd});
+  out.i_off = model.ids(
+      {.vcg = 0.0, .vpgs = vdd, .vpgd = vdd, .vs = 0.0, .vd = vdd});
+  out.vth = model.vth_n_extracted();
+  return out;
+}
+
+}  // namespace cpsinw::device

@@ -1,0 +1,38 @@
+// I-V sweep helpers producing the curves of paper Fig. 3 (and general
+// device characterization data for the examples).
+#pragma once
+
+#include <vector>
+
+#include "device/tig_model.hpp"
+#include "util/series.hpp"
+
+namespace cpsinw::device {
+
+/// Transfer sweep: I_D vs V_CG at fixed V_DS with both polarity gates tied
+/// to `vpg` (the paper's n-type transfer curve uses vpg = vds = V_DD).
+[[nodiscard]] util::DataSeries transfer_sweep(const TigModel& model,
+                                              double vpg, double vds,
+                                              double vcg_min, double vcg_max,
+                                              int points);
+
+/// Output sweep: I_D vs V_D at fixed V_CG with both polarity gates at
+/// `vpg`.  With a GOS defect present this exhibits the paper's negative
+/// I_D at low V_D (gate-to-drain injection through the oxide short).
+[[nodiscard]] util::DataSeries output_sweep(const TigModel& model,
+                                            double vpg, double vcg,
+                                            double vd_min, double vd_max,
+                                            int points);
+
+/// Summary of a transfer curve used by tests and the Fig. 3 bench.
+struct TransferSummary {
+  double i_sat = 0.0;    ///< current at the top of the sweep [A]
+  double vth = 0.0;      ///< constant-current threshold (I = 1e-8 A) [V]
+  double i_off = 0.0;    ///< current at V_CG = 0 [A]
+};
+
+/// Extracts saturation current, threshold and off current from a device's
+/// n-type transfer characteristic at V_DS = V_DD.
+[[nodiscard]] TransferSummary summarize_transfer(const TigModel& model);
+
+}  // namespace cpsinw::device

@@ -1,0 +1,58 @@
+#include "device/params.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace cpsinw::device {
+
+const char* to_string(GateTerminal t) {
+  switch (t) {
+    case GateTerminal::kPGS: return "PGS";
+    case GateTerminal::kCG: return "CG";
+    case GateTerminal::kPGD: return "PGD";
+  }
+  return "?";
+}
+
+double TigParams::gate_center_nm(GateTerminal t) const {
+  switch (t) {
+    case GateTerminal::kPGS: return l_pgs_nm / 2.0;
+    case GateTerminal::kCG: return l_pgs_nm + l_sp_nm + l_cg_nm / 2.0;
+    case GateTerminal::kPGD:
+      return l_pgs_nm + l_sp_nm + l_cg_nm + l_sp_nm + l_pgd_nm / 2.0;
+  }
+  return 0.0;
+}
+
+double TigParams::phi_t() const { return util::kThermalVoltage300K; }
+
+double TigParams::subthreshold_swing_mv_dec() const {
+  return ss_ideality * phi_t() * std::log(10.0) * 1e3;
+}
+
+void TigParams::validate() const {
+  auto require = [](bool ok, const char* what) {
+    if (!ok) throw std::invalid_argument(std::string("TigParams: ") + what);
+  };
+  require(l_cg_nm > 0 && l_pgs_nm > 0 && l_pgd_nm > 0 && l_sp_nm >= 0,
+          "gate/spacer lengths must be positive");
+  require(r_nw_nm > 0, "nanowire radius must be positive");
+  require(t_ox_nm > 0, "oxide thickness must be positive");
+  require(phi_b_ev > 0 && phi_b_ev < 1.2, "Schottky barrier out of range");
+  require(vdd > 0, "vdd must be positive");
+  require(vth_n > 0 && vth_n < vdd, "vth_n out of range");
+  require(vth_p > 0 && vth_p < vdd, "vth_p out of range");
+  require(ss_ideality >= 1.0, "subthreshold ideality must be >= 1");
+  require(k_n > 0, "k_n must be positive");
+  require(mu_ratio >= 1.0, "mu_ratio must be >= 1 (electrons faster)");
+  require(pg_slope_inj > 0 && pg_slope_col > 0, "PG slopes must be positive");
+  require(pg_onset_inj > 0 && pg_onset_inj < vdd, "pg_onset_inj out of range");
+  require(pg_onset_col >= 0 && pg_onset_col < vdd, "pg_onset_col out of range");
+  require(v_dsat > 0, "v_dsat must be positive");
+  require(lambda >= 0, "lambda must be non-negative");
+  require(c_gate_f > 0 && c_sd_f > 0, "capacitances must be positive");
+}
+
+}  // namespace cpsinw::device

@@ -1,0 +1,103 @@
+// Structural, physical and calibration parameters of the TIG-SiNWFET.
+//
+// The geometry block reproduces Table II of the paper; the electrical block
+// holds the calibration constants of the analytical transport model that
+// substitutes for the authors' TCAD deck (see DESIGN.md section 2).
+#pragma once
+
+#include <string>
+
+namespace cpsinw::device {
+
+/// Which of the three gates of a TIG-SiNWFET a quantity refers to.
+/// PGS is the polarity gate on the source side, PGD on the drain side,
+/// CG the central control gate (paper Fig. 1).
+enum class GateTerminal { kPGS, kCG, kPGD };
+
+/// Human-readable name ("PGS", "CG", "PGD").
+[[nodiscard]] const char* to_string(GateTerminal t);
+
+/// Complete parameter set for one TIG-SiNWFET.
+///
+/// Defaults reproduce the paper's Table II device at V_DD = 1.2 V (22 nm
+/// node).  All voltages in volts, currents in amps, lengths in nanometers,
+/// capacitances in farads.
+struct TigParams {
+  // --- Geometry and process (paper Table II) -----------------------------
+  double l_cg_nm = 22.0;           ///< control gate length
+  double l_pgs_nm = 22.0;          ///< source-side polarity gate length
+  double l_pgd_nm = 22.0;          ///< drain-side polarity gate length
+  double l_sp_nm = 18.0;           ///< spacer between CG and each PG
+  double r_nw_nm = 7.5;            ///< nanowire radius
+  double t_ox_nm = 5.1;            ///< gate oxide thickness
+  double phi_b_ev = 0.41;          ///< Schottky barrier height (NiSi/Si)
+  double channel_doping_cm3 = 1e15;///< p-type channel doping
+
+  // --- Operating point ----------------------------------------------------
+  double vdd = 1.2;                ///< supply voltage
+
+  // --- Transport calibration (TCAD substitute) ---------------------------
+  /// CG threshold of the electron branch (relative to source).
+  double vth_n = 0.40;
+  /// CG threshold magnitude of the hole branch.
+  double vth_p = 0.40;
+  /// Subthreshold ideality factor (SS = ideality * ln10 * phi_t ~ 86mV/dec,
+  /// good for a gate-all-around Schottky device).
+  double ss_ideality = 1.45;
+  /// Electron transconductance scale [A/V]; calibrated so that the
+  /// fault-free n-branch saturates near 4.7e-5 A (paper Fig. 3 axis).
+  double k_n = 5.5e-5;
+  /// Electron/hole drive ratio (mu_n / mu_p).
+  double mu_ratio = 2.0;
+
+  // --- Schottky polarity-gate barrier model -------------------------------
+  /// Overdrive at which the *injection-side* barrier becomes transparent.
+  /// Calibrated so a floating polarity gate stops conduction at
+  /// |V_cut - nominal| ~ 0.56 V (paper Sec. V-A).
+  double pg_onset_inj = 0.75;
+  /// Logistic slope of the injection-side barrier transparency [V].
+  double pg_slope_inj = 0.060;
+  /// Overdrive for the *collection-side* barrier (drain side for electrons):
+  /// transport there is quasi-ballistic so the gate is less critical
+  /// (paper Sec. V-A discussion of PGD) — the onset sits lower and the
+  /// mixed-gate off-state still holds (conduction rule of Sec. III-C).
+  double pg_onset_col = 0.42;
+  /// Logistic slope of the collection-side barrier transparency [V].
+  double pg_slope_col = 0.065;
+  /// Fraction of V_DS assisting collection-barrier thinning (DIBL-like).
+  /// Kept at zero by default: any assist softens the mixed-gate off-state.
+  double dibl_col = 0.0;
+
+  // --- Output characteristic ----------------------------------------------
+  double v_dsat = 0.22;            ///< drain saturation voltage scale
+  double lambda = 0.05;            ///< channel length modulation [1/V]
+
+  // --- Parasitics (companion data of the table compact model) ------------
+  double c_gate_f = 1.0e-15;       ///< per-gate-terminal capacitance
+  double c_sd_f = 0.6e-15;         ///< source/drain junction capacitance
+
+  /// Total source-to-drain channel length [nm]: PGS + spacer + CG + spacer
+  /// + PGD (102 nm for the default geometry).
+  [[nodiscard]] double channel_length_nm() const {
+    return l_pgs_nm + l_sp_nm + l_cg_nm + l_sp_nm + l_pgd_nm;
+  }
+
+  /// Center coordinate [nm] of a gate region along the channel (x = 0 at
+  /// the source contact).
+  [[nodiscard]] double gate_center_nm(GateTerminal t) const;
+
+  /// Thermal voltage used throughout (300 K).
+  [[nodiscard]] double phi_t() const;
+
+  /// Subthreshold linearization scale for the CG charge term [V].
+  [[nodiscard]] double s_cg() const { return ss_ideality * phi_t(); }
+
+  /// Subthreshold swing [mV/decade] implied by the calibration.
+  [[nodiscard]] double subthreshold_swing_mv_dec() const;
+
+  /// Validates physical consistency; throws std::invalid_argument with a
+  /// diagnostic message when a parameter is out of its physical range.
+  void validate() const;
+};
+
+}  // namespace cpsinw::device

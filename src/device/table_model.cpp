@@ -1,0 +1,165 @@
+#include "device/table_model.hpp"
+
+#include <array>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace cpsinw::device {
+
+namespace {
+
+double axis_value(double lo, double hi, int points, int i) {
+  return lo + (hi - lo) * static_cast<double>(i) /
+                  static_cast<double>(points - 1);
+}
+
+/// Fractional index of v on a uniform axis, clamped to the grid.
+struct AxisPos {
+  int i0;
+  double t;
+};
+
+AxisPos locate(double v, double lo, double hi, int points) {
+  const double step = (hi - lo) / static_cast<double>(points - 1);
+  double f = (v - lo) / step;
+  if (f <= 0.0) return {0, 0.0};
+  if (f >= points - 1) return {points - 2, 1.0};
+  const int i0 = static_cast<int>(f);
+  return {i0, f - i0};
+}
+
+}  // namespace
+
+std::size_t TableModel::index(int ig, int is, int id, int iu) const {
+  const auto gp = static_cast<std::size_t>(grid_.gate_points);
+  const auto up = static_cast<std::size_t>(grid_.vds_points);
+  return ((static_cast<std::size_t>(ig) * gp + static_cast<std::size_t>(is)) *
+              gp +
+          static_cast<std::size_t>(id)) *
+             up +
+         static_cast<std::size_t>(iu);
+}
+
+TableModel TableModel::build(const TigModel& model, const TableGrid& grid) {
+  if (grid.gate_points < 2 || grid.vds_points < 2)
+    throw std::invalid_argument("TableModel: grid needs >= 2 points per axis");
+  if (!(grid.gate_max > grid.gate_min) || !(grid.vds_max > grid.vds_min))
+    throw std::invalid_argument("TableModel: empty axis range");
+
+  TableModel tm;
+  tm.grid_ = grid;
+  tm.mu_ratio_ = model.params().mu_ratio;
+  tm.c_gate_ = model.params().c_gate_f;
+  tm.c_sd_ = model.params().c_sd_f;
+  const std::size_t total = static_cast<std::size_t>(grid.gate_points) *
+                            static_cast<std::size_t>(grid.gate_points) *
+                            static_cast<std::size_t>(grid.gate_points) *
+                            static_cast<std::size_t>(grid.vds_points);
+  tm.samples_.resize(total);
+  for (int ig = 0; ig < grid.gate_points; ++ig) {
+    const double g = axis_value(grid.gate_min, grid.gate_max,
+                                grid.gate_points, ig);
+    for (int is = 0; is < grid.gate_points; ++is) {
+      const double ps = axis_value(grid.gate_min, grid.gate_max,
+                                   grid.gate_points, is);
+      for (int id = 0; id < grid.gate_points; ++id) {
+        const double pd = axis_value(grid.gate_min, grid.gate_max,
+                                     grid.gate_points, id);
+        for (int iu = 0; iu < grid.vds_points; ++iu) {
+          const double u = axis_value(grid.vds_min, grid.vds_max,
+                                      grid.vds_points, iu);
+          tm.samples_[tm.index(ig, is, id, iu)] =
+              model.electron_core(g, ps, pd, u);
+        }
+      }
+    }
+  }
+  return tm;
+}
+
+double TableModel::electron_core(double g, double ps, double pd,
+                                 double u) const {
+  if (u <= 0.0) return 0.0;
+  const AxisPos ag = locate(g, grid_.gate_min, grid_.gate_max,
+                            grid_.gate_points);
+  const AxisPos as = locate(ps, grid_.gate_min, grid_.gate_max,
+                            grid_.gate_points);
+  const AxisPos ad = locate(pd, grid_.gate_min, grid_.gate_max,
+                            grid_.gate_points);
+  const AxisPos au = locate(u, grid_.vds_min, grid_.vds_max,
+                            grid_.vds_points);
+  double acc = 0.0;
+  for (int cg = 0; cg < 2; ++cg) {
+    const double wg = cg ? ag.t : 1.0 - ag.t;
+    if (wg == 0.0) continue;
+    for (int cs = 0; cs < 2; ++cs) {
+      const double ws = cs ? as.t : 1.0 - as.t;
+      if (ws == 0.0) continue;
+      for (int cd = 0; cd < 2; ++cd) {
+        const double wd = cd ? ad.t : 1.0 - ad.t;
+        if (wd == 0.0) continue;
+        for (int cu = 0; cu < 2; ++cu) {
+          const double wu = cu ? au.t : 1.0 - au.t;
+          if (wu == 0.0) continue;
+          acc += wg * ws * wd * wu *
+                 samples_[index(ag.i0 + cg, as.i0 + cs, ad.i0 + cd,
+                                au.i0 + cu)];
+        }
+      }
+    }
+  }
+  return acc;
+}
+
+double TableModel::ids(const TigBias& b) const {
+  const auto branch_sum = [this](double vcg, double vpg_lo, double vpg_hi,
+                                 double vlo, double vhi) {
+    const double i_e = electron_core(vcg - vlo, vpg_lo - vlo, vpg_hi - vlo,
+                                     vhi - vlo);
+    const double i_h = electron_core(vhi - vcg, vhi - vpg_hi, vhi - vpg_lo,
+                                     vhi - vlo) /
+                       mu_ratio_;
+    return i_e + i_h;
+  };
+  if (b.vd >= b.vs) return branch_sum(b.vcg, b.vpgs, b.vpgd, b.vs, b.vd);
+  return -branch_sum(b.vcg, b.vpgd, b.vpgs, b.vd, b.vs);
+}
+
+void TableModel::save(std::ostream& os) const {
+  os << "cpsinw-table-model v1\n";
+  os << grid_.gate_min << ' ' << grid_.gate_max << ' ' << grid_.gate_points
+     << ' ' << grid_.vds_min << ' ' << grid_.vds_max << ' '
+     << grid_.vds_points << '\n';
+  os << mu_ratio_ << ' ' << c_gate_ << ' ' << c_sd_ << '\n';
+  os.precision(17);  // round-trip exact for IEEE doubles
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    os << samples_[i] << ((i + 1) % 8 == 0 ? '\n' : ' ');
+  }
+  os << '\n';
+}
+
+TableModel TableModel::load(std::istream& is) {
+  std::string tag, version;
+  is >> tag >> version;
+  if (tag != "cpsinw-table-model" || version != "v1")
+    throw std::runtime_error("TableModel::load: bad header");
+  TableModel tm;
+  is >> tm.grid_.gate_min >> tm.grid_.gate_max >> tm.grid_.gate_points >>
+      tm.grid_.vds_min >> tm.grid_.vds_max >> tm.grid_.vds_points;
+  is >> tm.mu_ratio_ >> tm.c_gate_ >> tm.c_sd_;
+  if (!is || tm.grid_.gate_points < 2 || tm.grid_.vds_points < 2)
+    throw std::runtime_error("TableModel::load: bad grid");
+  const std::size_t total = static_cast<std::size_t>(tm.grid_.gate_points) *
+                            static_cast<std::size_t>(tm.grid_.gate_points) *
+                            static_cast<std::size_t>(tm.grid_.gate_points) *
+                            static_cast<std::size_t>(tm.grid_.vds_points);
+  tm.samples_.resize(total);
+  for (double& s : tm.samples_) {
+    if (!(is >> s)) throw std::runtime_error("TableModel::load: truncated");
+  }
+  return tm;
+}
+
+}  // namespace cpsinw::device

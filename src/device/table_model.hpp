@@ -1,0 +1,74 @@
+// 4-D lookup-table compact model — the C++ equivalent of the paper's
+// Verilog-A table model (Sec. III-D): "the result of the TCAD simulations
+// makes a look-up table model characterizing the channel conductivity as a
+// function of V_CG, V_PGS and V_PGD" (plus V_DS), together with terminal
+// capacitances.
+//
+// The table is built once from a TigModel (our TCAD substitute) and then
+// evaluated by 4-D multilinear interpolation.  Circuit simulation can use
+// either the analytical device or this table; agreement between the two is
+// covered by tests.
+#pragma once
+
+#include <array>
+#include <iosfwd>
+#include <vector>
+
+#include "device/tig_model.hpp"
+
+namespace cpsinw::device {
+
+/// Axis specification of the lookup grid.
+struct TableGrid {
+  double gate_min = -0.4;  ///< gate voltages relative to source [V]
+  double gate_max = 1.6;
+  int gate_points = 21;
+  double vds_min = 0.0;    ///< normalized drain-source voltage [V]
+  double vds_max = 1.4;
+  int vds_points = 15;
+};
+
+/// Immutable sampled compact model.
+class TableModel {
+ public:
+  /// Samples the electron-branch core current of `model` over the grid.
+  /// The hole branch is reconstructed by the ambipolar mirror at eval time,
+  /// so only one 4-D table is stored.
+  /// @throws std::invalid_argument for degenerate grids.
+  static TableModel build(const TigModel& model, const TableGrid& grid = {});
+
+  /// Drain-source current for absolute terminal voltages, interpolated.
+  /// Matches TigModel::ids within interpolation error.
+  [[nodiscard]] double ids(const TigBias& bias) const;
+
+  /// Terminal capacitances copied from the device parameters (the paper's
+  /// table model also carries parasitics).
+  [[nodiscard]] double c_gate() const { return c_gate_; }
+  [[nodiscard]] double c_sd() const { return c_sd_; }
+
+  [[nodiscard]] const TableGrid& grid() const { return grid_; }
+
+  /// Serializes the table in a plain-text format (header + samples).
+  void save(std::ostream& os) const;
+
+  /// Deserializes a table written by save().
+  /// @throws std::runtime_error on malformed input.
+  static TableModel load(std::istream& is);
+
+ private:
+  TableModel() = default;
+
+  /// Electron-core interpolation on (g, ps, pd, u) relative voltages.
+  [[nodiscard]] double electron_core(double g, double ps, double pd,
+                                     double u) const;
+
+  [[nodiscard]] std::size_t index(int ig, int is, int id, int iu) const;
+
+  TableGrid grid_;
+  std::vector<double> samples_;
+  double mu_ratio_ = 2.0;
+  double c_gate_ = 0.0;
+  double c_sd_ = 0.0;
+};
+
+}  // namespace cpsinw::device

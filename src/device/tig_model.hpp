@@ -1,0 +1,107 @@
+// Analytical transport model of the TIG-SiNWFET — the library's substitute
+// for the paper's calibrated Sentaurus TCAD deck.
+//
+// The device is an ambipolar Schottky-barrier FET with three independent
+// gates.  The model composes
+//   * two logistic Schottky-barrier transparencies (injection side sharp,
+//     collection side soft — transport under the drain-side gate is
+//     quasi-ballistic, paper Sec. V-A),
+//   * an EKV-style control-gate charge term (smooth subthreshold-to-on),
+//   * a tanh output characteristic with channel-length modulation,
+// for the electron branch, and obtains the hole branch from the exact
+// ambipolar voltage-mirror symmetry  I_p(v) = (1/mu_ratio) * I_n(mirror(v)).
+//
+// The emergent behaviour matches the paper's conduction rule: the device is
+// ON iff CG = PGS = PGD (all high: n-mode; all low: p-mode) and OFF iff
+// CG xor (PGS and PGD) = 1.
+#pragma once
+
+#include "device/defects.hpp"
+#include "device/params.hpp"
+
+namespace cpsinw::device {
+
+/// Bias point of a TIG device: absolute terminal voltages [V].
+struct TigBias {
+  double vcg = 0.0;   ///< control gate
+  double vpgs = 0.0;  ///< polarity gate, source side
+  double vpgd = 0.0;  ///< polarity gate, drain side
+  double vs = 0.0;    ///< source contact
+  double vd = 0.0;    ///< drain contact
+};
+
+/// Per-terminal currents flowing *into* the device [A]; gate currents are
+/// nonzero only in the presence of a gate-oxide short.
+struct TigCurrents {
+  double into_drain = 0.0;
+  double into_source = 0.0;
+  double into_cg = 0.0;
+  double into_pgs = 0.0;
+  double into_pgd = 0.0;
+};
+
+/// The TIG-SiNWFET compact device.  Immutable after construction; thread
+/// compatible (const methods are safe to call concurrently).
+class TigModel {
+ public:
+  /// @param params calibration set; validated on construction.
+  /// @param defects optional manufacturing defects to superimpose.
+  /// @throws std::invalid_argument when params are out of range.
+  explicit TigModel(TigParams params, DefectState defects = {});
+
+  /// Drain-to-source channel current [A]: conventional current entering the
+  /// drain terminal and leaving the source terminal.  Positive when
+  /// vd > vs; antisymmetric under source/drain exchange.
+  [[nodiscard]] double ids(const TigBias& bias) const;
+
+  /// Channel current plus gate-oxide-short path currents for all five
+  /// terminals.  This is what the circuit simulator stamps.
+  [[nodiscard]] TigCurrents currents(const TigBias& bias) const;
+
+  /// Electron-branch saturation current at the nominal n-type corner
+  /// (all gates and drain at V_DD, source grounded).
+  [[nodiscard]] double ids_sat_n() const;
+
+  /// Hole-branch saturation current at the nominal p-type corner.
+  [[nodiscard]] double ids_sat_p() const;
+
+  /// Off-state current of the n-configured device (V_CG = 0).
+  [[nodiscard]] double ioff_n() const;
+
+  /// Threshold voltage of the n-branch extracted by the constant-current
+  /// method (I = 1e-6 A ~ I_sat/50) on the V_CG transfer sweep at
+  /// V_DS = V_DD.
+  [[nodiscard]] double vth_n_extracted() const;
+
+  [[nodiscard]] const TigParams& params() const { return params_; }
+  [[nodiscard]] const DefectState& defects() const { return defects_; }
+
+  /// Electron-branch core current: source grounded, drain at u >= 0.
+  /// Exposed for the table compact model, which samples this surface and
+  /// reconstructs the hole branch by the ambipolar mirror.
+  /// @param g   CG voltage relative to source
+  /// @param ps  injection-side PG voltage relative to source
+  /// @param pd  collection-side PG voltage relative to source
+  /// @param u   drain-source voltage (>= 0)
+  [[nodiscard]] double electron_core(double g, double ps, double pd,
+                                     double u) const;
+
+ private:
+
+  /// Sum of electron and hole branches for a normalized bias (vd >= vs).
+  [[nodiscard]] double branch_sum(double vcg, double vpg_lo, double vpg_hi,
+                                  double vlo, double vhi) const;
+
+  /// Saturation-current multiplier contributed by a GOS defect (1.0 when
+  /// the device is GOS-free).
+  [[nodiscard]] double gos_scale() const {
+    return defects_.gos ? gos_.isat_scale : 1.0;
+  }
+
+  TigParams params_;
+  DefectState defects_;
+  GosElectricalEffect gos_;       // zero-initialized when no GOS
+  double break_scale_ = 1.0;      // 1.0 when no nanowire break
+};
+
+}  // namespace cpsinw::device

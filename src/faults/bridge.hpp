@@ -1,0 +1,63 @@
+// Inter-net bridging faults (paper Table I, metallization step: "bridge
+// among interconnects"; Sec. II: bridge faults are classically diagnosed
+// by IDDQ testing).
+//
+// Classic four-way model: wired-AND, wired-OR and the two dominant
+// bridges.  Voltage detection uses the resolved wired value; IDDQ
+// detection only needs the two nets driven to opposite values — the
+// shorted drivers then fight and the supply current rises by orders of
+// magnitude, exactly like the paper's polarity-bridge observation.
+#pragma once
+
+#include <vector>
+
+#include "logic/logic_sim.hpp"
+
+namespace cpsinw::faults {
+
+/// Electrical behaviour of a bridge.
+enum class BridgeBehavior {
+  kWiredAnd,   ///< both nets read a AND b
+  kWiredOr,    ///< both nets read a OR b
+  kDominantA,  ///< net a wins: b reads a
+  kDominantB,  ///< net b wins: a reads b
+};
+
+/// Readable behaviour name.
+[[nodiscard]] const char* to_string(BridgeBehavior behavior);
+
+/// A bridge between two distinct nets.
+struct BridgeFault {
+  logic::NetId a = -1;
+  logic::NetId b = -1;
+  BridgeBehavior behavior = BridgeBehavior::kWiredAnd;
+
+  [[nodiscard]] bool operator==(const BridgeFault&) const = default;
+};
+
+/// Enumerates a layout-plausible bridge universe without layout data:
+/// pairs of nets entering the same gate plus each gate's output with each
+/// of its inputs (the nets guaranteed to be routed adjacently), with all
+/// four behaviours per pair.
+[[nodiscard]] std::vector<BridgeFault> enumerate_adjacent_bridges(
+    const logic::Circuit& ckt);
+
+/// Simulates the bridged circuit for one pattern.  Bridges that close a
+/// feedback loop over the pair are evaluated to a fixpoint; oscillation
+/// resolves to X.
+/// @returns faulty net values
+[[nodiscard]] std::vector<logic::LogicV> simulate_bridge(
+    const logic::Circuit& ckt, const BridgeFault& fault,
+    const logic::Pattern& pattern);
+
+/// Voltage detection: some PO differs between good and bridged machines.
+[[nodiscard]] bool bridge_detected_by_output(const logic::Circuit& ckt,
+                                             const BridgeFault& fault,
+                                             const logic::Pattern& pattern);
+
+/// IDDQ excitation: the two nets are driven to opposite values.
+[[nodiscard]] bool bridge_excited_for_iddq(const logic::Circuit& ckt,
+                                           const BridgeFault& fault,
+                                           const logic::Pattern& pattern);
+
+}  // namespace cpsinw::faults

@@ -1,0 +1,67 @@
+// Circuit-level fault taxonomy: classical line stuck-at faults plus the
+// transistor-level fault classes of the paper (stuck-open/channel break,
+// stuck-on, and the new stuck-at-n-type / stuck-at-p-type polarity faults).
+#pragma once
+
+#include <string>
+
+#include "gates/cell.hpp"
+#include "logic/circuit.hpp"
+
+namespace cpsinw::faults {
+
+/// Where a fault lives.
+enum class FaultSite {
+  kNet,             ///< stuck-at on a net (stem)
+  kGateInput,       ///< stuck-at on one gate input branch
+  kGateTransistor,  ///< transistor fault inside a gate
+};
+
+/// A single fault instance.
+struct Fault {
+  FaultSite site = FaultSite::kNet;
+
+  // Line stuck-at fields (kNet / kGateInput).
+  logic::NetId net = -1;
+  int gate = -1;  ///< also used by kGateTransistor
+  int pin = -1;   ///< input pin index for kGateInput
+  bool stuck_at_one = false;
+
+  // Transistor fault fields (kGateTransistor).
+  gates::CellFault cell_fault;
+
+  /// Stable ordering/identity for containers.
+  [[nodiscard]] bool operator==(const Fault&) const = default;
+
+  /// Human-readable description, e.g. "net sum SA0" or
+  /// "XOR3_0.t2 stuck-at-n-type".
+  [[nodiscard]] std::string describe(const logic::Circuit& ckt) const;
+
+  [[nodiscard]] static Fault net_stuck(logic::NetId net, bool sa1) {
+    Fault f;
+    f.site = FaultSite::kNet;
+    f.net = net;
+    f.stuck_at_one = sa1;
+    return f;
+  }
+
+  [[nodiscard]] static Fault input_stuck(int gate, int pin, bool sa1) {
+    Fault f;
+    f.site = FaultSite::kGateInput;
+    f.gate = gate;
+    f.pin = pin;
+    f.stuck_at_one = sa1;
+    return f;
+  }
+
+  [[nodiscard]] static Fault transistor(int gate, int t,
+                                        gates::TransistorFault kind) {
+    Fault f;
+    f.site = FaultSite::kGateTransistor;
+    f.gate = gate;
+    f.cell_fault = {t, kind};
+    return f;
+  }
+};
+
+}  // namespace cpsinw::faults

@@ -1,0 +1,99 @@
+#include "faults/fault_list.hpp"
+
+#include <sstream>
+
+#include "gates/fault_dictionary.hpp"
+
+namespace cpsinw::faults {
+
+std::string Fault::describe(const logic::Circuit& ckt) const {
+  std::ostringstream oss;
+  switch (site) {
+    case FaultSite::kNet:
+      oss << "net " << ckt.net_name(net) << (stuck_at_one ? " SA1" : " SA0");
+      break;
+    case FaultSite::kGateInput:
+      oss << ckt.gate(gate).name << ".in" << pin
+          << (stuck_at_one ? " SA1" : " SA0");
+      break;
+    case FaultSite::kGateTransistor: {
+      const auto& tpl = gates::cell(ckt.gate(gate).kind);
+      oss << ckt.gate(gate).name << '.'
+          << tpl.transistors[static_cast<std::size_t>(cell_fault.transistor)]
+                 .label
+          << ' ' << gates::to_string(cell_fault.kind);
+      break;
+    }
+  }
+  return oss.str();
+}
+
+std::vector<Fault> generate_fault_list(const logic::Circuit& ckt,
+                                       const FaultListOptions& options) {
+  std::vector<Fault> out;
+
+  if (options.include_line_stuck_at) {
+    for (logic::NetId n = 0; n < ckt.net_count(); ++n) {
+      if (is_binary(ckt.constant_of(n))) continue;  // constant nets excluded
+      out.push_back(Fault::net_stuck(n, false));
+      out.push_back(Fault::net_stuck(n, true));
+      // Branch faults only matter on fanout stems (branch != stem there).
+      if (!options.collapse || ckt.fanout(n).size() > 1) {
+        for (const int gid : ckt.fanout(n)) {
+          const logic::GateInst& g = ckt.gate(gid);
+          for (int pin = 0; pin < g.input_count(); ++pin) {
+            if (g.in[static_cast<std::size_t>(pin)] != n) continue;
+            out.push_back(Fault::input_stuck(gid, pin, false));
+            out.push_back(Fault::input_stuck(gid, pin, true));
+          }
+        }
+      }
+    }
+  }
+
+  if (options.include_transistor_faults) {
+    for (const logic::GateInst& g : ckt.gates()) {
+      std::vector<gates::FaultAnalysis> kept;
+      for (const gates::CellFault& cf :
+           gates::enumerate_transistor_faults(g.kind)) {
+        const gates::FaultAnalysis fa = gates::analyze_fault(g.kind, cf);
+        // A polarity bridge onto the rail the PG is already tied to is not
+        // an electrical defect: never listed.  Other benign-looking faults
+        // (e.g. a statically-masked channel break) stay in the universe —
+        // they are real defects that the CB procedure may still reveal.
+        const bool polarity_fault =
+            cf.kind == gates::TransistorFault::kStuckAtNType ||
+            cf.kind == gates::TransistorFault::kStuckAtPType;
+        if (polarity_fault && fa.is_benign()) continue;
+        if (options.collapse) {
+          bool duplicate = false;
+          for (const gates::FaultAnalysis& prev : kept)
+            if (fa.equivalent_to(prev)) {
+              duplicate = true;
+              break;
+            }
+          if (duplicate) continue;
+          kept.push_back(fa);
+        }
+        out.push_back(Fault::transistor(g.id, cf.transistor, cf.kind));
+      }
+    }
+  }
+  return out;
+}
+
+int count_line_faults(const std::vector<Fault>& faults) {
+  int n = 0;
+  for (const Fault& f : faults)
+    if (f.site != FaultSite::kGateTransistor) ++n;
+  return n;
+}
+
+int count_transistor_faults(const std::vector<Fault>& faults) {
+  int n = 0;
+  for (const Fault& f : faults)
+    if (f.site == FaultSite::kGateTransistor) ++n;
+  return n;
+}
+
+}  // namespace cpsinw::faults

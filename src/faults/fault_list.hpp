@@ -1,0 +1,34 @@
+// Fault-list generation and collapsing.
+#pragma once
+
+#include <vector>
+
+#include "faults/fault.hpp"
+
+namespace cpsinw::faults {
+
+/// Options for fault-list generation.
+struct FaultListOptions {
+  bool include_line_stuck_at = true;
+  bool include_transistor_faults = true;
+  /// Collapse behaviourally-equivalent transistor faults within each gate
+  /// (dictionary comparison) and structurally-equivalent line faults
+  /// (fanout-free stem/branch merging).
+  bool collapse = true;
+};
+
+/// Enumerates the fault universe of a circuit.
+/// Line stuck-at: SA0/SA1 on every net stem and every gate input branch of
+/// nets with fanout > 1.  Transistor: all four fault kinds on every device
+/// of every gate instance.
+[[nodiscard]] std::vector<Fault> generate_fault_list(
+    const logic::Circuit& ckt, const FaultListOptions& options = {});
+
+/// Number of faults in a list that belong to the classical (line stuck-at)
+/// universe — used by coverage comparisons with/without the new models.
+[[nodiscard]] int count_line_faults(const std::vector<Fault>& faults);
+
+/// Number of transistor-level faults.
+[[nodiscard]] int count_transistor_faults(const std::vector<Fault>& faults);
+
+}  // namespace cpsinw::faults

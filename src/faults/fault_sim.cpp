@@ -1,0 +1,166 @@
+#include "faults/fault_sim.hpp"
+
+#include <stdexcept>
+
+#include "gates/fault_dictionary.hpp"
+
+namespace cpsinw::faults {
+
+using logic::LogicV;
+using logic::Pattern;
+
+int FaultSimReport::detected_count() const {
+  int n = 0;
+  for (const DetectionRecord& r : records)
+    if (r.detected(options.observe_iddq)) ++n;
+  return n;
+}
+
+double FaultSimReport::coverage() const {
+  if (records.empty()) return 1.0;
+  return static_cast<double>(detected_count()) /
+         static_cast<double>(records.size());
+}
+
+FaultSimulator::FaultSimulator(const logic::Circuit& ckt)
+    : ckt_(ckt), sim_(ckt) {}
+
+std::vector<std::uint64_t> FaultSimulator::simulate_packed_with_line_fault(
+    const std::vector<std::uint64_t>& pi_words, const Fault& fault) const {
+  std::vector<std::uint64_t> values(
+      static_cast<std::size_t>(ckt_.net_count()), 0);
+  for (logic::NetId n = 0; n < ckt_.net_count(); ++n)
+    if (ckt_.constant_of(n) == LogicV::k1)
+      values[static_cast<std::size_t>(n)] = ~0ull;
+  for (std::size_t i = 0; i < pi_words.size(); ++i)
+    values[static_cast<std::size_t>(ckt_.primary_inputs()[i])] = pi_words[i];
+
+  const std::uint64_t forced = fault.stuck_at_one ? ~0ull : 0ull;
+  if (fault.site == FaultSite::kNet)
+    values[static_cast<std::size_t>(fault.net)] = forced;
+
+  for (const int gid : ckt_.topo_order()) {
+    const logic::GateInst& g = ckt_.gate(gid);
+    std::uint64_t in[3] = {0, 0, 0};
+    for (int i = 0; i < g.input_count(); ++i) {
+      in[i] = values[static_cast<std::size_t>(g.in[static_cast<std::size_t>(i)])];
+      if (fault.site == FaultSite::kGateInput && fault.gate == gid &&
+          fault.pin == i)
+        in[i] = forced;
+    }
+    std::uint64_t out = logic::eval_cell_packed(g.kind, in[0], in[1], in[2]);
+    if (fault.site == FaultSite::kNet && g.out == fault.net) out = forced;
+    values[static_cast<std::size_t>(g.out)] = out;
+  }
+  return values;
+}
+
+FaultSimReport FaultSimulator::run(const std::vector<Fault>& faults,
+                                   const std::vector<Pattern>& patterns,
+                                   const FaultSimOptions& options) const {
+  FaultSimReport report;
+  report.options = options;
+  report.records.assign(faults.size(), {});
+
+  // --- Line faults: 64-pattern-parallel batches. -------------------------
+  for (std::size_t base = 0; base < patterns.size(); base += 64) {
+    const std::size_t count = std::min<std::size_t>(64, patterns.size() - base);
+    const std::vector<Pattern> batch(patterns.begin() + static_cast<long>(base),
+                                     patterns.begin() +
+                                         static_cast<long>(base + count));
+    const auto pi_words = logic::pack_patterns(ckt_, batch);
+    const auto good = logic::simulate_packed(ckt_, pi_words);
+    const std::uint64_t active =
+        count == 64 ? ~0ull : ((1ull << count) - 1ull);
+
+    for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+      const Fault& f = faults[fi];
+      if (f.site == FaultSite::kGateTransistor) continue;
+      DetectionRecord& rec = report.records[fi];
+      if (rec.detected_output) continue;  // fault dropping
+      const auto faulty = simulate_packed_with_line_fault(pi_words, f);
+      std::uint64_t diff = 0;
+      for (const logic::NetId po : ckt_.primary_outputs())
+        diff |= (good[static_cast<std::size_t>(po)] ^
+                 faulty[static_cast<std::size_t>(po)]);
+      diff &= active;
+      if (diff != 0) {
+        rec.detected_output = true;
+        rec.first_pattern =
+            static_cast<int>(base) + __builtin_ctzll(diff);
+      }
+    }
+  }
+
+  // --- Transistor faults: serial dictionary-based simulation. ------------
+  for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+    const Fault& f = faults[fi];
+    if (f.site != FaultSite::kGateTransistor) continue;
+    report.records[fi] = simulate_transistor_fault(f, patterns, options);
+  }
+  return report;
+}
+
+bool FaultSimulator::line_fault_detected(const Fault& fault,
+                                         const Pattern& pattern) const {
+  if (fault.site == FaultSite::kGateTransistor)
+    throw std::invalid_argument("line_fault_detected: transistor fault");
+  const auto pi_words = logic::pack_patterns(ckt_, {pattern});
+  const auto good = logic::simulate_packed(ckt_, pi_words);
+  const auto faulty = simulate_packed_with_line_fault(pi_words, fault);
+  for (const logic::NetId po : ckt_.primary_outputs())
+    if (((good[static_cast<std::size_t>(po)] ^
+          faulty[static_cast<std::size_t>(po)]) &
+         1ull) != 0)
+      return true;
+  return false;
+}
+
+DetectionRecord FaultSimulator::simulate_transistor_fault(
+    const Fault& fault, const std::vector<Pattern>& patterns,
+    const FaultSimOptions& options) const {
+  if (fault.site != FaultSite::kGateTransistor)
+    throw std::invalid_argument("simulate_transistor_fault: wrong site");
+  const logic::GateFault gf{fault.gate, fault.cell_fault};
+  const gates::FaultAnalysis fa =
+      gates::analyze_fault(ckt_.gate(fault.gate).kind, fault.cell_fault);
+
+  DetectionRecord rec;
+  std::vector<LogicV> state;
+  for (std::size_t pi = 0; pi < patterns.size(); ++pi) {
+    const Pattern& p = patterns[pi];
+    const logic::SimResult good = sim_.simulate(p);
+    const logic::SimResult bad = sim_.simulate_faulty_with(
+        p, gf, fa, options.sequential_patterns && !state.empty() ? &state
+                                                                 : nullptr);
+    if (options.sequential_patterns) state = bad.net_values;
+
+    bool hit = false;
+    if (bad.iddq_flag && options.observe_iddq) {
+      rec.detected_iddq = true;
+      hit = true;
+    }
+    for (const logic::NetId po : ckt_.primary_outputs()) {
+      const LogicV g = good.value(po);
+      const LogicV b = bad.value(po);
+      if (is_binary(g) && is_binary(b) && g != b) {
+        rec.detected_output = true;
+        hit = true;
+      } else if (is_binary(g) && !is_binary(b)) {
+        rec.potential = true;
+      }
+    }
+    if (hit && rec.first_pattern < 0)
+      rec.first_pattern = static_cast<int>(pi);
+  }
+  return rec;
+}
+
+bool FaultSimulator::stuck_open_detected(const Fault& fault,
+                                         const Pattern& init,
+                                         const Pattern& test) const {
+  return simulate_transistor_fault(fault, {init, test}, {})
+      .detected_output;
+}
+
+}  // namespace cpsinw::faults

@@ -1,0 +1,207 @@
+#include "faults/ifa.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace cpsinw::faults {
+
+const std::vector<ProcessStep>& all_process_steps() {
+  static const std::vector<ProcessStep> steps = {
+      ProcessStep::kNanowirePatterning, ProcessStep::kBoschEtch,
+      ProcessStep::kOxidation, ProcessStep::kPolyDeposition,
+      ProcessStep::kMetallization};
+  return steps;
+}
+
+const char* to_string(ProcessStep step) {
+  switch (step) {
+    case ProcessStep::kNanowirePatterning:
+      return "HSQ-based nanowire patterning";
+    case ProcessStep::kBoschEtch: return "Bosch process";
+    case ProcessStep::kOxidation: return "Oxidation process";
+    case ProcessStep::kPolyDeposition: return "Polysilicon deposition";
+    case ProcessStep::kMetallization: return "Metal layer(s) deposition";
+  }
+  return "?";
+}
+
+const char* outcome_of(ProcessStep step) {
+  switch (step) {
+    case ProcessStep::kNanowirePatterning:
+      return "Initial pattern of nanowires";
+    case ProcessStep::kBoschEtch: return "Nanowire formation";
+    case ProcessStep::kOxidation: return "Dielectric formation";
+    case ProcessStep::kPolyDeposition: return "Polarity and control gates";
+    case ProcessStep::kMetallization: return "Interconnections";
+  }
+  return "?";
+}
+
+const char* to_string(DefectMechanism mechanism) {
+  switch (mechanism) {
+    case DefectMechanism::kNanowireBreak: return "Nanowire break";
+    case DefectMechanism::kGateOxideShort: return "Gate oxide short";
+    case DefectMechanism::kGateBridge:
+      return "Bridge between two or more terminals";
+    case DefectMechanism::kInterconnectBridge:
+      return "Bridge among interconnects";
+    case DefectMechanism::kFloatingGate: return "Floating gate";
+  }
+  return "?";
+}
+
+const std::vector<DefectMechanism>& mechanisms_of(ProcessStep step) {
+  // Paper Table I, "Possible defects" column.
+  static const std::vector<DefectMechanism> patterning = {
+      DefectMechanism::kNanowireBreak};
+  static const std::vector<DefectMechanism> bosch = {
+      DefectMechanism::kNanowireBreak};
+  static const std::vector<DefectMechanism> oxidation = {
+      DefectMechanism::kGateOxideShort};
+  static const std::vector<DefectMechanism> poly = {
+      DefectMechanism::kGateBridge};
+  static const std::vector<DefectMechanism> metal = {
+      DefectMechanism::kInterconnectBridge, DefectMechanism::kFloatingGate};
+  switch (step) {
+    case ProcessStep::kNanowirePatterning: return patterning;
+    case ProcessStep::kBoschEtch: return bosch;
+    case ProcessStep::kOxidation: return oxidation;
+    case ProcessStep::kPolyDeposition: return poly;
+    case ProcessStep::kMetallization: return metal;
+  }
+  throw std::invalid_argument("mechanisms_of: bad step");
+}
+
+FaultModelCoverage coverage_for(DefectMechanism mechanism,
+                                bool dynamic_polarity) {
+  FaultModelCoverage c;
+  switch (mechanism) {
+    case DefectMechanism::kNanowireBreak:
+      if (dynamic_polarity) {
+        // Sec. V-C: masked by the pass-transistor redundancy; only the new
+        // polarity-complement procedure reveals it.
+        c.needs_cb_procedure = true;
+        c.delay_fault = true;  // residual delay signature (<= 58 %)
+      } else {
+        c.stuck_open = true;  // classical two-pattern SOF (Sec. V-C)
+      }
+      break;
+    case DefectMechanism::kGateOxideShort:
+      // Sec. IV-B / conclusion: detectable through performance parameters.
+      c.delay_fault = true;
+      c.iddq = true;
+      break;
+    case DefectMechanism::kGateBridge:
+      // Sec. V-B: polarity bridge -> the new stuck-at-n/p-type models; in
+      // SP gates the same defect behaves like a channel break (SOF).
+      if (dynamic_polarity) {
+        c.stuck_at_polarity = true;
+        c.iddq = true;
+      } else {
+        c.stuck_open = true;
+      }
+      break;
+    case DefectMechanism::kInterconnectBridge:
+      c.classic_bridge = true;
+      c.iddq = true;
+      break;
+    case DefectMechanism::kFloatingGate:
+      // Sec. V-A: fault model depends on the coupled V_cut level — delay
+      // fault and stuck-on below the threshold, SOF beyond it.
+      c.delay_fault = true;
+      c.stuck_on = true;
+      c.stuck_open = true;
+      break;
+  }
+  return c;
+}
+
+IfaReport run_ifa(const logic::Circuit& ckt, const IfaOptions& options) {
+  if (options.sample_count < 0)
+    throw std::invalid_argument("run_ifa: negative sample_count");
+  if (options.step_weights.size() != all_process_steps().size())
+    throw std::invalid_argument("run_ifa: need one weight per step");
+  double total_w = 0.0;
+  for (const double w : options.step_weights) {
+    if (w < 0.0) throw std::invalid_argument("run_ifa: negative weight");
+    total_w += w;
+  }
+  if (total_w <= 0.0) throw std::invalid_argument("run_ifa: zero weights");
+  if (ckt.gate_count() == 0)
+    throw std::invalid_argument("run_ifa: empty circuit");
+
+  util::SplitMix64 rng(options.seed);
+  IfaReport report;
+  report.defects.reserve(static_cast<std::size_t>(options.sample_count));
+
+  const auto pick_step = [&]() {
+    double roll = rng.next_double() * total_w;
+    for (std::size_t i = 0; i < options.step_weights.size(); ++i) {
+      roll -= options.step_weights[i];
+      if (roll <= 0.0) return all_process_steps()[i];
+    }
+    return all_process_steps().back();
+  };
+
+  // Transistor-weighted gate selection: bigger cells catch more defects.
+  std::vector<int> gate_by_transistor;
+  for (const logic::GateInst& g : ckt.gates()) {
+    const int nt =
+        static_cast<int>(gates::cell(g.kind).transistors.size());
+    for (int t = 0; t < nt; ++t) gate_by_transistor.push_back(g.id);
+  }
+
+  for (int s = 0; s < options.sample_count; ++s) {
+    SampledDefect d;
+    d.step = pick_step();
+    const auto& mechs = mechanisms_of(d.step);
+    d.mechanism = mechs[rng.below(mechs.size())];
+
+    const int gid = gate_by_transistor[rng.below(gate_by_transistor.size())];
+    const logic::GateInst& g = ckt.gate(gid);
+    const int nt = static_cast<int>(gates::cell(g.kind).transistors.size());
+    const int t = static_cast<int>(rng.below(static_cast<std::uint64_t>(nt)));
+    d.in_dynamic_polarity_gate = gates::is_dynamic_polarity(g.kind);
+
+    switch (d.mechanism) {
+      case DefectMechanism::kNanowireBreak:
+        d.fault = Fault::transistor(gid, t, gates::TransistorFault::kStuckOpen);
+        d.note = d.in_dynamic_polarity_gate
+                     ? "masked in DP gate; needs polarity-complement test"
+                     : "classical stuck-open";
+        if (d.in_dynamic_polarity_gate) ++report.masked_without_cb;
+        break;
+      case DefectMechanism::kGateOxideShort:
+        d.note = "parametric (delay/IDDQ signature, Fig. 3)";
+        ++report.parametric_only;
+        break;
+      case DefectMechanism::kGateBridge:
+        d.fault = Fault::transistor(
+            gid, t,
+            rng.chance(0.5) ? gates::TransistorFault::kStuckAtNType
+                            : gates::TransistorFault::kStuckAtPType);
+        d.note = "polarity bridge -> stuck-at-n/p-type";
+        break;
+      case DefectMechanism::kInterconnectBridge: {
+        const logic::NetId net =
+            static_cast<logic::NetId>(rng.below(
+                static_cast<std::uint64_t>(ckt.net_count())));
+        d.fault = Fault::net_stuck(net, rng.chance(0.5));
+        d.note = "bridge approximated as dominant stuck-at";
+        break;
+      }
+      case DefectMechanism::kFloatingGate:
+        d.fault = Fault::transistor(gid, t,
+                                    gates::TransistorFault::kStuckOpen);
+        d.note = "floating PG; V_cut-dependent (delay/stuck-on/SOF)";
+        break;
+    }
+    ++report.per_step[d.step];
+    ++report.per_mechanism[d.mechanism];
+    report.defects.push_back(std::move(d));
+  }
+  return report;
+}
+
+}  // namespace cpsinw::faults

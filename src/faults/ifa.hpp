@@ -1,0 +1,104 @@
+// Inductive fault analysis (paper Secs. II, IV, Table I): walk the
+// TIG-SiNWFET fabrication process, sample the defects each step can
+// introduce into a concrete circuit, map every defect to a circuit-level
+// fault, and classify which fault model covers it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "faults/fault.hpp"
+
+namespace cpsinw::faults {
+
+/// Fabrication steps of the top-down TIG-SiNWFET process (paper Table I).
+enum class ProcessStep {
+  kNanowirePatterning,  ///< HSQ-based nanowire patterning
+  kBoschEtch,           ///< Bosch-process nanowire formation
+  kOxidation,           ///< self-limiting gate-dielectric formation
+  kPolyDeposition,      ///< polysilicon polarity/control gates
+  kMetallization,       ///< interconnect metal layer(s)
+};
+
+/// All steps in fabrication order.
+[[nodiscard]] const std::vector<ProcessStep>& all_process_steps();
+
+/// Process outcome description (Table I "Outcome" column).
+[[nodiscard]] const char* outcome_of(ProcessStep step);
+
+/// Readable step name.
+[[nodiscard]] const char* to_string(ProcessStep step);
+
+/// Physical defect mechanisms (Table I "Possible defects" column).
+enum class DefectMechanism {
+  kNanowireBreak,
+  kGateOxideShort,
+  kGateBridge,          ///< bridge between two or more gate terminals
+  kInterconnectBridge,  ///< bridge among interconnects
+  kFloatingGate,        ///< open on a (polarity) gate contact
+};
+
+/// Readable mechanism name.
+[[nodiscard]] const char* to_string(DefectMechanism mechanism);
+
+/// Mechanisms each process step can introduce (Table I mapping).
+[[nodiscard]] const std::vector<DefectMechanism>& mechanisms_of(
+    ProcessStep step);
+
+/// Which fault models cover a defect mechanism — the paper's conclusion
+/// matrix (Secs. V-A..V-C): e.g. a nanowire break in an SP gate is a
+/// classical stuck-open, but in a DP gate it is masked and needs the new
+/// polarity-complement procedure.
+struct FaultModelCoverage {
+  bool stuck_open = false;
+  bool stuck_on = false;
+  bool delay_fault = false;
+  bool iddq = false;
+  bool stuck_at_polarity = false;     ///< the paper's new n/p-type models
+  bool classic_bridge = false;
+  bool needs_cb_procedure = false;    ///< the paper's new test algorithm
+};
+
+/// Coverage classification for a mechanism, depending on the gate family
+/// it lands in.
+[[nodiscard]] FaultModelCoverage coverage_for(DefectMechanism mechanism,
+                                              bool dynamic_polarity);
+
+/// One sampled manufacturing defect mapped into the circuit.
+struct SampledDefect {
+  ProcessStep step = ProcessStep::kNanowirePatterning;
+  DefectMechanism mechanism = DefectMechanism::kNanowireBreak;
+  /// The mapped logic-level fault; absent for purely parametric defects
+  /// (GOS: delay/IDDQ signature without a functional fault).
+  std::optional<Fault> fault;
+  bool in_dynamic_polarity_gate = false;
+  std::string note;
+};
+
+/// Controls of the IFA sampling pass.
+struct IfaOptions {
+  std::uint64_t seed = 1;
+  int sample_count = 1000;
+  /// Relative likelihood of each process step contributing a defect
+  /// (indexed by ProcessStep order; normalized internally).
+  std::vector<double> step_weights = {1.2, 1.4, 1.0, 1.1, 0.9};
+};
+
+/// IFA result: the sampled population and aggregate statistics.
+struct IfaReport {
+  std::vector<SampledDefect> defects;
+  std::map<ProcessStep, int> per_step;
+  std::map<DefectMechanism, int> per_mechanism;
+  int parametric_only = 0;      ///< defects without a functional fault
+  int masked_without_cb = 0;    ///< DP channel breaks (need new procedure)
+};
+
+/// Runs inductive fault analysis on a circuit.
+/// @throws std::invalid_argument on bad options
+[[nodiscard]] IfaReport run_ifa(const logic::Circuit& ckt,
+                                const IfaOptions& options = {});
+
+}  // namespace cpsinw::faults

@@ -1,0 +1,99 @@
+#include "faults/random_patterns.hpp"
+
+#include <stdexcept>
+
+#include "gates/fault_dictionary.hpp"
+#include "util/rng.hpp"
+
+namespace cpsinw::faults {
+
+using logic::LogicV;
+using logic::Pattern;
+
+RandomPatternResult run_random_patterns(const logic::Circuit& ckt,
+                                        const std::vector<Fault>& faults,
+                                        const RandomPatternOptions& options) {
+  if (options.max_patterns < 1)
+    throw std::invalid_argument("run_random_patterns: max_patterns >= 1");
+  if (options.one_probability <= 0.0 || options.one_probability >= 1.0)
+    throw std::invalid_argument(
+        "run_random_patterns: one_probability must be in (0,1)");
+
+  const FaultSimulator fsim(ckt);
+  const logic::Simulator sim(ckt);
+  util::SplitMix64 rng(options.seed);
+
+  // Per-transistor-fault cached dictionary and retained net state, so that
+  // floating outputs carry charge across the random sequence (chance
+  // two-pattern stuck-open detection).
+  struct TransState {
+    logic::GateFault gf;
+    gates::FaultAnalysis fa;
+    std::vector<LogicV> state;
+  };
+  std::vector<TransState> trans(faults.size());
+  for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+    const Fault& f = faults[fi];
+    if (f.site != FaultSite::kGateTransistor) continue;
+    trans[fi].gf = {f.gate, f.cell_fault};
+    trans[fi].fa =
+        gates::analyze_fault(ckt.gate(f.gate).kind, f.cell_fault);
+  }
+
+  RandomPatternResult result;
+  result.total_faults = static_cast<int>(faults.size());
+  std::vector<char> detected(faults.size(), 0);
+  int detected_count = 0;
+  int stale = 0;
+
+  for (int k = 0; k < options.max_patterns; ++k) {
+    Pattern p(ckt.primary_inputs().size());
+    for (auto& v : p)
+      v = logic::from_bool(rng.chance(options.one_probability));
+
+    const logic::SimResult good = sim.simulate(p);
+
+    bool progress = false;
+    for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+      const Fault& f = faults[fi];
+      bool hit = false;
+      if (f.site == FaultSite::kGateTransistor) {
+        TransState& ts = trans[fi];
+        const bool has_state =
+            options.sim.sequential_patterns && !ts.state.empty();
+        const logic::SimResult bad = sim.simulate_faulty_with(
+            p, ts.gf, ts.fa, has_state ? &ts.state : nullptr);
+        if (options.sim.sequential_patterns) ts.state = bad.net_values;
+        if (detected[fi]) continue;
+        if (bad.iddq_flag && options.sim.observe_iddq) hit = true;
+        for (const logic::NetId po : ckt.primary_outputs()) {
+          const LogicV g = good.value(po);
+          const LogicV b = bad.value(po);
+          if (is_binary(g) && is_binary(b) && g != b) hit = true;
+        }
+      } else {
+        if (detected[fi]) continue;
+        hit = fsim.line_fault_detected(f, p);
+      }
+      if (hit && !detected[fi]) {
+        detected[fi] = 1;
+        ++detected_count;
+        progress = true;
+      }
+    }
+
+    result.patterns.push_back(std::move(p));
+    result.curve.push_back(
+        {k + 1, detected_count,
+         faults.empty() ? 1.0
+                        : static_cast<double>(detected_count) /
+                              static_cast<double>(faults.size())});
+
+    stale = progress ? 0 : stale + 1;
+    if (stale >= options.stale_limit) break;
+    if (detected_count == static_cast<int>(faults.size())) break;
+  }
+  return result;
+}
+
+}  // namespace cpsinw::faults

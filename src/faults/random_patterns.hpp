@@ -1,0 +1,53 @@
+// Random-pattern test generation: the standard baseline ATPG compares
+// against, and the source of the coverage-vs-pattern-count curves used to
+// quantify how much the deterministic flow (and the paper's new
+// observation methods) buy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "faults/fault_sim.hpp"
+
+namespace cpsinw::faults {
+
+/// Options of a random-pattern campaign.
+struct RandomPatternOptions {
+  std::uint64_t seed = 1;
+  int max_patterns = 256;
+  /// Probability of a 1 on each input (0.5 = uniform; other values give
+  /// weighted random patterns).
+  double one_probability = 0.5;
+  /// Stop after this many consecutive patterns without a new detection.
+  int stale_limit = 64;
+  FaultSimOptions sim;
+};
+
+/// One point of the coverage curve.
+struct CoveragePoint {
+  int patterns = 0;
+  int detected = 0;
+  double coverage = 0.0;
+};
+
+/// Result of a campaign.
+struct RandomPatternResult {
+  std::vector<logic::Pattern> patterns;   ///< the applied sequence
+  std::vector<CoveragePoint> curve;       ///< one point per pattern
+  int total_faults = 0;
+
+  [[nodiscard]] double final_coverage() const {
+    return curve.empty() ? 0.0 : curve.back().coverage;
+  }
+};
+
+/// Runs a random-pattern campaign against a fault list, recording the
+/// cumulative coverage after every pattern.  Detection uses the same
+/// machinery as the deterministic flow (line faults via packed simulation;
+/// transistor faults via dictionaries, with IDDQ observation when the
+/// options allow it).
+[[nodiscard]] RandomPatternResult run_random_patterns(
+    const logic::Circuit& ckt, const std::vector<Fault>& faults,
+    const RandomPatternOptions& options = {});
+
+}  // namespace cpsinw::faults

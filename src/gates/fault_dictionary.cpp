@@ -1,0 +1,94 @@
+#include "gates/fault_dictionary.hpp"
+
+namespace cpsinw::gates {
+
+RowEffect classify_row(const FaultRow& row) {
+  const SwitchEval& f = row.faulty;
+  if (f.floating) return RowEffect::kFloating;
+  const int lv = logic_value(f.out);
+  if (lv >= 0 && lv != row.good) return RowEffect::kWrongValue;
+  if (lv < 0) return RowEffect::kMarginal;
+  return f.contention ? RowEffect::kIddqOnly : RowEffect::kNone;
+}
+
+int FaultAnalysis::faulty_logic(unsigned input) const {
+  const FaultRow& row = rows.at(input);
+  if (row.faulty.floating) return -2;
+  const int lv = logic_value(row.faulty.out);
+  return lv;  // 0, 1, or -1 for X/marginal
+}
+
+bool FaultAnalysis::equivalent_to(const FaultAnalysis& other) const {
+  if (kind != other.kind || rows.size() != other.rows.size()) return false;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SwitchEval& a = rows[i].faulty;
+    const SwitchEval& b = other.rows[i].faulty;
+    if (a.out != b.out || a.contention != b.contention ||
+        a.floating != b.floating)
+      return false;
+  }
+  return true;
+}
+
+bool FaultAnalysis::is_benign() const {
+  for (const FaultRow& row : rows)
+    if (classify_row(row) != RowEffect::kNone) return false;
+  return true;
+}
+
+FaultAnalysis analyze_fault(CellKind kind, CellFault fault) {
+  FaultAnalysis out;
+  out.kind = kind;
+  out.fault = fault;
+  const int n = input_count(kind);
+  const unsigned combos = 1u << n;
+  out.rows.reserve(combos);
+  for (unsigned v = 0; v < combos; ++v) {
+    FaultRow row;
+    row.input = v;
+    row.good = good_output(kind, v);
+    row.faulty = eval_switch(kind, v, fault);
+    switch (classify_row(row)) {
+      case RowEffect::kWrongValue:
+        out.output_detectable = true;
+        if (!out.first_output_vector) out.first_output_vector = v;
+        break;
+      case RowEffect::kMarginal:
+        out.marginal_detectable = true;
+        break;
+      case RowEffect::kFloating:
+        out.needs_sequence = true;
+        break;
+      default:
+        break;
+    }
+    if (row.faulty.contention) {
+      out.iddq_detectable = true;
+      if (!out.first_iddq_vector) out.first_iddq_vector = v;
+    }
+    out.rows.push_back(row);
+  }
+  return out;
+}
+
+std::vector<CellFault> enumerate_transistor_faults(CellKind kind) {
+  static const TransistorFault kKinds[] = {
+      TransistorFault::kStuckOpen, TransistorFault::kStuckOn,
+      TransistorFault::kStuckAtNType, TransistorFault::kStuckAtPType};
+  std::vector<CellFault> out;
+  const auto& tpl = cell(kind);
+  out.reserve(tpl.transistors.size() * 4);
+  for (std::size_t t = 0; t < tpl.transistors.size(); ++t)
+    for (const TransistorFault k : kKinds)
+      out.push_back({static_cast<int>(t), k});
+  return out;
+}
+
+std::vector<FaultAnalysis> all_fault_analyses(CellKind kind) {
+  std::vector<FaultAnalysis> out;
+  for (const CellFault& f : enumerate_transistor_faults(kind))
+    out.push_back(analyze_fault(kind, f));
+  return out;
+}
+
+}  // namespace cpsinw::gates

@@ -1,0 +1,73 @@
+// Exhaustive switch-level fault analysis per cell: for every transistor
+// fault, the faulty behaviour over all input vectors, plus detectability
+// classification.  These dictionaries are what the logic-level fault
+// simulator and the functional-fault ATPG consume.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "gates/cell.hpp"
+#include "gates/switch_level.hpp"
+
+namespace cpsinw::gates {
+
+/// Behaviour of a faulty cell at one input vector.
+struct FaultRow {
+  unsigned input = 0;       ///< input combination (bit i = input i)
+  std::uint8_t good = 0;    ///< fault-free output
+  SwitchEval faulty;        ///< switch-level evaluation with the fault
+};
+
+/// How a single row compares against the good machine.
+enum class RowEffect {
+  kNone,        ///< identical definite value, no contention
+  kIddqOnly,    ///< correct output but contention (elevated IDDQ)
+  kWrongValue,  ///< definite opposite logic value at the output
+  kMarginal,    ///< X or degraded (weak) level at the output
+  kFloating,    ///< output floats (sequence-dependent behaviour)
+};
+
+/// Classifies one row.
+[[nodiscard]] RowEffect classify_row(const FaultRow& row);
+
+/// Complete dictionary entry for (cell, fault).
+struct FaultAnalysis {
+  CellKind kind = CellKind::kInv;
+  CellFault fault;
+  std::vector<FaultRow> rows;  ///< 2^n rows in input order
+
+  bool output_detectable = false;    ///< some row is kWrongValue
+  bool marginal_detectable = false;  ///< some row is kMarginal
+  bool iddq_detectable = false;      ///< some row has contention
+  bool needs_sequence = false;       ///< floating rows exist (stuck-open)
+
+  std::optional<unsigned> first_output_vector;  ///< first kWrongValue row
+  std::optional<unsigned> first_iddq_vector;    ///< first contention row
+
+  /// 4-valued faulty output for the logic simulator:
+  /// 0, 1, -1 = X/marginal, -2 = Z (retains).
+  [[nodiscard]] int faulty_logic(unsigned input) const;
+
+  /// True when the fault is behaviourally identical to another analysis
+  /// (used for fault collapsing).
+  [[nodiscard]] bool equivalent_to(const FaultAnalysis& other) const;
+
+  /// True when the fault has no effect at any input vector (e.g. bridging
+  /// a rail-tied polarity gate to the rail it is already tied to): not an
+  /// electrical defect at all.
+  [[nodiscard]] bool is_benign() const;
+};
+
+/// Runs the exhaustive analysis for one fault.
+[[nodiscard]] FaultAnalysis analyze_fault(CellKind kind, CellFault fault);
+
+/// Enumerates all distinct transistor faults of a cell
+/// (4 fault kinds x transistor count).
+[[nodiscard]] std::vector<CellFault> enumerate_transistor_faults(
+    CellKind kind);
+
+/// Analyses for every transistor fault of a cell.
+[[nodiscard]] std::vector<FaultAnalysis> all_fault_analyses(CellKind kind);
+
+}  // namespace cpsinw::gates

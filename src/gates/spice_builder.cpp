@@ -1,0 +1,175 @@
+#include "gates/spice_builder.hpp"
+
+#include <map>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+namespace cpsinw::gates {
+
+const char* to_string(PgTerminal t) {
+  return t == PgTerminal::kPgs ? "PGS" : "PGD";
+}
+
+namespace {
+
+/// Resolves a symbolic cell signal to a circuit node.
+struct NodeMap {
+  spice::Circuit& ckt;
+  spice::NodeId vdd;
+  std::vector<spice::NodeId> ins;
+  std::vector<spice::NodeId> in_bars;
+  std::vector<spice::NodeId> internals;
+  spice::NodeId out;
+
+  [[nodiscard]] spice::NodeId resolve(const Sig& sig) const {
+    switch (sig.kind) {
+      case Sig::Kind::kGnd: return 0;
+      case Sig::Kind::kVdd: return vdd;
+      case Sig::Kind::kIn:
+        return ins.at(static_cast<std::size_t>(sig.index));
+      case Sig::Kind::kInBar:
+        return in_bars.at(static_cast<std::size_t>(sig.index));
+      case Sig::Kind::kOut: return out;
+      case Sig::Kind::kInternal:
+        return internals.at(static_cast<std::size_t>(sig.index));
+    }
+    throw std::logic_error("NodeMap::resolve: bad signal");
+  }
+};
+
+}  // namespace
+
+CellCircuit build_cell_circuit(const CellCircuitSpec& spec) {
+  const CellTemplate& tpl = cell(spec.kind);
+  spec.params.validate();
+  if (static_cast<int>(spec.inputs.size()) != tpl.n_inputs)
+    throw std::invalid_argument("build_cell_circuit: input arity mismatch");
+  if (!spec.input_bars.empty() &&
+      static_cast<int>(spec.input_bars.size()) != tpl.n_inputs)
+    throw std::invalid_argument("build_cell_circuit: input_bars arity");
+  const int n_devices = static_cast<int>(tpl.transistors.size());
+  for (const auto& f : spec.pg_forces)
+    if (f.transistor < 0 || f.transistor >= n_devices)
+      throw std::invalid_argument("build_cell_circuit: pg_force index");
+  for (const auto& f : spec.pg_floats)
+    if (f.transistor < 0 || f.transistor >= n_devices)
+      throw std::invalid_argument("build_cell_circuit: pg_float index");
+  for (const auto& [t, unused] : spec.device_defects)
+    if (t < 0 || t >= n_devices)
+      throw std::invalid_argument("build_cell_circuit: defect index");
+
+  CellCircuit cc;
+  spice::Circuit& ckt = cc.ckt;
+  const double vdd = spec.params.vdd;
+
+  NodeMap nm{ckt, ckt.node("vdd"), {}, {}, {}, 0};
+  ckt.add_vsource(CellCircuit::vdd_source(), nm.vdd, 0,
+                  spice::Waveform::dc(vdd));
+
+  std::set<spice::NodeId> driven = {0, nm.vdd};
+  for (int i = 0; i < tpl.n_inputs; ++i) {
+    const std::string base = "a" + std::to_string(i);
+    const spice::NodeId n_in = ckt.node(base);
+    const spice::NodeId n_bar = ckt.node(base + "_b");
+    nm.ins.push_back(n_in);
+    nm.in_bars.push_back(n_bar);
+    driven.insert(n_in);
+    driven.insert(n_bar);
+    const spice::Waveform& w = spec.inputs[static_cast<std::size_t>(i)];
+    ckt.add_vsource("VIN" + std::to_string(i), n_in, 0, w);
+    const spice::Waveform bar =
+        (!spec.input_bars.empty() &&
+         spec.input_bars[static_cast<std::size_t>(i)])
+            ? *spec.input_bars[static_cast<std::size_t>(i)]
+            : w.complemented(vdd);
+    ckt.add_vsource("VINB" + std::to_string(i), n_bar, 0, bar);
+  }
+  for (int i = 0; i < tpl.n_internal; ++i)
+    nm.internals.push_back(ckt.node("m" + std::to_string(i)));
+  nm.out = ckt.node("out");
+  cc.out = nm.out;
+  cc.ins = nm.ins;
+  cc.in_bars = nm.in_bars;
+  cc.internals = nm.internals;
+
+  // Shared fault-free model; per-device defective models where requested.
+  const auto model_ff =
+      std::make_shared<const device::TigModel>(spec.params);
+  std::map<int, std::shared_ptr<const device::TigModel>> defective;
+  for (const auto& [t, defect] : spec.device_defects)
+    defective[t] =
+        std::make_shared<const device::TigModel>(spec.params, defect);
+
+  // Capacitance accumulated per node from device parasitics.
+  std::map<spice::NodeId, double> node_cap;
+
+  for (int ti = 0; ti < n_devices; ++ti) {
+    const TransistorSpec& tr = tpl.transistors[static_cast<std::size_t>(ti)];
+    const spice::NodeId n_cg = nm.resolve(tr.cg);
+    spice::NodeId n_pgs = nm.resolve(tr.pg);
+    spice::NodeId n_pgd = n_pgs;
+    const spice::NodeId n_s = nm.resolve(tr.src);
+    const spice::NodeId n_d = nm.resolve(tr.drn);
+
+    // Polarity bridge: both PG contacts tied to the forced level.
+    for (const auto& f : spec.pg_forces) {
+      if (f.transistor != ti) continue;
+      const std::string nn = "t" + std::to_string(ti) + "_pgf";
+      const spice::NodeId forced = ckt.node(nn);
+      ckt.add_vsource("VPGF" + std::to_string(ti), forced, 0,
+                      spice::Waveform::dc(f.voltage));
+      driven.insert(forced);
+      n_pgs = forced;
+      n_pgd = forced;
+    }
+    // Open PG contact: the cut terminal floats at V_cut.
+    for (const auto& f : spec.pg_floats) {
+      if (f.transistor != ti) continue;
+      const std::string nn = "t" + std::to_string(ti) + "_cut" +
+                             (f.terminal == PgTerminal::kPgs ? "s" : "d");
+      const spice::NodeId cut = ckt.node(nn);
+      ckt.add_vsource("VCUT" + std::to_string(ti) +
+                          (f.terminal == PgTerminal::kPgs ? "S" : "D"),
+                      cut, 0, spice::Waveform::dc(f.vcut));
+      driven.insert(cut);
+      (f.terminal == PgTerminal::kPgs ? n_pgs : n_pgd) = cut;
+    }
+
+    const auto it = defective.find(ti);
+    const auto& model = it != defective.end() ? it->second : model_ff;
+    ckt.add_tig(tr.label, model, n_cg, n_pgs, n_pgd, n_s, n_d);
+
+    const double cg_f = spec.params.c_gate_f;
+    const double sd_f = spec.params.c_sd_f;
+    node_cap[n_cg] += cg_f;
+    node_cap[n_pgs] += cg_f;
+    node_cap[n_pgd] += cg_f;
+    node_cap[n_s] += sd_f;
+    node_cap[n_d] += sd_f;
+  }
+
+  // Attach parasitic capacitance to every undriven (floating-capable) node
+  // and the lumped load at the output.
+  for (const auto& [node, farads] : node_cap) {
+    if (driven.count(node) != 0) continue;
+    ckt.add_capacitor("Cp_" + ckt.node_name(node), node, 0, farads);
+  }
+  if (spec.c_load_f > 0.0)
+    ckt.add_capacitor("Cload", cc.out, 0, spec.c_load_f);
+
+  return cc;
+}
+
+std::vector<spice::Waveform> dc_inputs(CellKind kind, unsigned bits,
+                                       double vdd) {
+  std::vector<spice::Waveform> out;
+  const int n = input_count(kind);
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    out.push_back(spice::Waveform::dc(((bits >> i) & 1u) ? vdd : 0.0));
+  return out;
+}
+
+}  // namespace cpsinw::gates

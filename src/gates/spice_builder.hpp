@@ -1,0 +1,79 @@
+// Builds transistor-level SPICE circuits for single cells, with hooks for
+// every defect class of the paper: device defects (GOS, nanowire break),
+// polarity-bridge forces (stuck-at-n/p-type) and floating polarity gates
+// held at a V_cut level (the Fig. 5 open-fault experiments).
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "device/defects.hpp"
+#include "device/params.hpp"
+#include "gates/cell.hpp"
+#include "spice/netlist.hpp"
+
+namespace cpsinw::gates {
+
+/// Which polarity-gate terminal of a device an open fault detaches.
+enum class PgTerminal { kPgs, kPgd };
+
+/// Readable terminal name.
+[[nodiscard]] const char* to_string(PgTerminal t);
+
+/// Bridge of both polarity-gate contacts of one transistor to a fixed
+/// voltage (stuck-at-n-type: V_DD; stuck-at-p-type: GND).
+struct PgForce {
+  int transistor = 0;
+  double voltage = 0.0;
+};
+
+/// Open on one polarity-gate contact; the floating node is represented by
+/// an ideal source at the coupled voltage V_cut, exactly as the paper's
+/// experiments sweep it.
+struct PgFloat {
+  int transistor = 0;
+  PgTerminal terminal = PgTerminal::kPgs;
+  double vcut = 0.0;
+};
+
+/// Specification of one cell instance to elaborate into a SPICE circuit.
+struct CellCircuitSpec {
+  CellKind kind = CellKind::kInv;
+  device::TigParams params{};
+  /// Lumped output load (approximates the paper's FO4 loading).
+  double c_load_f = 8e-15;
+  /// Input waveforms, one per logical input (values in volts).
+  std::vector<spice::Waveform> inputs;
+  /// Optional per-input override of the complement rail; by default the
+  /// complement is the mirrored waveform.  Supplying an inconsistent rail
+  /// realizes the dual-rail test mode of the channel-break algorithm.
+  std::vector<std::optional<spice::Waveform>> input_bars;
+  /// Fault injections (all optional, freely combinable).
+  std::vector<PgForce> pg_forces;
+  std::vector<PgFloat> pg_floats;
+  std::vector<std::pair<int, device::DefectState>> device_defects;
+};
+
+/// The elaborated circuit plus the handles measurements need.
+struct CellCircuit {
+  spice::Circuit ckt;
+  spice::NodeId out = 0;
+  std::vector<spice::NodeId> ins;
+  std::vector<spice::NodeId> in_bars;
+  std::vector<spice::NodeId> internals;
+
+  /// Name of the supply source (IDDQ is measured through it).
+  [[nodiscard]] static const char* vdd_source() { return "VDD"; }
+};
+
+/// Elaborates a cell circuit.
+/// @throws std::invalid_argument on arity mismatches or bad fault indices
+[[nodiscard]] CellCircuit build_cell_circuit(const CellCircuitSpec& spec);
+
+/// DC input waveforms realizing a static input vector (bit i = input i).
+[[nodiscard]] std::vector<spice::Waveform> dc_inputs(CellKind kind,
+                                                     unsigned bits,
+                                                     double vdd);
+
+}  // namespace cpsinw::gates

@@ -1,0 +1,240 @@
+#include "gates/switch_level.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+#include <vector>
+
+namespace cpsinw::gates {
+
+namespace {
+
+// Drive strengths (see header).
+constexpr double kNStrong = 4.0;
+constexpr double kNWeak = 1.0;
+constexpr double kPStrong = 2.0;
+constexpr double kPWeak = 0.5;
+
+/// Dense net numbering inside one evaluation:
+/// 0 = gnd, 1 = vdd, 2..4 = in0..2, 5..7 = in_bar0..2, 8 = out,
+/// 9..10 = internal nets.
+constexpr int kGndNet = 0;
+constexpr int kVddNet = 1;
+constexpr int kInBase = 2;
+constexpr int kInBarBase = 5;
+constexpr int kOutNet = 8;
+constexpr int kInternalBase = 9;
+constexpr int kMaxNets = 11;
+
+int net_of(const Sig& sig) {
+  switch (sig.kind) {
+    case Sig::Kind::kGnd: return kGndNet;
+    case Sig::Kind::kVdd: return kVddNet;
+    case Sig::Kind::kIn: return kInBase + sig.index;
+    case Sig::Kind::kInBar: return kInBarBase + sig.index;
+    case Sig::Kind::kOut: return kOutNet;
+    case Sig::Kind::kInternal: return kInternalBase + sig.index;
+  }
+  throw std::logic_error("net_of: bad signal");
+}
+
+/// Conduction mode of a device at this input assignment.
+enum class Mode { kOff, kN, kP, kShort };
+
+Mode conduction_mode(int cg, int pg, TransistorFault fault) {
+  switch (fault) {
+    case TransistorFault::kStuckOpen: return Mode::kOff;
+    case TransistorFault::kStuckOn: return Mode::kShort;
+    case TransistorFault::kStuckAtNType: pg = 1; break;
+    case TransistorFault::kStuckAtPType: pg = 0; break;
+    default: break;
+  }
+  // Paper's rule: ON iff CG = PGS = PGD (all '1' -> n-mode, all '0' -> p).
+  if (cg == 1 && pg == 1) return Mode::kN;
+  if (cg == 0 && pg == 0) return Mode::kP;
+  return Mode::kOff;
+}
+
+/// Strength with which a conducting device passes logic value `v`.
+double pass_strength(Mode mode, int v) {
+  switch (mode) {
+    case Mode::kN: return v == 0 ? kNStrong : kNWeak;
+    case Mode::kP: return v == 1 ? kPStrong : kPWeak;
+    case Mode::kShort: return v == 0 ? kNStrong : kPStrong;
+    case Mode::kOff: return 0.0;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+const char* to_string(SwitchValue v) {
+  switch (v) {
+    case SwitchValue::kStrong0: return "0";
+    case SwitchValue::kWeak0: return "0(weak)";
+    case SwitchValue::kStrong1: return "1";
+    case SwitchValue::kWeak1: return "1(weak)";
+    case SwitchValue::kX: return "X";
+    case SwitchValue::kZ: return "Z";
+  }
+  return "?";
+}
+
+bool is_definite(SwitchValue v) {
+  return v == SwitchValue::kStrong0 || v == SwitchValue::kStrong1;
+}
+
+int logic_value(SwitchValue v) {
+  switch (v) {
+    case SwitchValue::kStrong0: return 0;
+    case SwitchValue::kStrong1: return 1;
+    // An n-mode device passing '1' settles near V_DD - V_barrier (~0.8 V at
+    // DC), above the V_hi threshold: a degraded but valid '1'.
+    case SwitchValue::kWeak1: return 1;
+    // A p-mode device passing '0' stalls inside the X band (~0.7 V): the
+    // PG Schottky barrier cuts hole injection before the level is valid.
+    case SwitchValue::kWeak0: return -1;
+    default: return -1;
+  }
+}
+
+SwitchEval eval_switch(CellKind kind, unsigned input_bits, CellFault fault) {
+  return eval_switch_dual(
+      kind, DualRailBits::consistent(input_bits, input_count(kind)), fault);
+}
+
+namespace {
+
+struct Edge {
+  int a, b;
+  Mode mode;
+};
+
+/// Resolves one target net given the conducting edge set: widest path
+/// (maximum bottleneck strength) from any driver of each value.
+SwitchEval resolve_net(int target, const std::array<int, kMaxNets>& value,
+                       const std::vector<Edge>& edges) {
+  const auto widest = [&](int v) {
+    std::array<double, kMaxNets> best{};
+    best.fill(0.0);
+    for (int n = 0; n < kMaxNets; ++n) {
+      if (n == target) continue;  // the resolved net is never its own driver
+      if (n == kOutNet || n >= kInternalBase) continue;  // not sources
+      if (value[static_cast<std::size_t>(n)] == v)
+        best[static_cast<std::size_t>(n)] = 1e9;
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const Edge& e : edges) {
+        const double w = pass_strength(e.mode, v);
+        if (w <= 0.0) continue;
+        const double via_a = std::min(best[static_cast<std::size_t>(e.a)], w);
+        if (via_a > best[static_cast<std::size_t>(e.b)]) {
+          best[static_cast<std::size_t>(e.b)] = via_a;
+          changed = true;
+        }
+        const double via_b = std::min(best[static_cast<std::size_t>(e.b)], w);
+        if (via_b > best[static_cast<std::size_t>(e.a)]) {
+          best[static_cast<std::size_t>(e.a)] = via_b;
+          changed = true;
+        }
+      }
+    }
+    return best[static_cast<std::size_t>(target)];
+  };
+
+  SwitchEval r;
+  r.drive0 = widest(0);
+  r.drive1 = widest(1);
+  r.contention = r.drive0 > 0.0 && r.drive1 > 0.0;
+  r.floating = r.drive0 == 0.0 && r.drive1 == 0.0;
+  if (r.floating) {
+    r.out = SwitchValue::kZ;
+  } else if (r.drive0 > r.drive1) {
+    r.out = r.drive0 >= kNStrong ? SwitchValue::kStrong0 : SwitchValue::kWeak0;
+  } else if (r.drive1 > r.drive0) {
+    r.out = r.drive1 >= kPStrong ? SwitchValue::kStrong1 : SwitchValue::kWeak1;
+  } else {
+    r.out = SwitchValue::kX;
+  }
+  return r;
+}
+
+}  // namespace
+
+SwitchEval eval_switch_dual(CellKind kind, DualRailBits rails,
+                            CellFault fault) {
+  const CellTemplate& tpl = cell(kind);
+  if (!fault.is_none() &&
+      (fault.transistor < 0 ||
+       fault.transistor >= static_cast<int>(tpl.transistors.size())))
+    throw std::invalid_argument("eval_switch_dual: fault transistor index");
+
+  // Known net values: rails and inputs are drivers; -1 = unresolved.
+  // Internal nets that feed gates (the buffer's inter-stage net) resolve by
+  // fixpoint iteration below.
+  std::array<int, kMaxNets> value{};
+  value.fill(-1);
+  value[kGndNet] = 0;
+  value[kVddNet] = 1;
+  for (int i = 0; i < tpl.n_inputs; ++i) {
+    value[static_cast<std::size_t>(kInBase + i)] =
+        (rails.true_bits >> i) & 1u;
+    value[static_cast<std::size_t>(kInBarBase + i)] =
+        (rails.bar_bits >> i) & 1u;
+  }
+
+  const auto build_edges = [&](bool& unknown_gate) {
+    std::vector<Edge> edges;
+    edges.reserve(tpl.transistors.size());
+    unknown_gate = false;
+    for (std::size_t ti = 0; ti < tpl.transistors.size(); ++ti) {
+      const TransistorSpec& tr = tpl.transistors[ti];
+      const int cg = value[static_cast<std::size_t>(net_of(tr.cg))];
+      const int pg = value[static_cast<std::size_t>(net_of(tr.pg))];
+      if (cg < 0 || pg < 0) {
+        // Gate not resolved (yet): conservatively non-conducting.
+        unknown_gate = true;
+        continue;
+      }
+      const TransistorFault tf = (static_cast<int>(ti) == fault.transistor)
+                                     ? fault.kind
+                                     : TransistorFault::kNone;
+      const Mode mode = conduction_mode(cg, pg, tf);
+      if (mode != Mode::kOff)
+        edges.push_back({net_of(tr.src), net_of(tr.drn), mode});
+    }
+    return edges;
+  };
+
+  // Fixpoint over internal gate nets (at most n_internal + 1 rounds).
+  bool unknown_gate = false;
+  std::vector<Edge> edges = build_edges(unknown_gate);
+  for (int round = 0; round <= tpl.n_internal; ++round) {
+    bool changed = false;
+    for (int i = 0; i < tpl.n_internal; ++i) {
+      const int net = kInternalBase + i;
+      if (value[static_cast<std::size_t>(net)] >= 0) continue;
+      const SwitchEval r = resolve_net(net, value, edges);
+      const int lv = logic_value(r.out);
+      if (lv >= 0) {
+        value[static_cast<std::size_t>(net)] = lv;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+    edges = build_edges(unknown_gate);
+  }
+
+  SwitchEval result = resolve_net(kOutNet, value, edges);
+  if (result.floating && unknown_gate) {
+    // An unresolved gate (X/Z internal net) means the output state is
+    // unknown rather than a retained charge.
+    result.out = SwitchValue::kX;
+    result.floating = false;
+  }
+  return result;
+}
+
+}  // namespace cpsinw::gates

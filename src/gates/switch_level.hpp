@@ -1,0 +1,85 @@
+// Switch-level evaluation of CP cells with drive-strength resolution.
+//
+// This is the discrete abstraction of the analog behaviour that the SPICE
+// engine computes: conducting devices form paths from drivers (rails and
+// input signals) to the output; each path carries its driver's value with a
+// strength determined by the conduction mode and the value being passed:
+//
+//   n-mode passing '0'  -> strong (4.0)     electrons pull down hard
+//   n-mode passing '1'  -> weak   (1.0)     source follower, ~Vdd-Vth level
+//   p-mode passing '1'  -> strong (2.0)     mu_p = mu_n / 2
+//   p-mode passing '0'  -> weak   (0.5)     degraded-low level
+//
+// Contention (both values driven) resolves to the stronger side and raises
+// the IDDQ flag; equal strengths give X.  No conducting path gives Z (the
+// output floats and retains its previous value — the stuck-open memory
+// effect that motivates two-pattern testing).
+//
+// The evaluator accepts *inconsistent dual-rail inputs* (in != not in_bar):
+// this is exactly the test-mode capability the paper's channel-break
+// detection algorithm exploits (Sec. V-C; DESIGN.md 4.4).
+#pragma once
+
+#include <cstdint>
+
+#include "gates/cell.hpp"
+
+namespace cpsinw::gates {
+
+/// Resolved switch-level output value.
+enum class SwitchValue : std::uint8_t {
+  kStrong0,  ///< full-swing logic 0
+  kWeak0,    ///< degraded low level (p-mode passing 0): reads as marginal
+  kStrong1,  ///< full-swing logic 1
+  kWeak1,    ///< degraded high level (n-mode passing 1)
+  kX,        ///< unresolvable contention
+  kZ,        ///< floating: retains previous charge
+};
+
+/// Readable value name.
+[[nodiscard]] const char* to_string(SwitchValue v);
+
+/// True when the value reads as a definite logic level.
+[[nodiscard]] bool is_definite(SwitchValue v);
+
+/// Logic interpretation: 0, 1, or -1 for X/Z/marginal.  kWeak1 reads as a
+/// (degraded) 1 — the DC level settles near V_DD - V_barrier, above V_hi;
+/// kWeak0 reads as marginal — hole injection stalls inside the X band.
+[[nodiscard]] int logic_value(SwitchValue v);
+
+/// Full evaluation result.
+struct SwitchEval {
+  SwitchValue out = SwitchValue::kZ;
+  bool contention = false;  ///< simultaneous 0- and 1-paths: elevated IDDQ
+  bool floating = false;    ///< no conducting path to the output
+  double drive0 = 0.0;      ///< strongest 0-path
+  double drive1 = 0.0;      ///< strongest 1-path
+};
+
+/// Dual-rail input assignment: bit i of `true_bits` drives input net i,
+/// bit i of `bar_bits` drives the complement net.  Consistent operation has
+/// bar_bits == ~true_bits (masked); the channel-break procedure deliberately
+/// violates this.
+struct DualRailBits {
+  unsigned true_bits = 0;
+  unsigned bar_bits = 0;
+
+  /// Consistent assignment for a plain input vector.
+  [[nodiscard]] static DualRailBits consistent(unsigned bits, int n_inputs) {
+    const unsigned mask = (1u << n_inputs) - 1u;
+    return {bits & mask, ~bits & mask};
+  }
+};
+
+/// Evaluates a cell with consistent dual-rail inputs.
+/// @param input_bits bit i = logical input i
+/// @param fault optional transistor fault to superimpose
+[[nodiscard]] SwitchEval eval_switch(CellKind kind, unsigned input_bits,
+                                     CellFault fault = {});
+
+/// Evaluates a cell with explicit (possibly inconsistent) dual rails.
+/// @throws std::invalid_argument for an out-of-range fault transistor
+[[nodiscard]] SwitchEval eval_switch_dual(CellKind kind, DualRailBits rails,
+                                          CellFault fault = {});
+
+}  // namespace cpsinw::gates

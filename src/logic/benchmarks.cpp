@@ -1,0 +1,314 @@
+#include "logic/benchmarks.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace cpsinw::logic {
+
+using gates::CellKind;
+
+Circuit full_adder() {
+  Circuit c;
+  const NetId a = c.add_primary_input("a");
+  const NetId b = c.add_primary_input("b");
+  const NetId cin = c.add_primary_input("cin");
+  const NetId sum = c.add_net("sum");
+  const NetId cout = c.add_net("cout");
+  c.add_gate(CellKind::kXor3, {a, b, cin}, sum, "sum_xor");
+  c.add_gate(CellKind::kMaj3, {a, b, cin}, cout, "carry_maj");
+  c.mark_primary_output(sum);
+  c.mark_primary_output(cout);
+  c.finalize();
+  return c;
+}
+
+Circuit ripple_adder(int bits) {
+  if (bits < 1) throw std::invalid_argument("ripple_adder: bits >= 1");
+  Circuit c;
+  std::vector<NetId> a(static_cast<std::size_t>(bits));
+  std::vector<NetId> b(static_cast<std::size_t>(bits));
+  for (int i = 0; i < bits; ++i)
+    a[static_cast<std::size_t>(i)] =
+        c.add_primary_input("a" + std::to_string(i));
+  for (int i = 0; i < bits; ++i)
+    b[static_cast<std::size_t>(i)] =
+        c.add_primary_input("b" + std::to_string(i));
+  NetId carry = c.add_primary_input("cin");
+  for (int i = 0; i < bits; ++i) {
+    const std::string suffix = std::to_string(i);
+    const NetId sum = c.add_net("s" + suffix);
+    const NetId cout = c.add_net("c" + suffix);
+    c.add_gate(CellKind::kXor3,
+               {a[static_cast<std::size_t>(i)],
+                b[static_cast<std::size_t>(i)], carry},
+               sum, "fa_sum" + suffix);
+    c.add_gate(CellKind::kMaj3,
+               {a[static_cast<std::size_t>(i)],
+                b[static_cast<std::size_t>(i)], carry},
+               cout, "fa_carry" + suffix);
+    c.mark_primary_output(sum);
+    carry = cout;
+  }
+  c.mark_primary_output(carry);
+  c.finalize();
+  return c;
+}
+
+Circuit parity_tree(int inputs) {
+  if (inputs < 2) throw std::invalid_argument("parity_tree: inputs >= 2");
+  Circuit c;
+  std::vector<NetId> level;
+  for (int i = 0; i < inputs; ++i)
+    level.push_back(c.add_primary_input("x" + std::to_string(i)));
+  int stage = 0;
+  while (level.size() > 1) {
+    std::vector<NetId> next;
+    std::size_t i = 0;
+    while (i < level.size()) {
+      const std::size_t remaining = level.size() - i;
+      if (remaining >= 3) {
+        const NetId out = c.add_net();
+        c.add_gate(CellKind::kXor3, {level[i], level[i + 1], level[i + 2]},
+                   out, "px3_" + std::to_string(stage) + "_" +
+                            std::to_string(i));
+        next.push_back(out);
+        i += 3;
+      } else if (remaining == 2) {
+        const NetId out = c.add_net();
+        c.add_gate(CellKind::kXor2, {level[i], level[i + 1]}, out,
+                   "px2_" + std::to_string(stage) + "_" + std::to_string(i));
+        next.push_back(out);
+        i += 2;
+      } else {
+        next.push_back(level[i]);
+        i += 1;
+      }
+    }
+    level = std::move(next);
+    ++stage;
+  }
+  c.mark_primary_output(level.front());
+  c.finalize();
+  return c;
+}
+
+Circuit multiplier_2x2() {
+  Circuit c;
+  const NetId a0 = c.add_primary_input("a0");
+  const NetId a1 = c.add_primary_input("a1");
+  const NetId b0 = c.add_primary_input("b0");
+  const NetId b1 = c.add_primary_input("b1");
+
+  // AND = NAND + INV in this library.
+  const auto make_and = [&c](NetId x, NetId y, const std::string& name) {
+    const NetId n = c.add_net(name + "_n");
+    const NetId o = c.add_net(name);
+    c.add_gate(CellKind::kNand2, {x, y}, n, name + "_nand");
+    c.add_gate(CellKind::kInv, {n}, o, name + "_inv");
+    return o;
+  };
+
+  const NetId p00 = make_and(a0, b0, "p00");  // bit 0
+  const NetId p01 = make_and(a0, b1, "p01");
+  const NetId p10 = make_and(a1, b0, "p10");
+  const NetId p11 = make_and(a1, b1, "p11");
+
+  // m1 = p01 xor p10; carry k = p01 and p10.
+  const NetId m1 = c.add_net("m1");
+  c.add_gate(CellKind::kXor2, {p01, p10}, m1, "ha1_xor");
+  const NetId k = make_and(p01, p10, "ha1_and");
+
+  // m2 = p11 xor k; m3 = p11 and k.
+  const NetId m2 = c.add_net("m2");
+  c.add_gate(CellKind::kXor2, {p11, k}, m2, "ha2_xor");
+  const NetId m3 = make_and(p11, k, "ha2_and");
+
+  c.mark_primary_output(p00);
+  c.mark_primary_output(m1);
+  c.mark_primary_output(m2);
+  c.mark_primary_output(m3);
+  c.finalize();
+  return c;
+}
+
+Circuit tmr_voter(int channels) {
+  if (channels < 1) throw std::invalid_argument("tmr_voter: channels >= 1");
+  Circuit c;
+  std::vector<NetId> votes;
+  for (int ch = 0; ch < channels; ++ch) {
+    const std::string suffix = std::to_string(ch);
+    const NetId x0 = c.add_primary_input("ch" + suffix + "_0");
+    const NetId x1 = c.add_primary_input("ch" + suffix + "_1");
+    const NetId x2 = c.add_primary_input("ch" + suffix + "_2");
+    const NetId vote = c.add_net("vote" + suffix);
+    c.add_gate(CellKind::kMaj3, {x0, x1, x2}, vote, "maj" + suffix);
+    c.mark_primary_output(vote);
+    votes.push_back(vote);
+  }
+  // AND-reduce the votes into an all-good flag (NAND + INV pairs).
+  NetId acc = votes.front();
+  for (std::size_t i = 1; i < votes.size(); ++i) {
+    const NetId n = c.add_net();
+    const NetId o = c.add_net();
+    c.add_gate(CellKind::kNand2, {acc, votes[i]}, n);
+    c.add_gate(CellKind::kInv, {n}, o);
+    acc = o;
+  }
+  if (votes.size() > 1) c.mark_primary_output(acc);
+  c.finalize();
+  return c;
+}
+
+Circuit c17() {
+  Circuit c;
+  const NetId n1 = c.add_primary_input("1");
+  const NetId n2 = c.add_primary_input("2");
+  const NetId n3 = c.add_primary_input("3");
+  const NetId n6 = c.add_primary_input("6");
+  const NetId n7 = c.add_primary_input("7");
+  const NetId n10 = c.add_net("10");
+  const NetId n11 = c.add_net("11");
+  const NetId n16 = c.add_net("16");
+  const NetId n19 = c.add_net("19");
+  const NetId n22 = c.add_net("22");
+  const NetId n23 = c.add_net("23");
+  c.add_gate(CellKind::kNand2, {n1, n3}, n10, "g10");
+  c.add_gate(CellKind::kNand2, {n3, n6}, n11, "g11");
+  c.add_gate(CellKind::kNand2, {n2, n11}, n16, "g16");
+  c.add_gate(CellKind::kNand2, {n11, n7}, n19, "g19");
+  c.add_gate(CellKind::kNand2, {n10, n16}, n22, "g22");
+  c.add_gate(CellKind::kNand2, {n16, n19}, n23, "g23");
+  c.mark_primary_output(n22);
+  c.mark_primary_output(n23);
+  c.finalize();
+  return c;
+}
+
+Circuit alu_slice() {
+  Circuit c;
+  const NetId a = c.add_primary_input("a");
+  const NetId b = c.add_primary_input("b");
+  const NetId cin = c.add_primary_input("cin");
+  const NetId s0 = c.add_primary_input("s0");
+  const NetId s1 = c.add_primary_input("s1");
+
+  // Function units.
+  const NetId nand_ab = c.add_net("nand_ab");
+  c.add_gate(CellKind::kNand2, {a, b}, nand_ab, "u_nand");
+  const NetId and_ab = c.add_net("and_ab");
+  c.add_gate(CellKind::kInv, {nand_ab}, and_ab, "u_and");
+  const NetId nor_ab = c.add_net("nor_ab");
+  c.add_gate(CellKind::kNor2, {a, b}, nor_ab, "u_nor");
+  const NetId or_ab = c.add_net("or_ab");
+  c.add_gate(CellKind::kInv, {nor_ab}, or_ab, "u_or");
+  const NetId xor_ab = c.add_net("xor_ab");
+  c.add_gate(CellKind::kXor2, {a, b}, xor_ab, "u_xor");
+  const NetId sum = c.add_net("sum");
+  c.add_gate(CellKind::kXor3, {a, b, cin}, sum, "u_sum");
+  const NetId cout = c.add_net("cout");
+  c.add_gate(CellKind::kMaj3, {a, b, cin}, cout, "u_cout");
+
+  // 4:1 mux out = s1 ? (s0 ? sum : xor) : (s0 ? or : and), built from
+  // NAND2/INV (sel lines inverted once).
+  const NetId s0n = c.add_net("s0n");
+  c.add_gate(CellKind::kInv, {s0}, s0n, "inv_s0");
+  const NetId s1n = c.add_net("s1n");
+  c.add_gate(CellKind::kInv, {s1}, s1n, "inv_s1");
+
+  const auto gated = [&c](NetId x, NetId g0, NetId g1,
+                          const std::string& name) {
+    // term = NAND(x, AND(g0,g1)) -> build AND(g0,g1) then NAND with x.
+    const NetId gn = c.add_net(name + "_gn");
+    c.add_gate(CellKind::kNand2, {g0, g1}, gn, name + "_gnand");
+    const NetId ga = c.add_net(name + "_ga");
+    c.add_gate(CellKind::kInv, {gn}, ga, name + "_ginv");
+    const NetId term = c.add_net(name + "_t");
+    c.add_gate(CellKind::kNand2, {x, ga}, term, name + "_term");
+    return term;  // active-low product term
+  };
+
+  const NetId t0 = gated(and_ab, s0n, s1n, "m_and");
+  const NetId t1 = gated(or_ab, s0, s1n, "m_or");
+  const NetId t2 = gated(xor_ab, s0n, s1, "m_xor");
+  const NetId t3 = gated(sum, s0, s1, "m_sum");
+
+  // out = OR of the four products = NAND over all four active-low terms:
+  // AND pairs first (NAND2 + INV), then a final NAND2.
+  const NetId u = c.add_net("mux_u");
+  c.add_gate(CellKind::kNand2, {t0, t1}, u, "mux_u_nand");
+  const NetId v = c.add_net("mux_v");
+  c.add_gate(CellKind::kNand2, {t2, t3}, v, "mux_v_nand");
+  const NetId un = c.add_net("mux_un");
+  c.add_gate(CellKind::kInv, {u}, un, "mux_u_inv");
+  const NetId vn = c.add_net("mux_vn");
+  c.add_gate(CellKind::kInv, {v}, vn, "mux_v_inv");
+  const NetId out = c.add_net("out");
+  c.add_gate(CellKind::kNand2, {un, vn}, out, "mux_out");
+
+  c.mark_primary_output(out);
+  c.mark_primary_output(cout);
+  c.finalize();
+  return c;
+}
+
+Circuit random_circuit(std::uint64_t seed, int inputs, int gates) {
+  if (inputs < 2) throw std::invalid_argument("random_circuit: inputs >= 2");
+  if (gates < 1) throw std::invalid_argument("random_circuit: gates >= 1");
+  util::SplitMix64 rng(seed);
+  Circuit c;
+  std::vector<NetId> pool;
+  for (int i = 0; i < inputs; ++i)
+    pool.push_back(c.add_primary_input("x" + std::to_string(i)));
+
+  static const CellKind kKinds[] = {
+      CellKind::kInv,  CellKind::kBuf,  CellKind::kNand2, CellKind::kNor2,
+      CellKind::kXor2, CellKind::kXor3, CellKind::kMaj3};
+  std::vector<char> read(pool.size(), 0);
+  for (int g = 0; g < gates; ++g) {
+    const CellKind kind = kKinds[rng.below(std::size(kKinds))];
+    std::vector<NetId> ins;
+    for (int i = 0; i < gates::input_count(kind); ++i) {
+      const std::size_t pick = rng.below(pool.size());
+      ins.push_back(pool[pick]);
+      read[pick] = 1;
+    }
+    const NetId out = c.add_net("g" + std::to_string(g));
+    c.add_gate(kind, ins, out);
+    pool.push_back(out);
+    read.push_back(0);
+  }
+  // Dangling nets become primary outputs so everything is observable.
+  bool have_po = false;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    if (read[i] == 0 && !c.is_primary_input(pool[i])) {
+      c.mark_primary_output(pool[i]);
+      have_po = true;
+    }
+  }
+  if (!have_po) c.mark_primary_output(pool.back());
+  c.finalize();
+  return c;
+}
+
+Circuit xor3_parity_chain(int inputs) {
+  if (inputs < 3 || inputs % 2 == 0)
+    throw std::invalid_argument("xor3_parity_chain: odd inputs >= 3");
+  Circuit c;
+  std::vector<NetId> pis;
+  for (int i = 0; i < inputs; ++i)
+    pis.push_back(c.add_primary_input("x" + std::to_string(i)));
+  NetId acc = pis[0];
+  int stage = 0;
+  for (std::size_t i = 1; i + 1 < pis.size(); i += 2) {
+    const NetId out = c.add_net("p" + std::to_string(stage++));
+    c.add_gate(CellKind::kXor3, {acc, pis[i], pis[i + 1]}, out);
+    acc = out;
+  }
+  c.mark_primary_output(acc);
+  c.finalize();
+  return c;
+}
+
+}  // namespace cpsinw::logic

@@ -1,0 +1,50 @@
+// Benchmark circuit generators built from the CP cell library.  These are
+// the workloads the ATPG/fault-simulation experiments run on; the adder and
+// voter showcase the XOR/MAJ-friendliness of controllable-polarity logic
+// (a full adder is exactly one XOR3 plus one MAJ3).
+#pragma once
+
+#include <cstdint>
+
+#include "logic/circuit.hpp"
+
+namespace cpsinw::logic {
+
+/// Single-bit full adder: sum = XOR3(a,b,cin), cout = MAJ3(a,b,cin).
+[[nodiscard]] Circuit full_adder();
+
+/// n-bit ripple-carry adder (2n gates).
+/// @param bits word width (>= 1)
+[[nodiscard]] Circuit ripple_adder(int bits);
+
+/// n-input XOR parity tree built from XOR3/XOR2 cells.
+/// @param inputs number of leaves (>= 2)
+[[nodiscard]] Circuit parity_tree(int inputs);
+
+/// 2x2 combinational multiplier (NAND/INV partial products + adders).
+[[nodiscard]] Circuit multiplier_2x2();
+
+/// Triple-modular-redundancy voter over `channels` triplicated signals:
+/// one MAJ3 per channel plus an AND-reduce of the votes.
+[[nodiscard]] Circuit tmr_voter(int channels);
+
+/// The classic c17 benchmark (6 NAND2 gates, 5 inputs, 2 outputs).
+[[nodiscard]] Circuit c17();
+
+/// One ALU bit-slice: op-selectable AND / OR / XOR / ADD with carry chain
+/// folded in (uses NAND, NOR, XOR2, XOR3, MAJ3 and INV cells).
+[[nodiscard]] Circuit alu_slice();
+
+/// Odd-parity checker with dynamic-polarity XOR3 cells only.
+/// @param inputs number of leaves, must satisfy inputs % 2 == 1 and >= 3
+[[nodiscard]] Circuit xor3_parity_chain(int inputs);
+
+/// Pseudo-random combinational circuit for property testing: `gates`
+/// gates over `inputs` primary inputs, with every dangling net promoted to
+/// a primary output.  Deterministic in `seed`.
+/// @param inputs number of PIs (>= 2)
+/// @param gates number of gates (>= 1)
+[[nodiscard]] Circuit random_circuit(std::uint64_t seed, int inputs,
+                                     int gates);
+
+}  // namespace cpsinw::logic

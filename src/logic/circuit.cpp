@@ -1,0 +1,141 @@
+#include "logic/circuit.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+namespace cpsinw::logic {
+
+NetId Circuit::add_net(std::string name) {
+  if (name.empty()) name = "_n" + std::to_string(anon_counter_++);
+  if (net_by_name_.count(name) != 0)
+    throw std::invalid_argument("Circuit: duplicate net '" + name + "'");
+  const NetId id = static_cast<NetId>(net_names_.size());
+  net_names_.push_back(name);
+  net_by_name_.emplace(std::move(name), id);
+  driver_.push_back(-1);
+  constants_.push_back(LogicV::kX);
+  is_pi_.push_back(0);
+  fanout_.emplace_back();
+  finalized_ = false;
+  return id;
+}
+
+NetId Circuit::add_primary_input(std::string name) {
+  const NetId id = add_net(std::move(name));
+  is_pi_[static_cast<std::size_t>(id)] = 1;
+  pis_.push_back(id);
+  return id;
+}
+
+NetId Circuit::add_constant(LogicV value, std::string name) {
+  if (!is_binary(value))
+    throw std::invalid_argument("Circuit: constants must be 0 or 1");
+  if (name.empty())
+    name = value == LogicV::k1 ? "_const1" : "_const0";
+  const auto it = net_by_name_.find(name);
+  if (it != net_by_name_.end()) return it->second;  // share constant nets
+  const NetId id = add_net(std::move(name));
+  constants_[static_cast<std::size_t>(id)] = value;
+  return id;
+}
+
+void Circuit::mark_primary_output(NetId net) {
+  check_net(net);
+  pos_.push_back(net);
+}
+
+int Circuit::add_gate(gates::CellKind kind, const std::vector<NetId>& ins,
+                      NetId out, std::string name) {
+  const int arity = gates::input_count(kind);
+  if (static_cast<int>(ins.size()) != arity)
+    throw std::invalid_argument("Circuit: gate arity mismatch");
+  for (const NetId n : ins) check_net(n);
+  check_net(out);
+  if (driver_[static_cast<std::size_t>(out)] != -1 ||
+      is_pi_[static_cast<std::size_t>(out)] != 0 ||
+      is_binary(constants_[static_cast<std::size_t>(out)]))
+    throw std::invalid_argument("Circuit: net '" + net_name(out) +
+                                "' already driven");
+  GateInst g;
+  g.id = static_cast<int>(gates_.size());
+  g.kind = kind;
+  for (std::size_t i = 0; i < ins.size(); ++i) g.in[i] = ins[i];
+  g.out = out;
+  g.name = name.empty() ? std::string(gates::to_string(kind)) + "_" +
+                              std::to_string(g.id)
+                        : std::move(name);
+  driver_[static_cast<std::size_t>(out)] = g.id;
+  for (const NetId n : ins) fanout_[static_cast<std::size_t>(n)].push_back(g.id);
+  gates_.push_back(g);
+  finalized_ = false;
+  return g.id;
+}
+
+void Circuit::finalize() {
+  // Every net must be driven by exactly one of: gate, PI, constant.
+  for (NetId n = 0; n < net_count(); ++n) {
+    const bool driven = driver_[static_cast<std::size_t>(n)] != -1 ||
+                        is_pi_[static_cast<std::size_t>(n)] != 0 ||
+                        is_binary(constants_[static_cast<std::size_t>(n)]);
+    if (!driven)
+      throw std::runtime_error("Circuit: undriven net '" + net_name(n) + "'");
+  }
+  // Kahn topological sort over gate dependencies.
+  std::vector<int> indeg(gates_.size(), 0);
+  for (const GateInst& g : gates_) {
+    for (int i = 0; i < g.input_count(); ++i) {
+      const int d = driver_[static_cast<std::size_t>(g.in[static_cast<std::size_t>(i)])];
+      if (d != -1) ++indeg[static_cast<std::size_t>(g.id)];
+    }
+  }
+  std::queue<int> ready;
+  for (const GateInst& g : gates_)
+    if (indeg[static_cast<std::size_t>(g.id)] == 0) ready.push(g.id);
+  topo_.clear();
+  topo_.reserve(gates_.size());
+  while (!ready.empty()) {
+    const int gid = ready.front();
+    ready.pop();
+    topo_.push_back(gid);
+    const GateInst& g = gates_[static_cast<std::size_t>(gid)];
+    for (const int succ : fanout_[static_cast<std::size_t>(g.out)]) {
+      if (--indeg[static_cast<std::size_t>(succ)] == 0) ready.push(succ);
+    }
+  }
+  if (topo_.size() != gates_.size())
+    throw std::runtime_error("Circuit: combinational cycle detected");
+  finalized_ = true;
+}
+
+const std::vector<int>& Circuit::topo_order() const {
+  if (!finalized_)
+    throw std::runtime_error("Circuit: call finalize() before topo_order()");
+  return topo_;
+}
+
+bool Circuit::is_primary_input(NetId net) const {
+  check_net(net);
+  return is_pi_[static_cast<std::size_t>(net)] != 0;
+}
+
+NetId Circuit::find_net(std::string_view name) const {
+  const auto it = net_by_name_.find(std::string(name));
+  if (it == net_by_name_.end())
+    throw std::out_of_range("Circuit: unknown net '" + std::string(name) +
+                            "'");
+  return it->second;
+}
+
+int Circuit::transistor_count() const {
+  int total = 0;
+  for (const GateInst& g : gates_)
+    total += static_cast<int>(gates::cell(g.kind).transistors.size());
+  return total;
+}
+
+void Circuit::check_net(NetId net) const {
+  if (net < 0 || net >= net_count())
+    throw std::out_of_range("Circuit: net id out of range");
+}
+
+}  // namespace cpsinw::logic

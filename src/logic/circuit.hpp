@@ -1,0 +1,127 @@
+// Gate-level netlist built from the CP cell library.
+#pragma once
+
+#include <array>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "gates/cell.hpp"
+#include "logic/types.hpp"
+
+namespace cpsinw::logic {
+
+/// Net identifier within a Circuit.
+using NetId = int;
+
+/// One gate instance.
+struct GateInst {
+  int id = -1;
+  gates::CellKind kind = gates::CellKind::kInv;
+  std::array<NetId, 3> in = {-1, -1, -1};  ///< unused pins = -1
+  NetId out = -1;
+  std::string name;
+
+  [[nodiscard]] int input_count() const {
+    return gates::input_count(kind);
+  }
+};
+
+/// A combinational gate-level circuit.  Nets have a single driver (a gate,
+/// a primary input, or a constant); cycles are rejected at validation.
+class Circuit {
+ public:
+  /// Creates a named net (auto-named when empty); returns its id.
+  NetId add_net(std::string name = "");
+
+  /// Creates a net driven as a primary input.
+  NetId add_primary_input(std::string name);
+
+  /// Creates a net tied to a constant value.
+  NetId add_constant(LogicV value, std::string name = "");
+
+  /// Marks an existing net as a primary output (a net may be both an
+  /// internal fanout source and a PO).
+  void mark_primary_output(NetId net);
+
+  /// Adds a gate driving `out` from `ins`.
+  /// @returns the gate id
+  /// @throws std::invalid_argument on arity mismatch or double-driven net
+  int add_gate(gates::CellKind kind, const std::vector<NetId>& ins,
+               NetId out, std::string name = "");
+
+  /// Validates structure and computes the topological order.
+  /// @throws std::runtime_error on combinational cycles or undriven nets
+  void finalize();
+
+  [[nodiscard]] bool finalized() const { return finalized_; }
+
+  [[nodiscard]] int net_count() const {
+    return static_cast<int>(net_names_.size());
+  }
+  [[nodiscard]] int gate_count() const {
+    return static_cast<int>(gates_.size());
+  }
+  [[nodiscard]] const GateInst& gate(int id) const {
+    return gates_.at(static_cast<std::size_t>(id));
+  }
+  [[nodiscard]] const std::vector<GateInst>& gates() const { return gates_; }
+
+  [[nodiscard]] const std::vector<NetId>& primary_inputs() const {
+    return pis_;
+  }
+  [[nodiscard]] const std::vector<NetId>& primary_outputs() const {
+    return pos_;
+  }
+
+  /// Topologically sorted gate ids (valid after finalize()).
+  [[nodiscard]] const std::vector<int>& topo_order() const;
+
+  /// Gate driving a net, or -1 for PI/constant nets.
+  [[nodiscard]] int driver_of(NetId net) const {
+    return driver_.at(static_cast<std::size_t>(net));
+  }
+
+  /// Constant value of a net (kX when the net is not a constant).
+  [[nodiscard]] LogicV constant_of(NetId net) const {
+    return constants_.at(static_cast<std::size_t>(net));
+  }
+
+  /// True when the net is a primary input.
+  [[nodiscard]] bool is_primary_input(NetId net) const;
+
+  /// Gates reading a net.
+  [[nodiscard]] const std::vector<int>& fanout(NetId net) const {
+    return fanout_.at(static_cast<std::size_t>(net));
+  }
+
+  [[nodiscard]] const std::string& net_name(NetId net) const {
+    return net_names_.at(static_cast<std::size_t>(net));
+  }
+
+  /// Net lookup by name.
+  /// @throws std::out_of_range when missing
+  [[nodiscard]] NetId find_net(std::string_view name) const;
+
+  /// Total transistor count over all gate instances.
+  [[nodiscard]] int transistor_count() const;
+
+ private:
+  void check_net(NetId net) const;
+
+  std::vector<std::string> net_names_;
+  std::unordered_map<std::string, NetId> net_by_name_;
+  std::vector<int> driver_;          ///< per net: gate id or -1
+  std::vector<LogicV> constants_;    ///< per net: constant value or kX
+  std::vector<char> is_pi_;          ///< per net
+  std::vector<std::vector<int>> fanout_;
+  std::vector<GateInst> gates_;
+  std::vector<NetId> pis_;
+  std::vector<NetId> pos_;
+  std::vector<int> topo_;
+  bool finalized_ = false;
+  int anon_counter_ = 0;
+};
+
+}  // namespace cpsinw::logic

@@ -1,0 +1,199 @@
+#include "logic/logic_sim.hpp"
+
+#include <stdexcept>
+
+namespace cpsinw::logic {
+
+Simulator::Simulator(const Circuit& ckt) : ckt_(ckt) {
+  if (!ckt.finalized())
+    throw std::invalid_argument("Simulator: circuit not finalized");
+}
+
+std::optional<unsigned> Simulator::local_input(
+    const GateInst& gate, const std::vector<LogicV>& values) {
+  unsigned bits = 0;
+  for (int i = 0; i < gate.input_count(); ++i) {
+    const LogicV v =
+        values[static_cast<std::size_t>(gate.in[static_cast<std::size_t>(i)])];
+    if (!is_binary(v)) return std::nullopt;
+    if (v == LogicV::k1) bits |= 1u << i;
+  }
+  return bits;
+}
+
+LogicV eval_cell_x(gates::CellKind kind, LogicV a, LogicV b, LogicV c) {
+  const int n = gates::input_count(kind);
+  const LogicV in_v[3] = {a, b, c};
+  // Enumerate binary completions of X/Z inputs; if all agree the output is
+  // defined (no false pessimism on e.g. NAND(0, X) = 1).
+  LogicV agreed = LogicV::kZ;  // sentinel: not yet set
+  for (unsigned fill = 0; fill < (1u << n); ++fill) {
+    unsigned v = 0;
+    bool compatible = true;
+    for (int i = 0; i < n; ++i) {
+      const bool bit = (fill >> i) & 1u;
+      if (in_v[i] == LogicV::k0 && bit) compatible = false;
+      if (in_v[i] == LogicV::k1 && !bit) compatible = false;
+      if (bit) v |= 1u << i;
+    }
+    if (!compatible) continue;
+    const LogicV out = from_bool(gates::good_output(kind, v) != 0);
+    if (agreed == LogicV::kZ) {
+      agreed = out;
+    } else if (agreed != out) {
+      return LogicV::kX;
+    }
+  }
+  return agreed == LogicV::kZ ? LogicV::kX : agreed;
+}
+
+LogicV Simulator::eval_gate(const GateInst& g,
+                            const std::vector<LogicV>& values) const {
+  const auto bits = local_input(g, values);
+  if (!bits) {
+    const auto in_at = [&](int i) {
+      return g.in[static_cast<std::size_t>(i)] >= 0
+                 ? values[static_cast<std::size_t>(
+                       g.in[static_cast<std::size_t>(i)])]
+                 : LogicV::kX;
+    };
+    return eval_cell_x(g.kind, in_at(0), in_at(1), in_at(2));
+  }
+  return from_bool(gates::good_output(g.kind, *bits) != 0);
+}
+
+SimResult Simulator::simulate(const Pattern& pattern) const {
+  if (pattern.size() != ckt_.primary_inputs().size())
+    throw std::invalid_argument("Simulator: pattern arity mismatch");
+  SimResult r;
+  r.net_values.assign(static_cast<std::size_t>(ckt_.net_count()), LogicV::kX);
+  for (NetId n = 0; n < ckt_.net_count(); ++n) {
+    const LogicV c = ckt_.constant_of(n);
+    if (is_binary(c)) r.net_values[static_cast<std::size_t>(n)] = c;
+  }
+  for (std::size_t i = 0; i < pattern.size(); ++i)
+    r.net_values[static_cast<std::size_t>(ckt_.primary_inputs()[i])] =
+        pattern[i];
+  for (const int gid : ckt_.topo_order()) {
+    const GateInst& g = ckt_.gate(gid);
+    r.net_values[static_cast<std::size_t>(g.out)] = eval_gate(g, r.net_values);
+  }
+  return r;
+}
+
+SimResult Simulator::simulate_faulty(
+    const Pattern& pattern, const GateFault& fault,
+    const std::vector<LogicV>* previous_state) const {
+  if (fault.gate < 0 || fault.gate >= ckt_.gate_count())
+    throw std::invalid_argument("simulate_faulty: bad gate id");
+  const gates::FaultAnalysis fa = gates::analyze_fault(
+      ckt_.gate(fault.gate).kind, fault.cell_fault);
+  return simulate_faulty_with(pattern, fault, fa, previous_state);
+}
+
+SimResult Simulator::simulate_faulty_with(
+    const Pattern& pattern, const GateFault& fault,
+    const gates::FaultAnalysis& fa,
+    const std::vector<LogicV>* previous_state) const {
+  if (fault.gate < 0 || fault.gate >= ckt_.gate_count())
+    throw std::invalid_argument("simulate_faulty: bad gate id");
+  SimResult r;
+  r.net_values.assign(static_cast<std::size_t>(ckt_.net_count()), LogicV::kX);
+  for (NetId n = 0; n < ckt_.net_count(); ++n) {
+    const LogicV c = ckt_.constant_of(n);
+    if (is_binary(c)) r.net_values[static_cast<std::size_t>(n)] = c;
+  }
+  for (std::size_t i = 0; i < pattern.size(); ++i)
+    r.net_values[static_cast<std::size_t>(ckt_.primary_inputs()[i])] =
+        pattern[i];
+
+  for (const int gid : ckt_.topo_order()) {
+    const GateInst& g = ckt_.gate(gid);
+    if (gid != fault.gate) {
+      r.net_values[static_cast<std::size_t>(g.out)] =
+          eval_gate(g, r.net_values);
+      continue;
+    }
+    const auto bits = local_input(g, r.net_values);
+    if (!bits) {
+      r.net_values[static_cast<std::size_t>(g.out)] = LogicV::kX;
+      continue;
+    }
+    const gates::FaultRow& row = fa.rows[*bits];
+    if (row.faulty.contention) r.iddq_flag = true;
+    const int fv = fa.faulty_logic(*bits);
+    LogicV out = LogicV::kX;
+    if (fv == 0) out = LogicV::k0;
+    else if (fv == 1) out = LogicV::k1;
+    else if (fv == -2) {
+      // Floating output: retain the previous charge when known.
+      out = previous_state != nullptr
+                ? (*previous_state)[static_cast<std::size_t>(g.out)]
+                : LogicV::kX;
+      if (out == LogicV::kZ) out = LogicV::kX;
+    }
+    r.net_values[static_cast<std::size_t>(g.out)] = out;
+  }
+  return r;
+}
+
+std::uint64_t eval_cell_packed(gates::CellKind kind, std::uint64_t a,
+                               std::uint64_t b, std::uint64_t c) {
+  using gates::CellKind;
+  switch (kind) {
+    case CellKind::kInv: return ~a;
+    case CellKind::kBuf: return a;
+    case CellKind::kNand2: return ~(a & b);
+    case CellKind::kNor2: return ~(a | b);
+    case CellKind::kXor2: return a ^ b;
+    case CellKind::kXor3: return a ^ b ^ c;
+    case CellKind::kMaj3: return (a & b) | (b & c) | (a & c);
+  }
+  return 0;
+}
+
+std::vector<std::uint64_t> pack_patterns(const Circuit& ckt,
+                                         const std::vector<Pattern>& patterns) {
+  if (patterns.size() > 64)
+    throw std::invalid_argument("pack_patterns: more than 64 patterns");
+  const std::size_t n_pi = ckt.primary_inputs().size();
+  std::vector<std::uint64_t> words(n_pi, 0);
+  for (std::size_t k = 0; k < patterns.size(); ++k) {
+    const Pattern& p = patterns[k];
+    if (p.size() != n_pi)
+      throw std::invalid_argument("pack_patterns: pattern arity mismatch");
+    for (std::size_t i = 0; i < n_pi; ++i) {
+      if (!is_binary(p[i]))
+        throw std::invalid_argument("pack_patterns: X in packed pattern");
+      if (p[i] == LogicV::k1) words[i] |= 1ull << k;
+    }
+  }
+  return words;
+}
+
+std::vector<std::uint64_t> simulate_packed(
+    const Circuit& ckt, const std::vector<std::uint64_t>& pi_words) {
+  if (pi_words.size() != ckt.primary_inputs().size())
+    throw std::invalid_argument("simulate_packed: arity mismatch");
+  std::vector<std::uint64_t> values(
+      static_cast<std::size_t>(ckt.net_count()), 0);
+  for (NetId n = 0; n < ckt.net_count(); ++n)
+    if (ckt.constant_of(n) == LogicV::k1)
+      values[static_cast<std::size_t>(n)] = ~0ull;
+  for (std::size_t i = 0; i < pi_words.size(); ++i)
+    values[static_cast<std::size_t>(ckt.primary_inputs()[i])] = pi_words[i];
+  for (const int gid : ckt.topo_order()) {
+    const GateInst& g = ckt.gate(gid);
+    const std::uint64_t a =
+        values[static_cast<std::size_t>(g.in[0] >= 0 ? g.in[0] : 0)];
+    const std::uint64_t b =
+        g.in[1] >= 0 ? values[static_cast<std::size_t>(g.in[1])] : 0;
+    const std::uint64_t c =
+        g.in[2] >= 0 ? values[static_cast<std::size_t>(g.in[2])] : 0;
+    values[static_cast<std::size_t>(g.out)] =
+        eval_cell_packed(g.kind, a, b, c);
+  }
+  return values;
+}
+
+}  // namespace cpsinw::logic

@@ -1,0 +1,108 @@
+// Gate-level logic simulation: scalar 4-valued evaluation (good machine and
+// single-fault machines based on the switch-level fault dictionaries) and
+// 64-pattern-parallel bit-level evaluation for fast fault simulation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "gates/fault_dictionary.hpp"
+#include "logic/circuit.hpp"
+
+namespace cpsinw::logic {
+
+/// One fully- or partially-specified input pattern (indexed like
+/// Circuit::primary_inputs()).
+using Pattern = std::vector<LogicV>;
+
+/// A transistor fault attached to a circuit gate.
+struct GateFault {
+  int gate = -1;
+  gates::CellFault cell_fault;
+
+  [[nodiscard]] bool operator==(const GateFault&) const = default;
+};
+
+/// Result of one scalar simulation pass.
+struct SimResult {
+  std::vector<LogicV> net_values;  ///< indexed by NetId
+  /// True when the faulted gate sat in a contention row (elevated IDDQ) —
+  /// the circuit-level IDDQ observable of the paper's polarity faults.
+  bool iddq_flag = false;
+
+  [[nodiscard]] LogicV value(NetId n) const {
+    return net_values.at(static_cast<std::size_t>(n));
+  }
+};
+
+/// Scalar simulator.  Stateless between calls unless the caller threads a
+/// `state` vector through (needed for the floating-output retention of
+/// stuck-open faults across two-pattern sequences).
+class Simulator {
+ public:
+  /// @param ckt finalized circuit (kept by reference; must outlive this)
+  explicit Simulator(const Circuit& ckt);
+
+  /// Good-machine evaluation.
+  [[nodiscard]] SimResult simulate(const Pattern& pattern) const;
+
+  /// Single-fault evaluation.  The faulted gate's output is produced by its
+  /// switch-level fault dictionary; a floating (Z) output retains the value
+  /// from `previous_state` (or X when absent).
+  [[nodiscard]] SimResult simulate_faulty(
+      const Pattern& pattern, const GateFault& fault,
+      const std::vector<LogicV>* previous_state = nullptr) const;
+
+  /// As simulate_faulty, but with a caller-provided (cached) dictionary —
+  /// the fault-simulation hot path avoids re-deriving it per pattern.
+  [[nodiscard]] SimResult simulate_faulty_with(
+      const Pattern& pattern, const GateFault& fault,
+      const gates::FaultAnalysis& analysis,
+      const std::vector<LogicV>* previous_state = nullptr) const;
+
+  /// Local input vector seen by a gate given net values; bit i = pin i.
+  /// Returns nullopt when any pin is non-binary.
+  [[nodiscard]] static std::optional<unsigned> local_input(
+      const GateInst& gate, const std::vector<LogicV>& values);
+
+  [[nodiscard]] const Circuit& circuit() const { return ckt_; }
+
+ private:
+  [[nodiscard]] LogicV eval_gate(const GateInst& g,
+                                 const std::vector<LogicV>& values) const;
+
+  const Circuit& ckt_;
+};
+
+/// 64-pattern-parallel words: bit k of `ones`/`zeros` tells whether the net
+/// is 1/0 in pattern k.  Patterns must be fully specified.
+struct PackedValues {
+  std::vector<std::uint64_t> word;  ///< per net: bit k = value in pattern k
+};
+
+/// Packs up to 64 fully-specified patterns (bit k = pattern index k).
+/// @throws std::invalid_argument for >64 patterns or X inputs
+[[nodiscard]] std::vector<std::uint64_t> pack_patterns(
+    const Circuit& ckt, const std::vector<Pattern>& patterns);
+
+/// Parallel good-machine simulation of up to 64 packed patterns.
+/// @param pi_words per-PI packed values (as from pack_patterns)
+/// @returns per-net packed values
+[[nodiscard]] std::vector<std::uint64_t> simulate_packed(
+    const Circuit& ckt, const std::vector<std::uint64_t>& pi_words);
+
+/// Word-level evaluation of one cell function.
+[[nodiscard]] std::uint64_t eval_cell_packed(gates::CellKind kind,
+                                             std::uint64_t a,
+                                             std::uint64_t b,
+                                             std::uint64_t c);
+
+/// X-aware scalar evaluation of one cell: enumerates the binary
+/// completions of X inputs and returns the output when they all agree,
+/// X otherwise (no false pessimism on e.g. NAND(0, X) = 1).
+[[nodiscard]] LogicV eval_cell_x(gates::CellKind kind, LogicV a,
+                                 LogicV b = LogicV::kX,
+                                 LogicV c = LogicV::kX);
+
+}  // namespace cpsinw::logic

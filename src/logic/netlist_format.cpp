@@ -1,0 +1,124 @@
+#include "logic/netlist_format.hpp"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace cpsinw::logic {
+
+namespace {
+
+gates::CellKind parse_cell(const std::string& token, int line) {
+  for (const gates::CellKind kind : gates::all_cell_kinds())
+    if (token == gates::to_string(kind)) return kind;
+  throw std::runtime_error("netlist line " + std::to_string(line) +
+                           ": unknown cell '" + token + "'");
+}
+
+}  // namespace
+
+void write_netlist(std::ostream& os, const Circuit& ckt) {
+  os << "# cpsinw netlist: " << ckt.gate_count() << " gates, "
+     << ckt.net_count() << " nets\n";
+  os << "input";
+  for (const NetId n : ckt.primary_inputs()) os << ' ' << ckt.net_name(n);
+  os << '\n';
+  os << "output";
+  for (const NetId n : ckt.primary_outputs()) os << ' ' << ckt.net_name(n);
+  os << '\n';
+  for (NetId n = 0; n < ckt.net_count(); ++n) {
+    const LogicV c = ckt.constant_of(n);
+    if (c == LogicV::k0) os << "const0 " << ckt.net_name(n) << '\n';
+    if (c == LogicV::k1) os << "const1 " << ckt.net_name(n) << '\n';
+  }
+  for (const int gid : ckt.topo_order()) {
+    const GateInst& g = ckt.gate(gid);
+    os << "gate " << gates::to_string(g.kind) << ' ' << ckt.net_name(g.out)
+       << " =";
+    for (int i = 0; i < g.input_count(); ++i)
+      os << ' ' << ckt.net_name(g.in[static_cast<std::size_t>(i)]);
+    os << '\n';
+  }
+}
+
+Circuit read_netlist(std::istream& is) {
+  Circuit ckt;
+  std::map<std::string, NetId> known;
+  const auto net = [&](const std::string& name) {
+    const auto it = known.find(name);
+    if (it != known.end()) return it->second;
+    const NetId id = ckt.add_net(name);
+    known.emplace(name, id);
+    return id;
+  };
+
+  std::string line;
+  int line_no = 0;
+  std::vector<std::string> outputs;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string head;
+    if (!(ls >> head)) continue;
+
+    if (head == "input") {
+      std::string name;
+      while (ls >> name) {
+        if (known.count(name) != 0)
+          throw std::runtime_error("netlist line " + std::to_string(line_no) +
+                                   ": duplicate net '" + name + "'");
+        known.emplace(name, ckt.add_primary_input(name));
+      }
+    } else if (head == "output") {
+      std::string name;
+      while (ls >> name) outputs.push_back(name);
+    } else if (head == "const0" || head == "const1") {
+      std::string name;
+      if (!(ls >> name))
+        throw std::runtime_error("netlist line " + std::to_string(line_no) +
+                                 ": const needs a net name");
+      if (known.count(name) != 0)
+        throw std::runtime_error("netlist line " + std::to_string(line_no) +
+                                 ": duplicate net '" + name + "'");
+      known.emplace(name, ckt.add_constant(head == "const1" ? LogicV::k1
+                                                            : LogicV::k0,
+                                           name));
+    } else if (head == "gate") {
+      std::string cell_name, out_name, eq;
+      if (!(ls >> cell_name >> out_name >> eq) || eq != "=")
+        throw std::runtime_error("netlist line " + std::to_string(line_no) +
+                                 ": expected 'gate CELL out = in...'");
+      const gates::CellKind kind = parse_cell(cell_name, line_no);
+      std::vector<NetId> ins;
+      std::string in_name;
+      while (ls >> in_name) ins.push_back(net(in_name));
+      if (static_cast<int>(ins.size()) != gates::input_count(kind))
+        throw std::runtime_error("netlist line " + std::to_string(line_no) +
+                                 ": wrong input count for " + cell_name);
+      ckt.add_gate(kind, ins, net(out_name));
+    } else {
+      throw std::runtime_error("netlist line " + std::to_string(line_no) +
+                               ": unknown directive '" + head + "'");
+    }
+  }
+  for (const std::string& name : outputs) {
+    const auto it = known.find(name);
+    if (it == known.end())
+      throw std::runtime_error("netlist: output '" + name +
+                               "' never defined");
+    ckt.mark_primary_output(it->second);
+  }
+  ckt.finalize();
+  return ckt;
+}
+
+std::string to_netlist_string(const Circuit& ckt) {
+  std::ostringstream oss;
+  write_netlist(oss, ckt);
+  return oss.str();
+}
+
+}  // namespace cpsinw::logic

@@ -1,0 +1,32 @@
+// Plain-text netlist exchange format (.cpn — "controllable-polarity
+// netlist").  Example:
+//
+//   # one-bit full adder
+//   input a b cin
+//   output sum cout
+//   gate XOR3 sum = a b cin
+//   gate MAJ3 cout = a b cin
+//
+// Supported directives: `input`, `output`, `const0/const1 <net>`,
+// `gate <CELL> <out> = <in...>`, comments with '#'.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "logic/circuit.hpp"
+
+namespace cpsinw::logic {
+
+/// Writes a circuit in .cpn format.
+void write_netlist(std::ostream& os, const Circuit& ckt);
+
+/// Parses a .cpn netlist and returns the finalized circuit.
+/// @throws std::runtime_error with a line-numbered diagnostic on malformed
+///   input
+[[nodiscard]] Circuit read_netlist(std::istream& is);
+
+/// Round-trip helper used by tests.
+[[nodiscard]] std::string to_netlist_string(const Circuit& ckt);
+
+}  // namespace cpsinw::logic

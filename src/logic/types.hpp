@@ -1,0 +1,44 @@
+// Four-valued logic for gate-level simulation.
+#pragma once
+
+#include <cstdint>
+
+namespace cpsinw::logic {
+
+/// Simulation value of a net.
+enum class LogicV : std::int8_t {
+  k0 = 0,
+  k1 = 1,
+  kX = -1,  ///< unknown / unresolvable
+  kZ = -2,  ///< floating (only transiently at a faulty gate output)
+};
+
+/// Readable value name ("0", "1", "X", "Z").
+[[nodiscard]] constexpr const char* to_string(LogicV v) {
+  switch (v) {
+    case LogicV::k0: return "0";
+    case LogicV::k1: return "1";
+    case LogicV::kX: return "X";
+    case LogicV::kZ: return "Z";
+  }
+  return "?";
+}
+
+/// True for a defined binary value.
+[[nodiscard]] constexpr bool is_binary(LogicV v) {
+  return v == LogicV::k0 || v == LogicV::k1;
+}
+
+/// Converts a bool to LogicV.
+[[nodiscard]] constexpr LogicV from_bool(bool b) {
+  return b ? LogicV::k1 : LogicV::k0;
+}
+
+/// Inverts a value (X/Z stay X).
+[[nodiscard]] constexpr LogicV logic_not(LogicV v) {
+  if (v == LogicV::k0) return LogicV::k1;
+  if (v == LogicV::k1) return LogicV::k0;
+  return LogicV::kX;
+}
+
+}  // namespace cpsinw::logic

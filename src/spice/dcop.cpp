@@ -1,0 +1,235 @@
+#include "spice/dcop.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "spice/linear.hpp"
+#include "util/log.hpp"
+
+namespace cpsinw::spice {
+
+double DcResult::supply_current(const Circuit& ckt,
+                                std::string_view source_name) const {
+  const int idx = ckt.vsource_index(source_name);
+  // The branch current flows pos -> neg inside the source; current
+  // delivered into the circuit at the positive terminal is its negative.
+  return -branch_current.at(static_cast<std::size_t>(idx));
+}
+
+namespace detail {
+
+namespace {
+
+/// Index of a node voltage in the unknown vector (-1 for ground).
+int vindex(NodeId n) { return n - 1; }
+
+struct Assembler {
+  const Circuit& ckt;
+  Matrix& jac;
+  std::vector<double>& rhs;
+  const std::vector<double>& x;  // current guess
+
+  [[nodiscard]] double volt(NodeId n) const {
+    return n == 0 ? 0.0 : x[static_cast<std::size_t>(vindex(n))];
+  }
+
+  void add_j(NodeId row, NodeId col, double g) {
+    if (row == 0 || col == 0) return;
+    jac.at(vindex(row), vindex(col)) += g;
+  }
+
+  void add_rhs(NodeId row, double value) {
+    if (row == 0) return;
+    rhs[static_cast<std::size_t>(vindex(row))] += value;
+  }
+
+  void stamp_conductance(NodeId a, NodeId b, double g) {
+    add_j(a, a, g);
+    add_j(b, b, g);
+    add_j(a, b, -g);
+    add_j(b, a, -g);
+  }
+
+  void stamp_gmin(double gmin) {
+    const int nv = ckt.node_count() - 1;
+    for (int i = 0; i < nv; ++i) jac.at(i, i) += gmin;
+  }
+
+  void stamp_resistors() {
+    for (const auto& r : ckt.resistors())
+      stamp_conductance(r.a, r.b, 1.0 / r.ohms);
+  }
+
+  void stamp_companions(std::span<const Companion> companions) {
+    for (const auto& c : companions) {
+      stamp_conductance(c.a, c.b, c.geq);
+      add_rhs(c.a, c.ieq);
+      add_rhs(c.b, -c.ieq);
+    }
+  }
+
+  void stamp_vsources(double t, double scale) {
+    const int nv = ckt.node_count() - 1;
+    const auto& sources = ckt.vsources();
+    for (std::size_t k = 0; k < sources.size(); ++k) {
+      const auto& src = sources[k];
+      const int row = nv + static_cast<int>(k);
+      // Branch current enters the KCL of both terminals.
+      if (src.pos != 0) {
+        jac.at(vindex(src.pos), row) += 1.0;
+        jac.at(row, vindex(src.pos)) += 1.0;
+      }
+      if (src.neg != 0) {
+        jac.at(vindex(src.neg), row) -= 1.0;
+        jac.at(row, vindex(src.neg)) -= 1.0;
+      }
+      rhs[static_cast<std::size_t>(row)] += src.wave.at(t) * scale;
+    }
+  }
+
+  void stamp_tigs() {
+    constexpr double kPerturb = 1e-5;
+    for (const auto& dev : ckt.tigs()) {
+      const std::array<NodeId, 5> nodes = {dev.cg, dev.pgs, dev.pgd, dev.s,
+                                           dev.d};
+      device::TigBias bias{.vcg = volt(dev.cg), .vpgs = volt(dev.pgs),
+                           .vpgd = volt(dev.pgd), .vs = volt(dev.s),
+                           .vd = volt(dev.d)};
+      const device::TigCurrents c0 = dev.model->currents(bias);
+      const std::array<double, 5> i0 = {c0.into_cg, c0.into_pgs, c0.into_pgd,
+                                        c0.into_source, c0.into_drain};
+      // Numeric 5x5 Jacobian of terminal currents wrt terminal voltages.
+      std::array<std::array<double, 5>, 5> g{};
+      for (int j = 0; j < 5; ++j) {
+        device::TigBias pb = bias;
+        double* field = nullptr;
+        switch (j) {
+          case 0: field = &pb.vcg; break;
+          case 1: field = &pb.vpgs; break;
+          case 2: field = &pb.vpgd; break;
+          case 3: field = &pb.vs; break;
+          case 4: field = &pb.vd; break;
+        }
+        *field += kPerturb;
+        const device::TigCurrents cp = dev.model->currents(pb);
+        const std::array<double, 5> ip = {cp.into_cg, cp.into_pgs,
+                                          cp.into_pgd, cp.into_source,
+                                          cp.into_drain};
+        for (int t = 0; t < 5; ++t)
+          g[static_cast<std::size_t>(t)][static_cast<std::size_t>(j)] =
+              (ip[static_cast<std::size_t>(t)] -
+               i0[static_cast<std::size_t>(t)]) /
+              kPerturb;
+      }
+      // Linearized terminal current:
+      //   i_t = i0_t + sum_j g[t][j] (v_j - v0_j)
+      // KCL row of node(t): ... + i_t = 0  ->  move constants to RHS.
+      for (int t = 0; t < 5; ++t) {
+        const NodeId nt = nodes[static_cast<std::size_t>(t)];
+        if (nt == 0) continue;
+        double constant = i0[static_cast<std::size_t>(t)];
+        for (int j = 0; j < 5; ++j) {
+          const NodeId nj = nodes[static_cast<std::size_t>(j)];
+          const double gj =
+              g[static_cast<std::size_t>(t)][static_cast<std::size_t>(j)];
+          add_j(nt, nj, gj);
+          constant -= gj * volt(nj);
+        }
+        add_rhs(nt, -constant);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+DcResult solve_system(const Circuit& ckt, double t, const NewtonOptions& opt,
+                      const std::vector<double>* guess,
+                      std::span<const Companion> companions,
+                      double source_scale) {
+  const int n = ckt.unknown_count();
+  const int nv = ckt.node_count() - 1;
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+  if (guess != nullptr && static_cast<int>(guess->size()) == n) x = *guess;
+
+  Matrix jac(n);
+  std::vector<double> rhs(static_cast<std::size_t>(n), 0.0);
+
+  DcResult result;
+  for (int iter = 0; iter < opt.max_iterations; ++iter) {
+    jac.clear();
+    std::fill(rhs.begin(), rhs.end(), 0.0);
+    Assembler as{ckt, jac, rhs, x};
+    as.stamp_gmin(opt.gmin);
+    as.stamp_resistors();
+    as.stamp_companions(companions);
+    as.stamp_vsources(t, source_scale);
+    as.stamp_tigs();
+
+    std::vector<double> x_new = rhs;
+    if (!lu_solve(jac, x_new)) {
+      util::log_warn("dcop: singular MNA matrix");
+      break;
+    }
+
+    // Damping: cap the largest voltage move.
+    double max_dv = 0.0;
+    for (int i = 0; i < nv; ++i)
+      max_dv = std::max(max_dv, std::abs(x_new[static_cast<std::size_t>(i)] -
+                                         x[static_cast<std::size_t>(i)]));
+    double alpha = 1.0;
+    if (max_dv > opt.max_vstep) alpha = opt.max_vstep / max_dv;
+
+    bool converged = true;
+    for (int i = 0; i < n; ++i) {
+      const double xi = x[static_cast<std::size_t>(i)];
+      const double xn = xi + alpha * (x_new[static_cast<std::size_t>(i)] - xi);
+      const double dx = std::abs(xn - xi);
+      const double tol = (i < nv ? opt.vntol : opt.itol) +
+                         opt.reltol * std::abs(xn);
+      if (dx > tol) converged = false;
+      x[static_cast<std::size_t>(i)] = xn;
+    }
+    if (converged && alpha == 1.0) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.v.assign(static_cast<std::size_t>(ckt.node_count()), 0.0);
+  for (int i = 0; i < nv; ++i)
+    result.v[static_cast<std::size_t>(i + 1)] = x[static_cast<std::size_t>(i)];
+  result.branch_current.assign(ckt.vsources().size(), 0.0);
+  for (std::size_t k = 0; k < ckt.vsources().size(); ++k)
+    result.branch_current[k] = x[static_cast<std::size_t>(nv) + k];
+  return result;
+}
+
+}  // namespace detail
+
+DcResult dc_operating_point(const Circuit& ckt, double time,
+                            const NewtonOptions& opt,
+                            const std::vector<double>* guess) {
+  DcResult r = detail::solve_system(ckt, time, opt, guess, {});
+  if (r.converged || !opt.source_stepping) return r;
+
+  // Source-stepping continuation: ramp all sources from 0 to 100 %.
+  util::log_info("dcop: falling back to source stepping");
+  const int n = ckt.unknown_count();
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+  DcResult stage;
+  for (int step = 1; step <= 20; ++step) {
+    const double scale = static_cast<double>(step) / 20.0;
+    stage = detail::solve_system(ckt, time, opt, &x, {}, scale);
+    if (!stage.converged) return stage;
+    // Re-pack the unknown vector for the next stage's warm start.
+    const int nv = ckt.node_count() - 1;
+    for (int i = 0; i < nv; ++i)
+      x[static_cast<std::size_t>(i)] = stage.v[static_cast<std::size_t>(i + 1)];
+    for (std::size_t k = 0; k < ckt.vsources().size(); ++k)
+      x[static_cast<std::size_t>(nv) + k] = stage.branch_current[k];
+  }
+  return stage;
+}
+
+}  // namespace cpsinw::spice

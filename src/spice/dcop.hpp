@@ -1,0 +1,77 @@
+// Nonlinear DC operating-point analysis: Newton-Raphson on the MNA system
+// with damping and source-stepping continuation.
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "spice/netlist.hpp"
+
+namespace cpsinw::spice {
+
+/// Newton iteration controls.
+struct NewtonOptions {
+  int max_iterations = 200;
+  double vntol = 1e-6;        ///< absolute voltage tolerance [V]
+  double itol = 1e-11;        ///< absolute branch-current tolerance [A]
+  double reltol = 1e-3;       ///< relative tolerance
+  double max_vstep = 0.3;     ///< Newton step limit on voltages [V]
+  double gmin = 1e-12;        ///< conductance from every node to ground [S]
+  bool source_stepping = true;///< enable continuation on non-convergence
+};
+
+/// Result of a DC (or single-timepoint) solve.
+struct DcResult {
+  bool converged = false;
+  /// Node voltages indexed by NodeId (index 0 = ground = 0 V).
+  std::vector<double> v;
+  /// Branch current of each voltage source (same order as
+  /// Circuit::vsources()); defined as the current flowing from the positive
+  /// terminal through the source to the negative terminal.
+  std::vector<double> branch_current;
+
+  /// Voltage of a node.
+  [[nodiscard]] double voltage(NodeId n) const {
+    return v.at(static_cast<std::size_t>(n));
+  }
+
+  /// Current delivered by a source into the circuit (for a V_DD source this
+  /// is the supply current, i.e. the IDDQ observable).
+  [[nodiscard]] double supply_current(const Circuit& ckt,
+                                      std::string_view source_name) const;
+};
+
+namespace detail {
+
+/// Linear companion element injected by the transient integrator:
+/// a conductance geq between nodes a and b plus an equivalent current
+/// source ieq flowing from a to b (current leaving a = geq*(va-vb) - ieq).
+struct Companion {
+  NodeId a = 0;
+  NodeId b = 0;
+  double geq = 0.0;
+  double ieq = 0.0;
+};
+
+/// Solves the MNA system at time `t`, optionally superimposing companion
+/// elements and starting from `guess` (sized unknown_count) when provided.
+/// `source_scale` scales all source values (used by continuation).
+[[nodiscard]] DcResult solve_system(const Circuit& ckt, double t,
+                                    const NewtonOptions& opt,
+                                    const std::vector<double>* guess,
+                                    std::span<const Companion> companions,
+                                    double source_scale = 1.0);
+
+}  // namespace detail
+
+/// Computes the DC operating point with all waveforms evaluated at `time`.
+/// Falls back to source stepping when plain Newton fails.
+/// @param guess optional warm-start unknown vector (unknown_count entries)
+[[nodiscard]] DcResult dc_operating_point(const Circuit& ckt,
+                                          double time = 0.0,
+                                          const NewtonOptions& opt = {},
+                                          const std::vector<double>* guess =
+                                              nullptr);
+
+}  // namespace cpsinw::spice

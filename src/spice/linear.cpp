@@ -1,0 +1,68 @@
+#include "spice/linear.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace cpsinw::spice {
+
+Matrix::Matrix(int n) : n_(n) {
+  if (n <= 0) throw std::invalid_argument("Matrix: size must be positive");
+  data_.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0.0);
+}
+
+double& Matrix::at(int r, int c) {
+  return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(n_) +
+               static_cast<std::size_t>(c)];
+}
+
+double Matrix::at(int r, int c) const {
+  return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(n_) +
+               static_cast<std::size_t>(c)];
+}
+
+void Matrix::clear() { data_.assign(data_.size(), 0.0); }
+
+bool lu_solve(Matrix& a, std::vector<double>& b) {
+  const int n = a.size();
+  if (static_cast<int>(b.size()) != n)
+    throw std::invalid_argument("lu_solve: dimension mismatch");
+
+  for (int k = 0; k < n; ++k) {
+    // Partial pivoting.
+    int pivot = k;
+    double best = std::abs(a.at(k, k));
+    for (int r = k + 1; r < n; ++r) {
+      const double cand = std::abs(a.at(r, k));
+      if (cand > best) {
+        best = cand;
+        pivot = r;
+      }
+    }
+    if (best < 1e-30) return false;
+    if (pivot != k) {
+      for (int c = k; c < n; ++c) std::swap(a.at(k, c), a.at(pivot, c));
+      std::swap(b[static_cast<std::size_t>(k)],
+                b[static_cast<std::size_t>(pivot)]);
+    }
+    // Elimination.
+    const double inv = 1.0 / a.at(k, k);
+    for (int r = k + 1; r < n; ++r) {
+      const double f = a.at(r, k) * inv;
+      if (f == 0.0) continue;
+      a.at(r, k) = 0.0;
+      for (int c = k + 1; c < n; ++c) a.at(r, c) -= f * a.at(k, c);
+      b[static_cast<std::size_t>(r)] -= f * b[static_cast<std::size_t>(k)];
+    }
+  }
+  // Back substitution.
+  for (int r = n - 1; r >= 0; --r) {
+    double acc = b[static_cast<std::size_t>(r)];
+    for (int c = r + 1; c < n; ++c)
+      acc -= a.at(r, c) * b[static_cast<std::size_t>(c)];
+    b[static_cast<std::size_t>(r)] = acc / a.at(r, r);
+  }
+  return true;
+}
+
+}  // namespace cpsinw::spice

@@ -1,0 +1,35 @@
+// Dense linear algebra for the MNA solver.  Circuits in this library are
+// gate-sized (tens of unknowns), so dense LU with partial pivoting is both
+// the simplest and the fastest appropriate choice.
+#pragma once
+
+#include <vector>
+
+namespace cpsinw::spice {
+
+/// Row-major dense square matrix.
+class Matrix {
+ public:
+  /// Zero-initialized n x n matrix.
+  explicit Matrix(int n);
+
+  [[nodiscard]] int size() const { return n_; }
+
+  [[nodiscard]] double& at(int r, int c);
+  [[nodiscard]] double at(int r, int c) const;
+
+  /// Sets every entry to zero (reuses storage).
+  void clear();
+
+ private:
+  int n_;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b in place by LU decomposition with partial pivoting.
+/// @param a coefficient matrix; destroyed during factorization
+/// @param b right-hand side; overwritten with the solution
+/// @returns false when the matrix is numerically singular
+[[nodiscard]] bool lu_solve(Matrix& a, std::vector<double>& b);
+
+}  // namespace cpsinw::spice

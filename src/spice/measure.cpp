@@ -1,0 +1,66 @@
+#include "spice/measure.hpp"
+
+#include <cmath>
+
+namespace cpsinw::spice {
+
+namespace {
+
+/// First instant after `t_after` where the waveform crosses `level`.
+/// Returns NaN when no crossing exists.
+double first_crossing(const std::vector<double>& t,
+                      const std::vector<double>& v, double level,
+                      double t_after) {
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    if (t[i] < t_after) continue;
+    const double a = v[i - 1] - level;
+    const double b = v[i] - level;
+    if ((a <= 0.0 && b > 0.0) || (a >= 0.0 && b < 0.0)) {
+      const double f = a / (a - b);
+      return t[i - 1] + (t[i] - t[i - 1]) * f;
+    }
+  }
+  return std::nan("");
+}
+
+}  // namespace
+
+DelayMeasurement propagation_delay(const TranResult& tran, NodeId input,
+                                   NodeId output, double v_mid,
+                                   double t_after) {
+  DelayMeasurement m;
+  const double t_in =
+      first_crossing(tran.time, tran.node_wave(input), v_mid, t_after);
+  if (std::isnan(t_in)) return m;
+  const double t_out =
+      first_crossing(tran.time, tran.node_wave(output), v_mid, t_in);
+  if (std::isnan(t_out)) return m;
+  m.valid = true;
+  m.t_in = t_in;
+  m.t_out = t_out;
+  m.delay = t_out - t_in;
+  return m;
+}
+
+double iddq(const Circuit& ckt, const DcResult& op,
+            std::string_view vdd_source) {
+  return std::abs(op.supply_current(ckt, vdd_source));
+}
+
+double iddq_total(const DcResult& op) {
+  double total = 0.0;
+  for (const double branch : op.branch_current) {
+    // Branch current flows pos -> neg inside the source; a negative value
+    // means the source delivers current into the circuit.
+    if (branch < 0.0) total += -branch;
+  }
+  return total;
+}
+
+LogicRead read_logic(double v, double v_lo, double v_hi) {
+  if (v <= v_lo) return LogicRead::kZero;
+  if (v >= v_hi) return LogicRead::kOne;
+  return LogicRead::kUndefined;
+}
+
+}  // namespace cpsinw::spice

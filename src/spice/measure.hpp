@@ -1,0 +1,53 @@
+// Measurements on simulation results: propagation delay, static supply
+// current (IDDQ) and logic-level classification of analog voltages.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "spice/transient.hpp"
+
+namespace cpsinw::spice {
+
+/// A 50%-crossing based propagation-delay measurement.
+struct DelayMeasurement {
+  bool valid = false;     ///< false when either crossing never happens
+  double t_in = 0.0;      ///< input crossing instant [s]
+  double t_out = 0.0;     ///< output crossing instant [s]
+  double delay = 0.0;     ///< t_out - t_in [s]
+};
+
+/// Measures the delay from the first crossing of `v_mid` on `input` after
+/// `t_after` to the next crossing of `v_mid` on `output`.
+[[nodiscard]] DelayMeasurement propagation_delay(const TranResult& tran,
+                                                 NodeId input, NodeId output,
+                                                 double v_mid,
+                                                 double t_after = 0.0);
+
+/// Static supply current of an operating point: current delivered by the
+/// named source into the circuit (absolute value — IDDQ testers measure
+/// magnitude).
+[[nodiscard]] double iddq(const Circuit& ckt, const DcResult& op,
+                          std::string_view vdd_source);
+
+/// Chip-level IDDQ equivalent for cell experiments: the total quiescent
+/// current delivered by all sources (positive parts summed).  Pass-device
+/// networks (XOR3, MAJ3) can draw crowbar current between *input* drivers
+/// rather than the local V_DD rail; on a chip those drivers are themselves
+/// supply-powered, so a tester's IDDQ still observes the anomaly.
+[[nodiscard]] double iddq_total(const DcResult& op);
+
+/// Three-way logic interpretation of an analog node voltage.
+enum class LogicRead { kZero, kOne, kUndefined };
+
+/// Classifies a voltage against the (V_lo, V_hi) logic thresholds.
+[[nodiscard]] LogicRead read_logic(double v, double v_lo, double v_hi);
+
+/// Convenience thresholds used across the experiments: 0.45/0.75 of a
+/// 1.2 V supply, matching the X-band the paper's gates must clear.
+struct LogicThresholds {
+  double v_lo = 0.45;
+  double v_hi = 0.75;
+};
+
+}  // namespace cpsinw::spice

@@ -1,0 +1,92 @@
+#include "spice/netlist.hpp"
+
+#include <stdexcept>
+
+namespace cpsinw::spice {
+
+Circuit::Circuit() {
+  names_.emplace_back("0");
+  by_name_.emplace("0", 0);
+}
+
+NodeId Circuit::node(std::string_view name) {
+  const auto it = by_name_.find(std::string(name));
+  if (it != by_name_.end()) return it->second;
+  const NodeId id = static_cast<NodeId>(names_.size());
+  names_.emplace_back(name);
+  by_name_.emplace(std::string(name), id);
+  return id;
+}
+
+NodeId Circuit::find_node(std::string_view name) const {
+  const auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end())
+    throw std::out_of_range("Circuit: unknown node '" + std::string(name) +
+                            "'");
+  return it->second;
+}
+
+const std::string& Circuit::node_name(NodeId id) const {
+  return names_.at(static_cast<std::size_t>(id));
+}
+
+void Circuit::check_node(NodeId id) const {
+  if (id < 0 || id >= node_count())
+    throw std::out_of_range("Circuit: node id out of range");
+}
+
+void Circuit::add_resistor(std::string name, NodeId a, NodeId b, double ohms) {
+  check_node(a);
+  check_node(b);
+  if (ohms <= 0.0)
+    throw std::invalid_argument("Circuit: resistor must have R > 0");
+  resistors_.push_back({std::move(name), a, b, ohms});
+}
+
+void Circuit::add_capacitor(std::string name, NodeId a, NodeId b,
+                            double farads) {
+  check_node(a);
+  check_node(b);
+  if (farads <= 0.0)
+    throw std::invalid_argument("Circuit: capacitor must have C > 0");
+  capacitors_.push_back({std::move(name), a, b, farads});
+}
+
+void Circuit::add_vsource(std::string name, NodeId pos, NodeId neg,
+                          Waveform wave) {
+  check_node(pos);
+  check_node(neg);
+  vsources_.push_back({std::move(name), pos, neg, std::move(wave)});
+}
+
+void Circuit::add_tig(std::string name,
+                      std::shared_ptr<const device::TigModel> model,
+                      NodeId cg, NodeId pgs, NodeId pgd, NodeId s, NodeId d) {
+  if (!model) throw std::invalid_argument("Circuit: null TIG model");
+  check_node(cg);
+  check_node(pgs);
+  check_node(pgd);
+  check_node(s);
+  check_node(d);
+  tigs_.push_back({std::move(name), std::move(model), cg, pgs, pgd, s, d});
+}
+
+void Circuit::set_vsource_wave(std::string_view name, Waveform wave) {
+  for (auto& src : vsources_) {
+    if (src.name == name) {
+      src.wave = std::move(wave);
+      return;
+    }
+  }
+  throw std::out_of_range("Circuit: unknown vsource '" + std::string(name) +
+                          "'");
+}
+
+int Circuit::vsource_index(std::string_view name) const {
+  for (std::size_t i = 0; i < vsources_.size(); ++i)
+    if (vsources_[i].name == name) return static_cast<int>(i);
+  throw std::out_of_range("Circuit: unknown vsource '" + std::string(name) +
+                          "'");
+}
+
+}  // namespace cpsinw::spice

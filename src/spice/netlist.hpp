@@ -1,0 +1,122 @@
+// Circuit netlist for the MNA simulator: nodes, passive elements,
+// independent sources and TIG-SiNWFET devices.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "device/tig_model.hpp"
+#include "spice/waveform.hpp"
+
+namespace cpsinw::spice {
+
+/// Node identifier; 0 is always ground.
+using NodeId = int;
+
+/// Two-terminal linear resistor.
+struct Resistor {
+  std::string name;
+  NodeId a = 0;
+  NodeId b = 0;
+  double ohms = 0.0;
+};
+
+/// Two-terminal linear capacitor (open in DC analysis).
+struct Capacitor {
+  std::string name;
+  NodeId a = 0;
+  NodeId b = 0;
+  double farads = 0.0;
+};
+
+/// Independent voltage source with a waveform; contributes one branch
+/// current unknown to the MNA system.
+struct VSource {
+  std::string name;
+  NodeId pos = 0;
+  NodeId neg = 0;
+  Waveform wave = Waveform::dc(0.0);
+};
+
+/// TIG-SiNWFET instance: five terminals plus a (shared) compact model.
+struct TigElement {
+  std::string name;
+  std::shared_ptr<const device::TigModel> model;
+  NodeId cg = 0;
+  NodeId pgs = 0;
+  NodeId pgd = 0;
+  NodeId s = 0;
+  NodeId d = 0;
+};
+
+/// A complete circuit.  Nodes are created by name; elements refer to nodes
+/// by id.  The class is a passive container — analyses live in dcop.hpp and
+/// transient.hpp.
+class Circuit {
+ public:
+  Circuit();
+
+  /// Returns the ground node (always id 0, name "0").
+  [[nodiscard]] NodeId ground() const { return 0; }
+
+  /// Returns the node with the given name, creating it if necessary.
+  NodeId node(std::string_view name);
+
+  /// Looks up an existing node.
+  /// @throws std::out_of_range when the node does not exist.
+  [[nodiscard]] NodeId find_node(std::string_view name) const;
+
+  /// Name of a node id.
+  [[nodiscard]] const std::string& node_name(NodeId id) const;
+
+  /// Number of nodes including ground.
+  [[nodiscard]] int node_count() const {
+    return static_cast<int>(names_.size());
+  }
+
+  void add_resistor(std::string name, NodeId a, NodeId b, double ohms);
+  void add_capacitor(std::string name, NodeId a, NodeId b, double farads);
+  void add_vsource(std::string name, NodeId pos, NodeId neg, Waveform wave);
+  void add_tig(std::string name, std::shared_ptr<const device::TigModel> model,
+               NodeId cg, NodeId pgs, NodeId pgd, NodeId s, NodeId d);
+
+  /// Replaces the waveform of an existing voltage source.
+  /// @throws std::out_of_range when no source has that name.
+  void set_vsource_wave(std::string_view name, Waveform wave);
+
+  [[nodiscard]] const std::vector<Resistor>& resistors() const {
+    return resistors_;
+  }
+  [[nodiscard]] const std::vector<Capacitor>& capacitors() const {
+    return capacitors_;
+  }
+  [[nodiscard]] const std::vector<VSource>& vsources() const {
+    return vsources_;
+  }
+  [[nodiscard]] const std::vector<TigElement>& tigs() const { return tigs_; }
+
+  /// Index of a voltage source by name.
+  /// @throws std::out_of_range when absent.
+  [[nodiscard]] int vsource_index(std::string_view name) const;
+
+  /// Size of the MNA unknown vector: (node_count-1) voltages + one branch
+  /// current per voltage source.
+  [[nodiscard]] int unknown_count() const {
+    return node_count() - 1 + static_cast<int>(vsources_.size());
+  }
+
+ private:
+  void check_node(NodeId id) const;
+
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, NodeId> by_name_;
+  std::vector<Resistor> resistors_;
+  std::vector<Capacitor> capacitors_;
+  std::vector<VSource> vsources_;
+  std::vector<TigElement> tigs_;
+};
+
+}  // namespace cpsinw::spice

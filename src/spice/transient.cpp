@@ -1,0 +1,93 @@
+#include "spice/transient.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace cpsinw::spice {
+
+TranResult transient(const Circuit& ckt, const TranOptions& opt) {
+  if (opt.dt <= 0.0 || opt.t_stop <= 0.0)
+    throw std::invalid_argument("transient: dt and t_stop must be positive");
+
+  TranResult out;
+  const int n_nodes = ckt.node_count();
+  const std::size_t n_src = ckt.vsources().size();
+  out.v.assign(static_cast<std::size_t>(n_nodes), {});
+  out.branch_current.assign(n_src, {});
+
+  // Initial condition: DC operating point at t = 0.
+  DcResult state = dc_operating_point(ckt, 0.0, opt.newton);
+  if (!state.converged) {
+    util::log_warn("transient: initial operating point failed");
+    out.converged = false;
+    return out;
+  }
+
+  const auto record = [&](double t, const DcResult& r) {
+    out.time.push_back(t);
+    for (int i = 0; i < n_nodes; ++i)
+      out.v[static_cast<std::size_t>(i)].push_back(
+          r.v[static_cast<std::size_t>(i)]);
+    for (std::size_t k = 0; k < n_src; ++k)
+      out.branch_current[k].push_back(r.branch_current[k]);
+  };
+  record(0.0, state);
+
+  // Trapezoidal companions: track the capacitor current of the previous
+  // accepted step (zero at DC).
+  const auto& caps = ckt.capacitors();
+  std::vector<double> i_prev(caps.size(), 0.0);
+
+  // Warm-start vector carried between steps.
+  const int nv = n_nodes - 1;
+  std::vector<double> x(static_cast<std::size_t>(ckt.unknown_count()), 0.0);
+  const auto pack = [&](const DcResult& r) {
+    for (int i = 0; i < nv; ++i)
+      x[static_cast<std::size_t>(i)] = r.v[static_cast<std::size_t>(i + 1)];
+    for (std::size_t k = 0; k < n_src; ++k)
+      x[static_cast<std::size_t>(nv) + k] = r.branch_current[k];
+  };
+  pack(state);
+
+  out.converged = true;
+  const int steps = static_cast<int>(std::ceil(opt.t_stop / opt.dt));
+  std::vector<detail::Companion> comps(caps.size());
+  NewtonOptions step_opt = opt.newton;
+  step_opt.source_stepping = false;  // warm starts make it unnecessary
+
+  for (int s = 1; s <= steps; ++s) {
+    const double t = std::min(static_cast<double>(s) * opt.dt, opt.t_stop);
+    const double h = t - out.time.back();
+    if (h <= 0.0) break;
+
+    for (std::size_t c = 0; c < caps.size(); ++c) {
+      const double geq = 2.0 * caps[c].farads / h;
+      const double v_prev =
+          state.v[static_cast<std::size_t>(caps[c].a)] -
+          state.v[static_cast<std::size_t>(caps[c].b)];
+      comps[c] = {caps[c].a, caps[c].b, geq, geq * v_prev + i_prev[c]};
+    }
+
+    DcResult next = detail::solve_system(ckt, t, step_opt, &x, comps);
+    if (!next.converged) {
+      util::log_warn("transient: step failed at t=" + std::to_string(t));
+      out.converged = false;
+      break;
+    }
+
+    for (std::size_t c = 0; c < caps.size(); ++c) {
+      const double v_now = next.v[static_cast<std::size_t>(caps[c].a)] -
+                           next.v[static_cast<std::size_t>(caps[c].b)];
+      i_prev[c] = comps[c].geq * v_now - comps[c].ieq;
+    }
+
+    record(t, next);
+    state = std::move(next);
+    pack(state);
+  }
+  return out;
+}
+
+}  // namespace cpsinw::spice

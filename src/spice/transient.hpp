@@ -1,0 +1,44 @@
+// Transient analysis with trapezoidal integration on fixed time steps.
+#pragma once
+
+#include <vector>
+
+#include "spice/dcop.hpp"
+#include "spice/netlist.hpp"
+
+namespace cpsinw::spice {
+
+/// Transient controls.
+struct TranOptions {
+  double t_stop = 1e-9;   ///< end time [s]
+  double dt = 1e-12;      ///< fixed step [s]
+  NewtonOptions newton;   ///< per-step solver controls
+};
+
+/// Sampled transient solution.
+struct TranResult {
+  bool converged = false;           ///< false if any timepoint failed
+  std::vector<double> time;         ///< sample instants [s]
+  /// Node waveforms indexed by NodeId: v[node][sample].
+  std::vector<std::vector<double>> v;
+  /// Branch currents per voltage source: i[src][sample].
+  std::vector<std::vector<double>> branch_current;
+
+  /// Waveform of one node.
+  [[nodiscard]] const std::vector<double>& node_wave(NodeId n) const {
+    return v.at(static_cast<std::size_t>(n));
+  }
+
+  /// Final value of one node.
+  [[nodiscard]] double final_voltage(NodeId n) const {
+    return node_wave(n).back();
+  }
+};
+
+/// Runs a transient analysis.  The initial condition is the DC operating
+/// point at t = 0 (all waveforms evaluated at time zero).
+/// @throws std::invalid_argument for non-positive dt or t_stop
+[[nodiscard]] TranResult transient(const Circuit& ckt,
+                                   const TranOptions& opt);
+
+}  // namespace cpsinw::spice

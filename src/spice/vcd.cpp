@@ -1,0 +1,73 @@
+#include "spice/vcd.hpp"
+
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace cpsinw::spice {
+
+namespace {
+
+/// VCD identifier for variable index i (printable ASCII, base-94).
+std::string vcd_id(int i) {
+  std::string id;
+  do {
+    id += static_cast<char>('!' + (i % 94));
+    i /= 94;
+  } while (i > 0);
+  return id;
+}
+
+}  // namespace
+
+void write_vcd(std::ostream& os, const Circuit& ckt, const TranResult& tran,
+               const std::vector<NodeId>& nodes, const VcdOptions& options) {
+  if (tran.time.empty())
+    throw std::invalid_argument("write_vcd: empty transient result");
+  if (options.timescale_s <= 0.0)
+    throw std::invalid_argument("write_vcd: bad timescale");
+
+  std::vector<NodeId> dump = nodes;
+  if (dump.empty()) {
+    for (NodeId n = 1; n < ckt.node_count(); ++n) dump.push_back(n);
+  }
+
+  os << "$timescale " << static_cast<long long>(
+            std::llround(options.timescale_s / 1e-12))
+     << " ps $end\n";
+  os << "$scope module " << options.module_name << " $end\n";
+  for (std::size_t i = 0; i < dump.size(); ++i) {
+    os << "$var real 64 " << vcd_id(static_cast<int>(i)) << " v("
+       << ckt.node_name(dump[i]) << ") $end\n";
+  }
+  os << "$upscope $end\n$enddefinitions $end\n";
+
+  std::vector<double> last(dump.size(),
+                           std::numeric_limits<double>::quiet_NaN());
+  for (std::size_t s = 0; s < tran.time.size(); ++s) {
+    bool stamped = false;
+    for (std::size_t i = 0; i < dump.size(); ++i) {
+      const double v =
+          tran.v[static_cast<std::size_t>(dump[i])][s];
+      // Emit on first sample and on visible change (>= 0.1 mV).
+      if (!std::isnan(last[i]) && std::abs(v - last[i]) < 1e-4) continue;
+      if (!stamped) {
+        os << '#'
+           << static_cast<long long>(
+                  std::llround(tran.time[s] / options.timescale_s))
+           << '\n';
+        stamped = true;
+      }
+      os << 'r' << v << ' ' << vcd_id(static_cast<int>(i)) << '\n';
+      last[i] = v;
+    }
+  }
+  // Final timestamp so viewers show the full span.
+  os << '#'
+     << static_cast<long long>(
+            std::llround(tran.time.back() / options.timescale_s))
+     << '\n';
+}
+
+}  // namespace cpsinw::spice

@@ -1,0 +1,28 @@
+// VCD (Value Change Dump) export of transient results, so waveforms from
+// the built-in simulator can be inspected in GTKWave & friends.  Analog
+// node voltages are emitted as IEEE-754 real variables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "spice/transient.hpp"
+
+namespace cpsinw::spice {
+
+/// Options for the dump.
+struct VcdOptions {
+  /// Timescale of the dump; samples are rounded to this resolution.
+  double timescale_s = 1e-12;
+  std::string module_name = "cpsinw";
+};
+
+/// Writes the transient solution of the selected nodes as a VCD file.
+/// @param nodes node ids to dump (all non-ground nodes when empty)
+/// @throws std::invalid_argument for an empty/failed transient result
+void write_vcd(std::ostream& os, const Circuit& ckt, const TranResult& tran,
+               const std::vector<NodeId>& nodes = {},
+               const VcdOptions& options = {});
+
+}  // namespace cpsinw::spice

@@ -1,0 +1,53 @@
+#include "spice/waveform.hpp"
+
+#include <stdexcept>
+
+namespace cpsinw::spice {
+
+Waveform Waveform::dc(double level) {
+  return Waveform({{0.0, level}});
+}
+
+Waveform Waveform::pwl(std::vector<std::pair<double, double>> pts) {
+  if (pts.empty())
+    throw std::invalid_argument("Waveform::pwl: needs at least one point");
+  for (std::size_t i = 1; i < pts.size(); ++i)
+    if (!(pts[i].first > pts[i - 1].first))
+      throw std::invalid_argument("Waveform::pwl: times must increase");
+  return Waveform(std::move(pts));
+}
+
+Waveform Waveform::step(double v0, double v1, double t_edge, double t_slew) {
+  if (t_slew <= 0.0)
+    throw std::invalid_argument("Waveform::step: slew must be positive");
+  return pwl({{0.0, v0}, {t_edge, v0}, {t_edge + t_slew, v1}});
+}
+
+Waveform Waveform::two_pattern(double v_first, double v_second,
+                               double t_switch, double t_slew) {
+  if (v_first == v_second) return dc(v_first);
+  return step(v_first, v_second, t_switch, t_slew);
+}
+
+Waveform Waveform::affine(double scale, double offset) const {
+  std::vector<std::pair<double, double>> pts = points_;
+  for (auto& [t, v] : pts) v = scale * v + offset;
+  return Waveform(std::move(pts));
+}
+
+double Waveform::at(double t) const {
+  if (points_.size() == 1) return points_.front().second;
+  if (t <= points_.front().first) return points_.front().second;
+  if (t >= points_.back().first) return points_.back().second;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (t <= points_[i].first) {
+      const auto& [t0, v0] = points_[i - 1];
+      const auto& [t1, v1] = points_[i];
+      const double f = (t - t0) / (t1 - t0);
+      return v0 + (v1 - v0) * f;
+    }
+  }
+  return points_.back().second;
+}
+
+}  // namespace cpsinw::spice

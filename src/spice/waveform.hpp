@@ -1,0 +1,51 @@
+// Time-dependent source values: DC levels and piecewise-linear waveforms.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+namespace cpsinw::spice {
+
+/// Value of an independent source as a function of time.  Immutable.
+class Waveform {
+ public:
+  /// Constant level.
+  [[nodiscard]] static Waveform dc(double level);
+
+  /// Piecewise-linear waveform through (time, value) points; flat
+  /// extrapolation outside the listed range.
+  /// @throws std::invalid_argument if times are not strictly increasing.
+  [[nodiscard]] static Waveform pwl(std::vector<std::pair<double, double>> pts);
+
+  /// Single edge: holds v0 until t_edge, ramps linearly to v1 over t_slew.
+  [[nodiscard]] static Waveform step(double v0, double v1, double t_edge,
+                                     double t_slew);
+
+  /// Two-pattern stimulus: v1 until t_switch, then ramps to v2 (used by the
+  /// stuck-open tests, paper Sec. V-C).
+  [[nodiscard]] static Waveform two_pattern(double v_first, double v_second,
+                                            double t_switch, double t_slew);
+
+  /// Value at time t (t < 0 behaves like t = 0).
+  [[nodiscard]] double at(double t) const;
+
+  /// True when the waveform never changes (pure DC).
+  [[nodiscard]] bool is_dc() const { return points_.size() <= 1; }
+
+  /// Affine value transform: returns a waveform with value
+  /// scale * v(t) + offset.  complemented(vdd) = affine(-1, vdd) yields the
+  /// dual-rail complement of a logic waveform.
+  [[nodiscard]] Waveform affine(double scale, double offset) const;
+
+  /// Dual-rail complement against a supply level.
+  [[nodiscard]] Waveform complemented(double vdd) const {
+    return affine(-1.0, vdd);
+  }
+
+ private:
+  explicit Waveform(std::vector<std::pair<double, double>> pts)
+      : points_(std::move(pts)) {}
+  std::vector<std::pair<double, double>> points_;
+};
+
+}  // namespace cpsinw::spice

@@ -1,0 +1,27 @@
+// Minimal leveled logging.  The library itself logs only through this
+// interface so applications can silence or redirect diagnostics.
+#pragma once
+
+#include <string>
+
+namespace cpsinw::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level that is emitted (default: kWarn, so the
+/// library is quiet unless something is wrong).
+void set_log_level(LogLevel level);
+
+/// Returns the current global minimum level.
+[[nodiscard]] LogLevel log_level();
+
+/// Emits a message to stderr when `level` >= the global minimum.
+void log(LogLevel level, const std::string& message);
+
+/// Convenience wrappers.
+void log_debug(const std::string& message);
+void log_info(const std::string& message);
+void log_warn(const std::string& message);
+void log_error(const std::string& message);
+
+}  // namespace cpsinw::util

@@ -1,0 +1,84 @@
+#include "util/numeric.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cpsinw::util {
+
+double sigmoid(double x) {
+  if (x >= 0.0) {
+    const double e = std::exp(-x);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+double softplus(double x) {
+  if (x > 30.0) return x;
+  if (x < -30.0) return std::exp(x);
+  return std::log1p(std::exp(x));
+}
+
+double clamp_checked(double x, double lo, double hi) {
+  if (lo > hi) throw std::invalid_argument("clamp_checked: lo > hi");
+  return std::clamp(x, lo, hi);
+}
+
+bool approx_equal(double a, double b, double rtol, double atol) {
+  return std::abs(a - b) <= atol + rtol * std::max(std::abs(a), std::abs(b));
+}
+
+PiecewiseLinear::PiecewiseLinear(std::vector<double> x, std::vector<double> y)
+    : x_(std::move(x)), y_(std::move(y)) {
+  if (x_.empty() || x_.size() != y_.size())
+    throw std::invalid_argument("PiecewiseLinear: empty or mismatched inputs");
+  for (std::size_t i = 1; i < x_.size(); ++i)
+    if (!(x_[i] > x_[i - 1]))
+      throw std::invalid_argument("PiecewiseLinear: x not strictly increasing");
+}
+
+double PiecewiseLinear::operator()(double x) const {
+  if (x <= x_.front()) return y_.front();
+  if (x >= x_.back()) return y_.back();
+  const auto it = std::upper_bound(x_.begin(), x_.end(), x);
+  const std::size_t hi = static_cast<std::size_t>(it - x_.begin());
+  const std::size_t lo = hi - 1;
+  const double t = (x - x_[lo]) / (x_[hi] - x_[lo]);
+  return lerp(y_[lo], y_[hi], t);
+}
+
+std::vector<double> linspace(double lo, double hi, int n) {
+  if (n < 2) throw std::invalid_argument("linspace: n must be >= 2");
+  std::vector<double> out(static_cast<std::size_t>(n));
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (int i = 0; i < n; ++i) out[static_cast<std::size_t>(i)] = lo + step * i;
+  out.back() = hi;
+  return out;
+}
+
+std::vector<double> logspace(double lo, double hi, int n) {
+  if (lo <= 0.0 || hi <= 0.0)
+    throw std::invalid_argument("logspace: bounds must be positive");
+  auto lin = linspace(std::log10(lo), std::log10(hi), n);
+  for (double& v : lin) v = std::pow(10.0, v);
+  return lin;
+}
+
+double find_crossing(const std::vector<double>& x, const std::vector<double>& y,
+                     double level) {
+  if (x.size() != y.size() || x.size() < 2)
+    throw std::invalid_argument("find_crossing: bad series");
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    const double a = y[i - 1] - level;
+    const double b = y[i] - level;
+    if (a == 0.0) return x[i - 1];
+    if ((a < 0.0 && b >= 0.0) || (a > 0.0 && b <= 0.0)) {
+      const double t = a / (a - b);
+      return lerp(x[i - 1], x[i], t);
+    }
+  }
+  return std::nan("");
+}
+
+}  // namespace cpsinw::util

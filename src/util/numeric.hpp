@@ -1,0 +1,67 @@
+// Smooth numeric primitives used by the analytical device model and the
+// circuit simulator.  All functions are branch-free and C1-continuous where
+// documented so that Newton iterations converge reliably.
+#pragma once
+
+#include <cmath>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace cpsinw::util {
+
+/// Logistic sigmoid 1/(1+exp(-x)), numerically stable for large |x|.
+[[nodiscard]] double sigmoid(double x);
+
+/// Softplus ln(1+exp(x)), numerically stable; ~x for large x, ~exp(x) for
+/// very negative x.  Used for EKV-style charge linearization.
+[[nodiscard]] double softplus(double x);
+
+/// Smooth saturation: tanh(x), exposed for clarity at call sites.
+[[nodiscard]] inline double smooth_sat(double x) { return std::tanh(x); }
+
+/// Linear interpolation between a and b with parameter t in [0,1].
+[[nodiscard]] constexpr double lerp(double a, double b, double t) {
+  return a + (b - a) * t;
+}
+
+/// Clamps x into [lo, hi]; throws std::invalid_argument if lo > hi.
+[[nodiscard]] double clamp_checked(double x, double lo, double hi);
+
+/// True when |a-b| <= atol + rtol*max(|a|,|b|).
+[[nodiscard]] bool approx_equal(double a, double b, double rtol = 1e-9,
+                                double atol = 1e-12);
+
+/// Piecewise-linear interpolation over sorted sample points.
+/// Outside the sample range the boundary value is extrapolated flat.
+class PiecewiseLinear {
+ public:
+  /// @param x strictly increasing abscissae (size >= 1)
+  /// @param y ordinates, same size as x
+  /// @throws std::invalid_argument on size mismatch / empty / unsorted x
+  PiecewiseLinear(std::vector<double> x, std::vector<double> y);
+
+  /// Evaluates the interpolant at position x.
+  [[nodiscard]] double operator()(double x) const;
+
+  [[nodiscard]] std::span<const double> x() const { return x_; }
+  [[nodiscard]] std::span<const double> y() const { return y_; }
+
+ private:
+  std::vector<double> x_;
+  std::vector<double> y_;
+};
+
+/// Uniformly spaced grid of n points covering [lo, hi] inclusive (n >= 2).
+[[nodiscard]] std::vector<double> linspace(double lo, double hi, int n);
+
+/// Logarithmically spaced grid of n points covering [lo, hi], lo, hi > 0.
+[[nodiscard]] std::vector<double> logspace(double lo, double hi, int n);
+
+/// Finds the first x in [lo,hi] where f crosses `level` (rising or falling),
+/// refined by bisection on a uniform scan of `steps` intervals.
+/// Returns NaN when no crossing exists.
+[[nodiscard]] double find_crossing(const std::vector<double>& x,
+                                   const std::vector<double>& y, double level);
+
+}  // namespace cpsinw::util

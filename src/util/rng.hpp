@@ -1,0 +1,57 @@
+// Deterministic, seedable random number generation for reproducible
+// experiments (defect sampling, workload generation, property sweeps).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace cpsinw::util {
+
+/// SplitMix64: tiny, fast, high-quality 64-bit generator.  Used everywhere a
+/// reproducible stream is needed; never use std::rand in this code base.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  constexpr std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [0, n); n must be > 0.
+  std::uint64_t below(std::uint64_t n) {
+    // Rejection-free modulo is fine here: n is tiny vs 2^64 in our usage.
+    return next_u64() % n;
+  }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) { return next_double() < p; }
+
+  /// Gaussian sample via Box-Muller (one fresh pair per call).
+  double normal(double mean, double sigma) {
+    double u1 = next_double();
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double u2 = next_double();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    return mean + sigma * r * std::cos(6.283185307179586 * u2);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace cpsinw::util

@@ -1,0 +1,56 @@
+#include "util/series.hpp"
+
+#include <iomanip>
+#include <stdexcept>
+
+namespace cpsinw::util {
+
+DataSeries::DataSeries(std::string name, std::string x_label)
+    : name_(std::move(name)), x_label_(std::move(x_label)) {}
+
+int DataSeries::add_column(std::string label) {
+  labels_.push_back(std::move(label));
+  cols_.emplace_back();
+  return static_cast<int>(cols_.size()) - 1;
+}
+
+void DataSeries::add_sample(double x, const std::vector<double>& ys) {
+  if (ys.size() != cols_.size())
+    throw std::invalid_argument("DataSeries: sample arity mismatch");
+  x_.push_back(x);
+  for (std::size_t i = 0; i < ys.size(); ++i) cols_[i].push_back(ys[i]);
+}
+
+const std::vector<double>& DataSeries::column(int idx) const {
+  return cols_.at(static_cast<std::size_t>(idx));
+}
+
+const std::string& DataSeries::column_label(int idx) const {
+  return labels_.at(static_cast<std::size_t>(idx));
+}
+
+void DataSeries::write_csv(std::ostream& os) const {
+  os << x_label_;
+  for (const auto& label : labels_) os << ',' << label;
+  os << '\n';
+  for (std::size_t i = 0; i < x_.size(); ++i) {
+    os << x_[i];
+    for (const auto& col : cols_) os << ',' << col[i];
+    os << '\n';
+  }
+}
+
+void DataSeries::print(std::ostream& os, int precision) const {
+  os << "# " << name_ << '\n';
+  os << std::setw(14) << x_label_;
+  for (const auto& label : labels_) os << std::setw(16) << label;
+  os << '\n';
+  os << std::setprecision(precision);
+  for (std::size_t i = 0; i < x_.size(); ++i) {
+    os << std::setw(14) << x_[i];
+    for (const auto& col : cols_) os << std::setw(16) << col[i];
+    os << '\n';
+  }
+}
+
+}  // namespace cpsinw::util

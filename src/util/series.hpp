@@ -1,0 +1,47 @@
+// Named data series: the exchange format between experiment drivers and the
+// benchmark binaries that print figure data (and optionally CSV files).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cpsinw::util {
+
+/// One curve: an x-axis and one or more named y-columns sharing that axis.
+/// Mirrors how each subplot of the paper's figures is organized.
+class DataSeries {
+ public:
+  /// @param name series title (e.g. "Fig5a INV t1")
+  /// @param x_label axis label (e.g. "Vcut [V]")
+  DataSeries(std::string name, std::string x_label);
+
+  /// Adds an empty y-column; returns its index.
+  int add_column(std::string label);
+
+  /// Appends one sample: x plus one value per registered column.
+  /// @throws std::invalid_argument if ys arity mismatches columns.
+  void add_sample(double x, const std::vector<double>& ys);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<double>& x() const { return x_; }
+  [[nodiscard]] const std::vector<double>& column(int idx) const;
+  [[nodiscard]] const std::string& column_label(int idx) const;
+  [[nodiscard]] int column_count() const { return static_cast<int>(cols_.size()); }
+  [[nodiscard]] std::size_t size() const { return x_.size(); }
+
+  /// Writes the series as CSV (header row + samples).
+  void write_csv(std::ostream& os) const;
+
+  /// Pretty-prints as an aligned table for terminal output.
+  void print(std::ostream& os, int precision = 4) const;
+
+ private:
+  std::string name_;
+  std::string x_label_;
+  std::vector<std::string> labels_;
+  std::vector<double> x_;
+  std::vector<std::vector<double>> cols_;
+};
+
+}  // namespace cpsinw::util

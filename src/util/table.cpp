@@ -1,0 +1,113 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace cpsinw::util {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  if (headers_.empty())
+    throw std::invalid_argument("AsciiTable: headers must not be empty");
+}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size())
+    throw std::invalid_argument("AsciiTable: row arity mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+AsciiTable::RowBuilder& AsciiTable::RowBuilder::cell(std::string text) {
+  cells_.push_back(std::move(text));
+  return *this;
+}
+
+AsciiTable::RowBuilder& AsciiTable::RowBuilder::num(double value,
+                                                    int precision) {
+  cells_.push_back(format_fixed(value, precision));
+  return *this;
+}
+
+AsciiTable::RowBuilder& AsciiTable::RowBuilder::sci(double value,
+                                                    int precision) {
+  cells_.push_back(format_sci(value, precision));
+  return *this;
+}
+
+AsciiTable::RowBuilder& AsciiTable::RowBuilder::boolean(bool value) {
+  cells_.push_back(format_yes_no(value));
+  return *this;
+}
+
+AsciiTable::RowBuilder::~RowBuilder() {
+  if (!cells_.empty()) table_.add_row(std::move(cells_));
+}
+
+namespace {
+
+std::vector<std::size_t> column_widths(
+    const std::vector<std::string>& headers,
+    const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(headers.size());
+  for (std::size_t c = 0; c < headers.size(); ++c) widths[c] = headers[c].size();
+  for (const auto& row : rows)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  return widths;
+}
+
+void print_rule(std::ostream& os, const std::vector<std::size_t>& widths) {
+  os << '+';
+  for (const std::size_t w : widths) {
+    for (std::size_t i = 0; i < w + 2; ++i) os << '-';
+    os << '+';
+  }
+  os << '\n';
+}
+
+void print_cells(std::ostream& os, const std::vector<std::string>& cells,
+                 const std::vector<std::size_t>& widths) {
+  os << '|';
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    const std::string& text = c < cells.size() ? cells[c] : std::string{};
+    os << ' ' << text;
+    for (std::size_t i = text.size(); i < widths[c] + 1; ++i) os << ' ';
+    os << '|';
+  }
+  os << '\n';
+}
+
+}  // namespace
+
+void AsciiTable::print(std::ostream& os) const {
+  const auto widths = column_widths(headers_, rows_);
+  print_rule(os, widths);
+  print_cells(os, headers_, widths);
+  print_rule(os, widths);
+  for (const auto& row : rows_) print_cells(os, row, widths);
+  print_rule(os, widths);
+}
+
+std::string AsciiTable::to_string() const {
+  std::ostringstream oss;
+  print(oss);
+  return oss.str();
+}
+
+std::string format_fixed(double value, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << value;
+  return oss.str();
+}
+
+std::string format_sci(double value, int precision) {
+  std::ostringstream oss;
+  oss << std::scientific << std::setprecision(precision) << value;
+  return oss.str();
+}
+
+std::string format_yes_no(bool value) { return value ? "Yes" : "No"; }
+
+}  // namespace cpsinw::util

@@ -1,0 +1,69 @@
+// ASCII table printer used by the benchmark binaries to render paper tables.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cpsinw::util {
+
+/// Column-aligned ASCII table.  Cells are strings; numeric helpers format
+/// with engineering-friendly precision.  Example output:
+///
+///   +----------+---------+---------+
+///   | fault    | vector  | detect  |
+///   +----------+---------+---------+
+///   | t1 SA-N  | 00      | IDDQ    |
+///   +----------+---------+---------+
+class AsciiTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  /// @throws std::invalid_argument on arity mismatch.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: starts a new row builder.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(AsciiTable& table) : table_(table) {}
+    RowBuilder& cell(std::string text);
+    RowBuilder& num(double value, int precision = 4);
+    RowBuilder& sci(double value, int precision = 3);
+    RowBuilder& boolean(bool value);
+    ~RowBuilder();
+    RowBuilder(const RowBuilder&) = delete;
+    RowBuilder& operator=(const RowBuilder&) = delete;
+
+   private:
+    AsciiTable& table_;
+    std::vector<std::string> cells_;
+  };
+
+  /// Starts building a row fluently; the row is committed on destruction.
+  [[nodiscard]] RowBuilder row() { return RowBuilder(*this); }
+
+  /// Renders the table to a stream.
+  void print(std::ostream& os) const;
+
+  /// Renders the table into a string.
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double in fixed notation with the given precision.
+[[nodiscard]] std::string format_fixed(double value, int precision = 4);
+
+/// Formats a double in scientific notation with the given precision.
+[[nodiscard]] std::string format_sci(double value, int precision = 3);
+
+/// Formats a bool as "yes"/"no" (the paper's Table III vocabulary).
+[[nodiscard]] std::string format_yes_no(bool value);
+
+}  // namespace cpsinw::util

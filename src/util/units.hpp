@@ -1,0 +1,27 @@
+// Physical constants and unit helpers shared across the library.
+#pragma once
+
+namespace cpsinw::util {
+
+/// Boltzmann constant times temperature over elementary charge at 300 K [V].
+inline constexpr double kThermalVoltage300K = 0.025852;
+
+/// Elementary charge [C].
+inline constexpr double kElementaryCharge = 1.602176634e-19;
+
+/// Convenience scale factors.
+inline constexpr double kNano = 1e-9;
+inline constexpr double kPico = 1e-12;
+inline constexpr double kFemto = 1e-15;
+inline constexpr double kAtto = 1e-18;
+inline constexpr double kMicro = 1e-6;
+inline constexpr double kMilli = 1e-3;
+inline constexpr double kKilo = 1e3;
+
+/// Converts seconds to picoseconds.
+[[nodiscard]] constexpr double to_ps(double seconds) { return seconds / kPico; }
+
+/// Converts amps to nanoamps.
+[[nodiscard]] constexpr double to_na(double amps) { return amps / kNano; }
+
+}  // namespace cpsinw::util

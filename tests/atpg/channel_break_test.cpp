@@ -1,0 +1,110 @@
+#include "atpg/channel_break.hpp"
+
+#include <gtest/gtest.h>
+
+#include "logic/benchmarks.hpp"
+
+namespace cpsinw::atpg {
+namespace {
+
+using gates::CellKind;
+
+/// The paper's central claim (Sec. V-C): the polarity-complement procedure
+/// distinguishes intact from channel-broken devices in every DP cell.
+class CellChannelBreak : public ::testing::TestWithParam<CellKind> {};
+
+TEST_P(CellChannelBreak, EveryTransistorGetsADistinguishingTest) {
+  const CellKind kind = GetParam();
+  const int nt = static_cast<int>(gates::cell(kind).transistors.size());
+  for (int t = 0; t < nt; ++t) {
+    const auto test = derive_cell_test(kind, t);
+    ASSERT_TRUE(test.has_value())
+        << gates::to_string(kind) << " t" << t + 1;
+    const ChannelBreakOutcome outcome = evaluate_cell_test(kind, *test);
+    EXPECT_TRUE(outcome.distinguishes())
+        << gates::to_string(kind) << " t" << t + 1;
+    EXPECT_EQ(outcome.intact, test->expected_intact);
+    EXPECT_EQ(outcome.broken, test->expected_broken);
+  }
+}
+
+TEST(ChannelBreak, Xor2AdmitsTheCanonicalCleanForm) {
+  // For the paper's own example (the 2-input XOR) every transistor has a
+  // test where the broken device responds completely clean.
+  for (int t = 0; t < 4; ++t) {
+    const auto test = derive_cell_test(CellKind::kXor2, t);
+    ASSERT_TRUE(test.has_value()) << "t" << t + 1;
+    EXPECT_TRUE(test->broken_is_clean) << "t" << t + 1;
+  }
+}
+
+TEST(ChannelBreak, Maj3SharedDataRailsFallBackToSignatureForm) {
+  // MAJ3 routes input A to both polarity gates and pass-data sources;
+  // polarity-complementing A also alters the data, so t1's test separates
+  // by signature difference rather than by a clean broken response.
+  const auto test = derive_cell_test(CellKind::kMaj3, 0);
+  ASSERT_TRUE(test.has_value());
+  const ChannelBreakOutcome outcome =
+      evaluate_cell_test(CellKind::kMaj3, *test);
+  EXPECT_TRUE(outcome.distinguishes());
+}
+
+INSTANTIATE_TEST_SUITE_P(DpCells, CellChannelBreak,
+                         ::testing::Values(CellKind::kXor2, CellKind::kXor3,
+                                           CellKind::kMaj3),
+                         [](const auto& info) {
+                           return std::string(gates::to_string(info.param));
+                         });
+
+TEST(ChannelBreak, RailsAreDeliberatelyInconsistent) {
+  const auto test = derive_cell_test(CellKind::kXor2, 2);  // t3
+  ASSERT_TRUE(test.has_value());
+  const int n = gates::input_count(CellKind::kXor2);
+  const unsigned mask = (1u << n) - 1u;
+  // A consistent assignment satisfies bar == ~true; the CB test must not.
+  EXPECT_NE(test->rails.bar_bits & mask,
+            ~test->rails.true_bits & mask);
+}
+
+TEST(ChannelBreak, SpCellsAreNotTargets) {
+  EXPECT_FALSE(derive_cell_test(CellKind::kInv, 0).has_value());
+  EXPECT_FALSE(derive_cell_test(CellKind::kNand2, 0).has_value());
+  EXPECT_THROW((void)derive_cell_test(CellKind::kXor2, 9),
+               std::invalid_argument);
+}
+
+TEST(ChannelBreak, CircuitLevelGenerationJustifiesLocalVectors) {
+  const logic::Circuit ckt = logic::ripple_adder(2);
+  const auto tests = generate_channel_break_tests(ckt);
+  // 4 DP gates (2 XOR3 + 2 MAJ3) x 4 transistors.
+  EXPECT_EQ(tests.size(), 16u);
+  int justified = 0;
+  for (const ChannelBreakTest& t : tests) {
+    EXPECT_GE(t.gate, 0);
+    if (t.pattern) ++justified;
+    // The emulated fault is one of the paper's two polarity models.
+    const bool polarity =
+        t.emulated_polarity == gates::TransistorFault::kStuckAtNType ||
+        t.emulated_polarity == gates::TransistorFault::kStuckAtPType;
+    EXPECT_TRUE(polarity);
+  }
+  EXPECT_GT(justified, 12);  // nearly all local vectors reachable
+}
+
+TEST(ChannelBreak, PiAccessibilityIsTracked) {
+  // full_adder: both gates read PIs directly.
+  const auto fa_tests =
+      generate_channel_break_tests(logic::full_adder());
+  for (const auto& t : fa_tests) EXPECT_TRUE(t.pi_accessible);
+
+  // parity chain: deeper XOR3 gates read internal nets.
+  const auto chain_tests =
+      generate_channel_break_tests(logic::xor3_parity_chain(5));
+  bool some_internal = false;
+  for (const auto& t : chain_tests)
+    if (!t.pi_accessible) some_internal = true;
+  EXPECT_TRUE(some_internal);
+}
+
+}  // namespace
+}  // namespace cpsinw::atpg

@@ -1,0 +1,77 @@
+#include "atpg/compaction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "atpg/podem.hpp"
+#include "logic/benchmarks.hpp"
+
+namespace cpsinw::atpg {
+namespace {
+
+using faults::Fault;
+using logic::LogicV;
+using logic::Pattern;
+
+std::vector<Pattern> exhaustive_patterns(const logic::Circuit& ckt) {
+  const int n = static_cast<int>(ckt.primary_inputs().size());
+  std::vector<Pattern> out;
+  for (unsigned v = 0; v < (1u << n); ++v) {
+    Pattern p(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+      p[static_cast<std::size_t>(i)] = logic::from_bool((v >> i) & 1u);
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+TEST(Compaction, PreservesCoverageWhileShrinking) {
+  const logic::Circuit ckt = logic::c17();
+  faults::FaultListOptions flo;
+  flo.include_transistor_faults = false;
+  const auto faults = generate_fault_list(ckt, flo);
+  const auto patterns = exhaustive_patterns(ckt);  // 32 patterns
+
+  faults::FaultSimOptions fso;
+  fso.observe_iddq = false;
+  fso.sequential_patterns = false;
+  const CompactionResult r = compact_patterns(ckt, faults, patterns, fso);
+  EXPECT_EQ(r.original_count, 32);
+  EXPECT_LT(r.patterns.size(), 32u);
+  EXPECT_GE(r.coverage_after, r.coverage_before);
+  EXPECT_DOUBLE_EQ(r.coverage_after, 1.0);
+  // c17's minimal complete stuck-at test set is famously tiny.
+  EXPECT_LE(r.patterns.size(), 10u);
+}
+
+TEST(Compaction, EmptyInputsAreHandled) {
+  const logic::Circuit ckt = logic::c17();
+  faults::FaultListOptions flo;
+  flo.include_transistor_faults = false;
+  const auto faults = generate_fault_list(ckt, flo);
+  const CompactionResult r = compact_patterns(ckt, faults, {});
+  EXPECT_TRUE(r.patterns.empty());
+  EXPECT_EQ(r.original_count, 0);
+}
+
+TEST(Compaction, AtpgSetCompactsWithoutCoverageLoss) {
+  const logic::Circuit ckt = logic::multiplier_2x2();
+  const PodemEngine engine(ckt);
+  faults::FaultListOptions flo;
+  flo.include_transistor_faults = false;
+  const auto faults = generate_fault_list(ckt, flo);
+
+  std::vector<Pattern> patterns;
+  for (const Fault& f : faults) {
+    const AtpgResult r = engine.generate_line(f);
+    if (r.status == AtpgStatus::kDetected) patterns.push_back(r.pattern);
+  }
+  faults::FaultSimOptions fso;
+  fso.observe_iddq = false;
+  fso.sequential_patterns = false;
+  const CompactionResult r = compact_patterns(ckt, faults, patterns, fso);
+  EXPECT_LT(r.patterns.size(), patterns.size());
+  EXPECT_GE(r.coverage_after, r.coverage_before - 1e-12);
+}
+
+}  // namespace
+}  // namespace cpsinw::atpg

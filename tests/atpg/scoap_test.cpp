@@ -1,0 +1,97 @@
+#include "atpg/scoap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "logic/benchmarks.hpp"
+
+namespace cpsinw::atpg {
+namespace {
+
+TEST(Scoap, PrimaryInputsCostOne) {
+  const logic::Circuit ckt = logic::c17();
+  const auto t = compute_scoap(ckt);
+  for (const logic::NetId pi : ckt.primary_inputs()) {
+    EXPECT_EQ(t[static_cast<std::size_t>(pi)].cc0, 1);
+    EXPECT_EQ(t[static_cast<std::size_t>(pi)].cc1, 1);
+  }
+}
+
+TEST(Scoap, InverterSwapsControllabilities) {
+  logic::Circuit c;
+  const auto a = c.add_primary_input("a");
+  const auto y = c.add_net("y");
+  c.add_gate(gates::CellKind::kInv, {a}, y);
+  c.mark_primary_output(y);
+  c.finalize();
+  const auto t = compute_scoap(c);
+  // CC0(y) = CC1(a) + 1 = 2; CC1(y) = CC0(a) + 1 = 2.
+  EXPECT_EQ(t[static_cast<std::size_t>(y)].cc0, 2);
+  EXPECT_EQ(t[static_cast<std::size_t>(y)].cc1, 2);
+  EXPECT_EQ(t[static_cast<std::size_t>(y)].obs, 0);
+  EXPECT_EQ(t[static_cast<std::size_t>(a)].obs, 1);
+}
+
+TEST(Scoap, NandAsymmetry) {
+  logic::Circuit c;
+  const auto a = c.add_primary_input("a");
+  const auto b = c.add_primary_input("b");
+  const auto y = c.add_net("y");
+  c.add_gate(gates::CellKind::kNand2, {a, b}, y);
+  c.mark_primary_output(y);
+  c.finalize();
+  const auto t = compute_scoap(c);
+  // NAND: out=0 needs both inputs 1 (cost 1+1+1=3); out=1 needs one 0
+  // (cost 1+1=2).
+  EXPECT_EQ(t[static_cast<std::size_t>(y)].cc0, 3);
+  EXPECT_EQ(t[static_cast<std::size_t>(y)].cc1, 2);
+  // Observing a requires b=1: obs = 1 (side) + 1 (gate) + 0.
+  EXPECT_EQ(t[static_cast<std::size_t>(a)].obs, 2);
+}
+
+TEST(Scoap, XorBothValuesEquallyHard) {
+  logic::Circuit c;
+  const auto a = c.add_primary_input("a");
+  const auto b = c.add_primary_input("b");
+  const auto y = c.add_net("y");
+  c.add_gate(gates::CellKind::kXor2, {a, b}, y);
+  c.mark_primary_output(y);
+  c.finalize();
+  const auto t = compute_scoap(c);
+  EXPECT_EQ(t[static_cast<std::size_t>(y)].cc0,
+            t[static_cast<std::size_t>(y)].cc1);
+  EXPECT_EQ(t[static_cast<std::size_t>(y)].cc0, 3);
+}
+
+TEST(Scoap, ConstantsAreFreeOneWayImpossibleTheOther) {
+  logic::Circuit c;
+  const auto a = c.add_primary_input("a");
+  const auto one = c.add_constant(logic::LogicV::k1);
+  const auto y = c.add_net("y");
+  c.add_gate(gates::CellKind::kNand2, {a, one}, y);
+  c.mark_primary_output(y);
+  c.finalize();
+  const auto t = compute_scoap(c);
+  EXPECT_EQ(t[static_cast<std::size_t>(one)].cc1, 0);
+  EXPECT_GT(t[static_cast<std::size_t>(one)].cc0, 1 << 20);  // unreachable
+  // y behaves like NOT a.
+  EXPECT_EQ(t[static_cast<std::size_t>(y)].cc0, 2);
+}
+
+TEST(Scoap, DepthIncreasesCost) {
+  const logic::Circuit chain = logic::xor3_parity_chain(9);
+  const auto t = compute_scoap(chain);
+  const auto po = chain.primary_outputs().front();
+  // Four cascaded XOR3 stages: controllability grows with depth.
+  EXPECT_GT(t[static_cast<std::size_t>(po)].cc1, 4);
+  // The first PI is buried under all stages for observability.
+  EXPECT_GT(t[static_cast<std::size_t>(chain.primary_inputs()[0])].obs, 3);
+}
+
+TEST(Scoap, RejectsUnfinalizedCircuit) {
+  logic::Circuit c;
+  c.add_primary_input("a");
+  EXPECT_THROW((void)compute_scoap(c), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cpsinw::atpg

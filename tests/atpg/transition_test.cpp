@@ -1,0 +1,98 @@
+#include "atpg/transition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "logic/benchmarks.hpp"
+
+namespace cpsinw::atpg {
+namespace {
+
+using logic::LogicV;
+using logic::Pattern;
+
+TEST(Transition, EnumerationSkipsConstants) {
+  logic::Circuit c;
+  const auto a = c.add_primary_input("a");
+  const auto one = c.add_constant(LogicV::k1);
+  const auto y = c.add_net("y");
+  c.add_gate(gates::CellKind::kNand2, {a, one}, y);
+  c.mark_primary_output(y);
+  c.finalize();
+  const auto faults = enumerate_transition_faults(c);
+  // Nets a and y, two faults each; the constant net has none.
+  EXPECT_EQ(faults.size(), 4u);
+  for (const TransitionFault& f : faults) EXPECT_NE(f.net, one);
+}
+
+TEST(Transition, InverterPairIsFound) {
+  logic::Circuit c;
+  const auto a = c.add_primary_input("a");
+  const auto y = c.add_net("y");
+  c.add_gate(gates::CellKind::kInv, {a}, y);
+  c.mark_primary_output(y);
+  c.finalize();
+  // Slow-to-rise on y: launch a=1 (y=0), capture a=0 (y should rise).
+  const TransitionResult r =
+      generate_transition_test(c, {y, /*slow_to_rise=*/true});
+  ASSERT_EQ(r.status, AtpgStatus::kDetected);
+  EXPECT_EQ(r.test->launch[0], LogicV::k1);
+  EXPECT_EQ(r.test->capture[0], LogicV::k0);
+}
+
+TEST(Transition, DetectionRequiresActualTransition) {
+  logic::Circuit c;
+  const auto a = c.add_primary_input("a");
+  const auto y = c.add_net("y");
+  c.add_gate(gates::CellKind::kBuf, {a}, y);
+  c.mark_primary_output(y);
+  c.finalize();
+  const TransitionFault str{y, true};  // slow-to-rise
+  const Pattern lo = {LogicV::k0};
+  const Pattern hi = {LogicV::k1};
+  EXPECT_TRUE(transition_detected(c, str, lo, hi));
+  EXPECT_FALSE(transition_detected(c, str, hi, hi));  // no launch
+  EXPECT_FALSE(transition_detected(c, str, lo, lo));  // no transition
+}
+
+/// Soundness sweep: every generated launch/capture pair verifies, and the
+/// irredundant benchmarks reach full transition coverage.
+class TransitionSoundness : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TransitionSoundness, AllGeneratedTestsVerify) {
+  const std::string name = GetParam();
+  logic::Circuit ckt;
+  if (name == "c17") ckt = logic::c17();
+  else if (name == "full_adder") ckt = logic::full_adder();
+  else if (name == "parity_tree_6") ckt = logic::parity_tree(6);
+  else if (name == "multiplier_2x2") ckt = logic::multiplier_2x2();
+  else FAIL();
+
+  const TransitionCoverage cov = generate_all_transition_tests(ckt);
+  EXPECT_EQ(cov.total, cov.detected + cov.untestable + cov.aborted);
+  EXPECT_GT(cov.coverage(), 0.9);
+  for (const TransitionTest& t : cov.tests)
+    EXPECT_TRUE(transition_detected(ckt, t.fault, t.launch, t.capture));
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, TransitionSoundness,
+                         ::testing::Values("c17", "full_adder",
+                                           "parity_tree_6",
+                                           "multiplier_2x2"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+TEST(Transition, RejectsBadInputs) {
+  const logic::Circuit ckt = logic::c17();
+  EXPECT_THROW(
+      (void)generate_transition_test(ckt, {-1, true}),
+      std::invalid_argument);
+  const PodemEngine engine(ckt);
+  EXPECT_THROW((void)engine.justify_net_value(0, LogicV::kX),
+               std::invalid_argument);
+  EXPECT_THROW((void)engine.justify_net_value(-1, LogicV::k0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cpsinw::atpg

@@ -1,0 +1,182 @@
+#include "core/experiments.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cpsinw::core {
+namespace {
+
+TEST(Experiments, Table2DerivedElectricalsAreCalibrated) {
+  const DerivedElectricals e = derived_electricals();
+  EXPECT_GT(e.ids_sat_n, 3e-5);
+  EXPECT_LT(e.ids_sat_n, 7e-5);
+  EXPECT_NEAR(e.ids_sat_n / e.ids_sat_p, 2.0, 0.3);
+  EXPECT_GT(e.on_off_ratio, 1e5);
+  EXPECT_NEAR(e.vth_n, 0.40, 0.08);
+  EXPECT_GT(e.ss_mv_dec, 60.0);
+  EXPECT_LT(e.ss_mv_dec, 120.0);
+}
+
+TEST(Experiments, Fig3ShapesMatchPaper) {
+  const Fig3Data data = run_fig3(41);
+  ASSERT_EQ(data.cases.size(), 4u);
+  const Fig3Case& ff = data.cases[0];
+  const Fig3Case& pgs = data.cases[1];
+  const Fig3Case& cg = data.cases[2];
+  const Fig3Case& pgd = data.cases[3];
+
+  // Fig. 3a: strong reduction + Delta V_Th = 170 mV at PGS.
+  EXPECT_LT(pgs.isat_ratio_vs_ff, 0.5);
+  EXPECT_NEAR(pgs.delta_vth_vs_ff, 0.170, 0.04);
+  // Fig. 3b: milder than PGS.
+  EXPECT_LT(cg.isat_ratio_vs_ff, 1.0);
+  EXPECT_GT(cg.isat_ratio_vs_ff, pgs.isat_ratio_vs_ff);
+  // Fig. 3c: slight increase, no V_Th shift.
+  EXPECT_GT(pgd.isat_ratio_vs_ff, 1.0);
+  EXPECT_LT(pgd.isat_ratio_vs_ff, 1.2);
+  EXPECT_NEAR(pgd.delta_vth_vs_ff, 0.0, 0.02);
+  // Negative I_D at low V_D for the source-side/CG shorts only.
+  EXPECT_LT(pgs.min_output_current, 0.0);
+  EXPECT_LT(cg.min_output_current, 0.0);
+  EXPECT_GE(ff.min_output_current, 0.0);
+  // Series data is present for plotting.
+  EXPECT_EQ(ff.transfer.size(), 41u);
+  EXPECT_EQ(ff.output.size(), 41u);
+}
+
+TEST(Experiments, Fig4DensitiesWithinFivePercentOfPaper) {
+  const Fig4Data data = run_fig4();
+  ASSERT_EQ(data.cases.size(), 4u);
+  for (const Fig4Case& c : data.cases) {
+    EXPECT_NEAR(c.reported_cm3, c.paper_cm3, 0.05 * c.paper_cm3)
+        << c.label;
+    EXPECT_GT(c.profile.size(), 100u);
+  }
+}
+
+TEST(Experiments, Table3MatchesPaperInvariants) {
+  const Table3Data data = run_table3();
+  ASSERT_EQ(data.rows.size(), 8u);
+  for (const Table3Row& row : data.rows) {
+    // Every polarity fault is IDDQ-detectable (paper Table III).
+    EXPECT_TRUE(row.leakage_detect)
+        << "t" << row.transistor + 1 << " " << gates::to_string(row.kind);
+    // The SPICE cross-check confirms the leakage swing (>= 4 decades).
+    EXPECT_GT(row.iddq_faulty_a, 1e4 * row.iddq_ff_a)
+        << "t" << row.transistor + 1 << " " << gates::to_string(row.kind);
+    // Pull-up faults: output must stay correct; pull-down: detectable.
+    if (row.transistor < 2) {
+      EXPECT_FALSE(row.output_detect) << "t" << row.transistor + 1;
+    } else {
+      EXPECT_TRUE(row.output_detect) << "t" << row.transistor + 1;
+    }
+  }
+}
+
+TEST(Experiments, NandSofReproducesPaperVectors) {
+  const NandSofData data = run_nand_sof();
+  ASSERT_EQ(data.per_transistor.size(), 4u);
+  for (const auto& r : data.per_transistor)
+    EXPECT_EQ(r.status, atpg::AtpgStatus::kDetected);
+  // Exactly the paper's three two-pattern tests, printed A-first:
+  // v1 = (11 -> 01), v2 = (11 -> 10), v3 = (00 -> 11).
+  ASSERT_EQ(data.distinct_pairs.size(), 3u);
+  EXPECT_NE(std::find(data.distinct_pairs.begin(), data.distinct_pairs.end(),
+                      "11->01"),
+            data.distinct_pairs.end());
+  EXPECT_NE(std::find(data.distinct_pairs.begin(), data.distinct_pairs.end(),
+                      "11->10"),
+            data.distinct_pairs.end());
+  EXPECT_NE(std::find(data.distinct_pairs.begin(), data.distinct_pairs.end(),
+                      "00->11"),
+            data.distinct_pairs.end());
+}
+
+TEST(Experiments, GosDetectabilityMatchesPaperConclusion) {
+  const GosDetectData data = run_gos_detectability();
+  ASSERT_EQ(data.entries.size(), 12u);  // 4 devices x 3 locations
+  for (const GosDetectEntry& e : data.entries) {
+    // The paper's conclusion: every GOS shows up in delay and/or leakage.
+    EXPECT_TRUE(e.detectable_by_delay || e.detectable_by_iddq)
+        << gates::to_string(e.kind) << " t" << e.transistor + 1 << " "
+        << device::to_string(e.location);
+    // The oxide short leaks gate current in every quiescent state.
+    EXPECT_TRUE(e.detectable_by_iddq);
+    // Fig. 3 hierarchy: the source-side short degrades drive the most,
+    // the drain-side short barely moves the delay.
+    if (e.location == device::GateTerminal::kPGS) {
+      EXPECT_GT(e.delay_increase_pct, 50.0);
+    }
+    if (e.location == device::GateTerminal::kPGD) {
+      EXPECT_LT(std::abs(e.delay_increase_pct), 30.0);
+    }
+  }
+}
+
+TEST(Experiments, Fig5ShapesAtReducedResolution) {
+  // A coarse (7-point) run of the Fig. 5 driver: the paper's qualitative
+  // shapes must survive any recalibration.
+  Fig5Options opt;
+  opt.sweep_points = 7;
+  opt.dt = 4e-12;
+  const Fig5Data data = run_fig5(opt);
+  ASSERT_EQ(data.curves.size(), 12u);  // 3 gates x {t1,t3} x {PGS,PGD}
+
+  const auto find_curve = [&](gates::CellKind kind, const char* label,
+                              gates::PgTerminal term) -> const Fig5Curve& {
+    for (const Fig5Curve& c : data.curves)
+      if (c.gate == kind && c.transistor_label == label &&
+          c.cut_terminal == term)
+        return c;
+    throw std::logic_error("curve not found");
+  };
+
+  // INV t1, PGS (injection-side) cut: delay grows with V_cut and the
+  // transition eventually fails (stuck-open region beyond ~0.56 V).
+  const Fig5Curve& inv_pgs =
+      find_curve(gates::CellKind::kInv, "t1", gates::PgTerminal::kPgs);
+  EXPECT_NEAR(inv_pgs.points.front().delay_s, inv_pgs.nominal_delay_s,
+              0.05 * inv_pgs.nominal_delay_s);
+  EXPECT_TRUE(inv_pgs.points.back().transition_failed);
+
+  // INV t1, PGD (collection-side) cut: transition keeps completing, but
+  // leakage grows by orders of magnitude toward high V_cut.
+  const Fig5Curve& inv_pgd =
+      find_curve(gates::CellKind::kInv, "t1", gates::PgTerminal::kPgd);
+  EXPECT_FALSE(inv_pgd.points.back().transition_failed);
+  EXPECT_GT(inv_pgd.points.back().leakage_a,
+            100.0 * inv_pgd.points.front().leakage_a);
+
+  // NAND t3: leakage clamped by the series partner (paper Fig. 5e).
+  const Fig5Curve& nand_pgd =
+      find_curve(gates::CellKind::kNand2, "t3", gates::PgTerminal::kPgd);
+  for (const Fig5Point& pt : nand_pgd.points)
+    EXPECT_LT(pt.leakage_a, 2e-9);
+
+  // XOR t1: the function never dies (transmission redundancy) — no SOF
+  // anywhere on the sweep.
+  const Fig5Curve& xor_pgs =
+      find_curve(gates::CellKind::kXor2, "t1", gates::PgTerminal::kPgs);
+  for (const Fig5Point& pt : xor_pgs.points)
+    EXPECT_FALSE(pt.transition_failed);
+}
+
+TEST(Experiments, Sec5cChannelBreakMaskingAndDetection) {
+  const Sec5cData data = run_sec5c();
+  ASSERT_EQ(data.entries.size(), 4u);
+  for (const Sec5cEntry& e : data.entries) {
+    // The new procedure must exist and work at both abstraction levels.
+    EXPECT_TRUE(e.cb_test_exists) << "t" << e.transistor + 1;
+    EXPECT_TRUE(e.cb_distinguishes_cell) << "t" << e.transistor + 1;
+    EXPECT_TRUE(e.cb_spice_distinguishes) << "t" << e.transistor + 1;
+    EXPECT_GT(e.cb_iddq_intact_a, 1e-6) << "t" << e.transistor + 1;
+    EXPECT_LT(e.cb_iddq_broken_a, 1e-7) << "t" << e.transistor + 1;
+  }
+  // Pull-up breaks leave the DC function fully intact (masked).
+  EXPECT_TRUE(data.entries[0].function_preserved_dc);
+  EXPECT_TRUE(data.entries[1].function_preserved_dc);
+}
+
+}  // namespace
+}  // namespace cpsinw::core

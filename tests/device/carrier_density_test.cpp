@@ -1,0 +1,84 @@
+#include "device/carrier_density.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace cpsinw::device {
+namespace {
+
+DefectState gos_at(GateTerminal where) {
+  return make_gos_state(where, 25.0);
+}
+
+/// Paper Fig. 4 headline numbers, reproduced within a few percent.
+TEST(CarrierDensity, Fig4ReportedDensities) {
+  const TigParams p;
+  const Fig4Reference ref;
+  EXPECT_NEAR(reported_density_cm3(p, {}), ref.fault_free,
+              0.01 * ref.fault_free);
+  EXPECT_NEAR(reported_density_cm3(p, gos_at(GateTerminal::kPGS)),
+              ref.gos_pgs, 0.05 * ref.gos_pgs);
+  EXPECT_NEAR(reported_density_cm3(p, gos_at(GateTerminal::kCG)),
+              ref.gos_cg, 0.05 * ref.gos_cg);
+  EXPECT_NEAR(reported_density_cm3(p, gos_at(GateTerminal::kPGD)),
+              ref.gos_pgd, 0.05 * ref.gos_pgd);
+}
+
+/// GOS at PGS produces the deepest collapse (paper: two orders of
+/// magnitude, driven by source-accelerated hole injection).
+TEST(CarrierDensity, PgsCaseIsWorst) {
+  const TigParams p;
+  const double pgs = reported_density_cm3(p, gos_at(GateTerminal::kPGS));
+  const double cg = reported_density_cm3(p, gos_at(GateTerminal::kCG));
+  const double pgd = reported_density_cm3(p, gos_at(GateTerminal::kPGD));
+  EXPECT_LT(pgs, cg);
+  EXPECT_LT(pgs, pgd);
+}
+
+TEST(CarrierDensity, ProfileHasDipAtGosSite) {
+  const TigParams p;
+  for (const GateTerminal where :
+       {GateTerminal::kPGS, GateTerminal::kCG, GateTerminal::kPGD}) {
+    const auto prof = electron_density_profile(p, gos_at(where));
+    const auto it = std::min_element(prof.density_cm3.begin(),
+                                     prof.density_cm3.end());
+    const std::size_t idx =
+        static_cast<std::size_t>(it - prof.density_cm3.begin());
+    const double x_min = prof.x_nm[idx];
+    EXPECT_NEAR(x_min, p.gate_center_nm(where), 6.0)
+        << "dip should sit at " << to_string(where);
+  }
+}
+
+TEST(CarrierDensity, FaultFreeProfileSmoothlyDecreasesTowardDrain) {
+  const TigParams p;
+  const auto prof = electron_density_profile(p, {});
+  ASSERT_GT(prof.density_cm3.size(), 10u);
+  EXPECT_GT(prof.density_cm3.front(), prof.density_cm3.back());
+  for (std::size_t i = 1; i < prof.density_cm3.size(); ++i)
+    EXPECT_LE(prof.density_cm3[i], prof.density_cm3[i - 1] * 1.0001);
+}
+
+TEST(CarrierDensity, ProfileSamplesMatchRequestedCount) {
+  const TigParams p;
+  const auto prof = electron_density_profile(p, {}, 51);
+  EXPECT_EQ(prof.x_nm.size(), 51u);
+  EXPECT_EQ(prof.density_cm3.size(), 51u);
+  EXPECT_DOUBLE_EQ(prof.x_nm.front(), 0.0);
+  EXPECT_DOUBLE_EQ(prof.x_nm.back(), p.channel_length_nm());
+  EXPECT_THROW((void)electron_density_profile(p, {}, 1),
+               std::invalid_argument);
+}
+
+TEST(CarrierDensity, BreakDefectDepressesMidChannel) {
+  const TigParams p;
+  const DefectState broken = make_break_state(1.0);
+  const auto prof = electron_density_profile(p, broken);
+  const auto ff = electron_density_profile(p, {});
+  const std::size_t mid = prof.density_cm3.size() / 2;
+  EXPECT_LT(prof.density_cm3[mid], 0.01 * ff.density_cm3[mid]);
+}
+
+}  // namespace
+}  // namespace cpsinw::device

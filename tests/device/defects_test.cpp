@@ -1,0 +1,110 @@
+#include "device/defects.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/iv_sweep.hpp"
+#include "device/tig_model.hpp"
+
+namespace cpsinw::device {
+namespace {
+
+TigModel make_gos(GateTerminal where) {
+  return TigModel(TigParams{}, make_gos_state(where, 25.0));
+}
+
+TEST(GosEffect, Fig3aPgsShort) {
+  // Paper Fig. 3a: strong I_DSAT reduction and Delta V_Th = +170 mV.
+  const TigModel ff((TigParams()));
+  const TigModel faulty = make_gos(GateTerminal::kPGS);
+  const auto s_ff = summarize_transfer(ff);
+  const auto s_f = summarize_transfer(faulty);
+  EXPECT_LT(s_f.i_sat, 0.5 * s_ff.i_sat);
+  EXPECT_GT(s_f.i_sat, 0.2 * s_ff.i_sat);
+  EXPECT_NEAR(s_f.vth - s_ff.vth, 0.170, 0.04);
+}
+
+TEST(GosEffect, Fig3bCgShortMilderThanPgs) {
+  const TigModel ff((TigParams()));
+  const TigModel pgs = make_gos(GateTerminal::kPGS);
+  const TigModel cg = make_gos(GateTerminal::kCG);
+  const auto s_ff = summarize_transfer(ff);
+  const auto s_pgs = summarize_transfer(pgs);
+  const auto s_cg = summarize_transfer(cg);
+  // Reduced, but less than the PGS case; V_Th shifted but less.
+  EXPECT_LT(s_cg.i_sat, s_ff.i_sat);
+  EXPECT_GT(s_cg.i_sat, s_pgs.i_sat);
+  EXPECT_GT(s_cg.vth, s_ff.vth);
+  EXPECT_LT(s_cg.vth - s_ff.vth, s_pgs.vth - s_ff.vth);
+}
+
+TEST(GosEffect, Fig3cPgdShortSlightIncreaseNoVthShift) {
+  const TigModel ff((TigParams()));
+  const TigModel pgd = make_gos(GateTerminal::kPGD);
+  const auto s_ff = summarize_transfer(ff);
+  const auto s_pgd = summarize_transfer(pgd);
+  EXPECT_GT(s_pgd.i_sat, s_ff.i_sat);
+  EXPECT_LT(s_pgd.i_sat, 1.2 * s_ff.i_sat);
+  EXPECT_NEAR(s_pgd.vth, s_ff.vth, 0.02);
+}
+
+/// The paper observes negative I_D at low V_D for a GOS device: the shorted
+/// gate injects current into the drain.
+TEST(GosEffect, NegativeDrainCurrentAtLowVd) {
+  for (const GateTerminal where : {GateTerminal::kPGS, GateTerminal::kCG}) {
+    const TigModel faulty = make_gos(where);
+    const auto sweep = output_sweep(faulty, 1.2, 1.2, 0.0, 1.2, 25);
+    EXPECT_LT(sweep.column(0).front(), 0.0)
+        << "GOS@" << to_string(where) << " should push I_D negative at VD=0";
+    EXPECT_GT(sweep.column(0).back(), 0.0);
+  }
+}
+
+TEST(GosEffect, FaultFreeOutputCurveStaysNonNegative) {
+  const TigModel ff((TigParams()));
+  const auto sweep = output_sweep(ff, 1.2, 1.2, 0.0, 1.2, 25);
+  for (const double i : sweep.column(0)) EXPECT_GE(i, 0.0);
+}
+
+TEST(GosEffect, SeverityScalesWithSize) {
+  const GosDefect small{GateTerminal::kPGS, 10.0};
+  const GosDefect large{GateTerminal::kPGS, 50.0};
+  const auto e_small = gos_effect(small);
+  const auto e_large = gos_effect(large);
+  EXPECT_GT(e_small.isat_scale, e_large.isat_scale);
+  EXPECT_LT(e_small.delta_vth, e_large.delta_vth);
+  EXPECT_LT(e_small.g_gate_s, e_large.g_gate_s);
+}
+
+TEST(BreakDefect, FullBreakLeavesTunnelResidue) {
+  const double scale = break_current_scale(BreakDefect{1.0});
+  EXPECT_LT(scale, 1e-5);
+  EXPECT_GT(scale, 0.0);
+}
+
+TEST(BreakDefect, PartialBreakScalesCurrent) {
+  const TigModel ff((TigParams()));
+  const TigModel half(TigParams{}, make_break_state(0.5));
+  EXPECT_NEAR(half.ids_sat_n() / ff.ids_sat_n(), 0.5, 0.01);
+}
+
+TEST(BreakDefect, FullBreakKillsConduction) {
+  const TigModel broken(TigParams{},
+                        make_break_state(1.0));
+  EXPECT_LT(broken.ids_sat_n(), 1e-9);
+}
+
+TEST(DefectState, Describe) {
+  EXPECT_EQ(DefectState{}.describe(), "fault-free");
+  const DefectState gos = make_gos_state(GateTerminal::kCG, 25.0);
+  EXPECT_EQ(gos.describe(), "GOS@CG(25nm2)");
+  DefectState both;
+  both.gos = GosDefect{GateTerminal::kPGS, 25.0};
+  both.nw_break = BreakDefect{1.0};
+  EXPECT_NE(both.describe().find("GOS@PGS"), std::string::npos);
+  EXPECT_NE(both.describe().find("NW-break"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cpsinw::device

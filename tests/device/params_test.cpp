@@ -1,0 +1,78 @@
+#include "device/params.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpsinw::device {
+namespace {
+
+TEST(TigParams, DefaultsMatchPaperTable2) {
+  const TigParams p;
+  EXPECT_DOUBLE_EQ(p.l_cg_nm, 22.0);
+  EXPECT_DOUBLE_EQ(p.l_pgs_nm, 22.0);
+  EXPECT_DOUBLE_EQ(p.l_pgd_nm, 22.0);
+  EXPECT_DOUBLE_EQ(p.l_sp_nm, 18.0);
+  EXPECT_DOUBLE_EQ(p.r_nw_nm, 7.5);
+  EXPECT_DOUBLE_EQ(p.t_ox_nm, 5.1);
+  EXPECT_DOUBLE_EQ(p.phi_b_ev, 0.41);
+  EXPECT_DOUBLE_EQ(p.channel_doping_cm3, 1e15);
+  EXPECT_DOUBLE_EQ(p.vdd, 1.2);
+}
+
+TEST(TigParams, ChannelLengthSumsRegions) {
+  const TigParams p;
+  EXPECT_DOUBLE_EQ(p.channel_length_nm(), 22.0 + 18.0 + 22.0 + 18.0 + 22.0);
+}
+
+TEST(TigParams, GateCentersAreOrdered) {
+  const TigParams p;
+  const double pgs = p.gate_center_nm(GateTerminal::kPGS);
+  const double cg = p.gate_center_nm(GateTerminal::kCG);
+  const double pgd = p.gate_center_nm(GateTerminal::kPGD);
+  EXPECT_LT(pgs, cg);
+  EXPECT_LT(cg, pgd);
+  EXPECT_DOUBLE_EQ(pgs, 11.0);
+  EXPECT_DOUBLE_EQ(cg, 51.0);
+  EXPECT_DOUBLE_EQ(pgd, 91.0);
+}
+
+TEST(TigParams, SubthresholdSwingIsPlausible) {
+  const TigParams p;
+  const double ss = p.subthreshold_swing_mv_dec();
+  EXPECT_GT(ss, 60.0);   // thermal limit
+  EXPECT_LT(ss, 120.0);  // still a good GAA device
+}
+
+TEST(TigParams, ValidateAcceptsDefaults) {
+  EXPECT_NO_THROW(TigParams{}.validate());
+}
+
+TEST(TigParams, ValidateRejectsBadValues) {
+  TigParams p;
+  p.vdd = -1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = TigParams{};
+  p.vth_n = 2.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = TigParams{};
+  p.k_n = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = TigParams{};
+  p.mu_ratio = 0.5;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = TigParams{};
+  p.t_ox_nm = -0.1;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(GateTerminal, Names) {
+  EXPECT_STREQ(to_string(GateTerminal::kPGS), "PGS");
+  EXPECT_STREQ(to_string(GateTerminal::kCG), "CG");
+  EXPECT_STREQ(to_string(GateTerminal::kPGD), "PGD");
+}
+
+}  // namespace
+}  // namespace cpsinw::device

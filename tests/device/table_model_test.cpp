@@ -1,0 +1,105 @@
+#include "device/table_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/rng.hpp"
+
+namespace cpsinw::device {
+namespace {
+
+TEST(TableModel, MatchesAnalyticalModelOnGridPoints) {
+  const TigModel m((TigParams()));
+  const TableModel tm = TableModel::build(m);
+  // Grid-aligned biases must match almost exactly.
+  const TigBias b{.vcg = 1.2, .vpgs = 1.2, .vpgd = 1.2, .vs = 0.0, .vd = 1.2};
+  // 1.2 lies on the default grid only if (1.2 - (-0.4)) / step is integral;
+  // with 21 points over [-0.4, 1.6] the step is 0.1 -> yes.
+  EXPECT_NEAR(tm.ids(b), m.ids(b), 1e-3 * std::abs(m.ids(b)) + 1e-15);
+}
+
+TEST(TableModel, InterpolatesWithinFewPercent) {
+  const TigModel m((TigParams()));
+  TableGrid grid;
+  grid.gate_points = 41;
+  grid.vds_points = 29;
+  const TableModel tm = TableModel::build(m, grid);
+  util::SplitMix64 rng(1234);
+  for (int i = 0; i < 300; ++i) {
+    const TigBias b{.vcg = rng.uniform(0.0, 1.2),
+                    .vpgs = rng.uniform(0.0, 1.2),
+                    .vpgd = rng.uniform(0.0, 1.2),
+                    .vs = rng.uniform(0.0, 0.6),
+                    .vd = rng.uniform(0.0, 1.2)};
+    const double exact = m.ids(b);
+    const double interp = tm.ids(b);
+    EXPECT_NEAR(interp, exact, 0.08 * std::abs(exact) + 2e-8)
+        << "bias vcg=" << b.vcg << " vpgs=" << b.vpgs << " vpgd=" << b.vpgd
+        << " vs=" << b.vs << " vd=" << b.vd;
+  }
+}
+
+TEST(TableModel, PreservesAntisymmetry) {
+  const TigModel m((TigParams()));
+  const TableModel tm = TableModel::build(m);
+  const double fwd = tm.ids(
+      {.vcg = 0.9, .vpgs = 1.1, .vpgd = 1.1, .vs = 0.1, .vd = 1.0});
+  const double rev = tm.ids(
+      {.vcg = 0.9, .vpgs = 1.1, .vpgd = 1.1, .vs = 1.0, .vd = 0.1});
+  EXPECT_NEAR(fwd, -rev, 1e-12 + 1e-9 * std::abs(fwd));
+}
+
+TEST(TableModel, CarriesParasitics) {
+  const TigParams p;
+  const TigModel m(p);
+  const TableModel tm = TableModel::build(m);
+  EXPECT_DOUBLE_EQ(tm.c_gate(), p.c_gate_f);
+  EXPECT_DOUBLE_EQ(tm.c_sd(), p.c_sd_f);
+}
+
+TEST(TableModel, SaveLoadRoundTrip) {
+  const TigModel m((TigParams()));
+  TableGrid grid;
+  grid.gate_points = 7;
+  grid.vds_points = 5;
+  const TableModel tm = TableModel::build(m, grid);
+  std::stringstream ss;
+  tm.save(ss);
+  const TableModel loaded = TableModel::load(ss);
+  util::SplitMix64 rng(99);
+  for (int i = 0; i < 50; ++i) {
+    const TigBias b{.vcg = rng.uniform(0.0, 1.2),
+                    .vpgs = rng.uniform(0.0, 1.2),
+                    .vpgd = rng.uniform(0.0, 1.2),
+                    .vs = 0.0,
+                    .vd = rng.uniform(0.0, 1.2)};
+    EXPECT_DOUBLE_EQ(loaded.ids(b), tm.ids(b));
+  }
+}
+
+TEST(TableModel, LoadRejectsGarbage) {
+  std::stringstream ss("not-a-table 123");
+  EXPECT_THROW((void)TableModel::load(ss), std::runtime_error);
+}
+
+TEST(TableModel, RejectsDegenerateGrid) {
+  const TigModel m((TigParams()));
+  TableGrid bad;
+  bad.gate_points = 1;
+  EXPECT_THROW((void)TableModel::build(m, bad), std::invalid_argument);
+}
+
+TEST(TableModel, CapturesDefectiveDevices) {
+  const TigModel faulty(TigParams{},
+                        make_gos_state(GateTerminal::kPGS, 25.0));
+  const TableModel tm = TableModel::build(faulty);
+  const TigBias sat{.vcg = 1.2, .vpgs = 1.2, .vpgd = 1.2, .vs = 0.0,
+                    .vd = 1.2};
+  EXPECT_NEAR(tm.ids(sat), faulty.ids(sat),
+              0.02 * std::abs(faulty.ids(sat)));
+}
+
+}  // namespace
+}  // namespace cpsinw::device

@@ -1,0 +1,156 @@
+#include "device/tig_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cpsinw::device {
+namespace {
+
+constexpr double kVdd = 1.2;
+
+TigModel make_ff() { return TigModel(TigParams{}); }
+
+TEST(TigModel, SaturationCurrentMatchesCalibration) {
+  const TigModel m = make_ff();
+  // Paper Fig. 3 axis: fault-free I_DSAT ~ 5e-5 A.
+  EXPECT_GT(m.ids_sat_n(), 3.0e-5);
+  EXPECT_LT(m.ids_sat_n(), 7.0e-5);
+}
+
+TEST(TigModel, ElectronHoleDriveRatio) {
+  const TigModel m = make_ff();
+  const double ratio = m.ids_sat_n() / m.ids_sat_p();
+  EXPECT_NEAR(ratio, m.params().mu_ratio, 0.2);
+}
+
+TEST(TigModel, OnOffRatioExceedsFiveDecades) {
+  const TigModel m = make_ff();
+  EXPECT_GT(m.ids_sat_n() / m.ioff_n(), 1e5);
+}
+
+TEST(TigModel, ThresholdNearCalibratedValue) {
+  const TigModel m = make_ff();
+  EXPECT_NEAR(m.vth_n_extracted(), m.params().vth_n, 0.1);
+}
+
+/// Paper Sec. III-C conduction rule: the device conducts iff
+/// CG = PGS = PGD; mixed gate configurations are off.
+TEST(TigModel, ConductionRuleOverAllGateCorners) {
+  const TigModel m = make_ff();
+  for (unsigned bits = 0; bits < 8; ++bits) {
+    const double vcg = (bits & 1u) ? kVdd : 0.0;
+    const double vpgs = (bits & 2u) ? kVdd : 0.0;
+    const double vpgd = (bits & 4u) ? kVdd : 0.0;
+    const double i = std::abs(
+        m.ids({.vcg = vcg, .vpgs = vpgs, .vpgd = vpgd, .vs = 0.0,
+               .vd = kVdd}));
+    const bool should_conduct = (bits == 7u) || (bits == 0u);
+    if (should_conduct) {
+      EXPECT_GT(i, 1e-6) << "corner " << bits << " should conduct";
+    } else {
+      EXPECT_LT(i, 1e-7) << "corner " << bits << " should be off";
+    }
+  }
+}
+
+TEST(TigModel, AmbipolarMirrorSymmetry) {
+  const TigModel m = make_ff();
+  // All-low gates with source high = p-mode; equals n-mode / mu_ratio.
+  const double i_n = m.ids(
+      {.vcg = kVdd, .vpgs = kVdd, .vpgd = kVdd, .vs = 0.0, .vd = kVdd});
+  const double i_p = -m.ids(
+      {.vcg = 0.0, .vpgs = 0.0, .vpgd = 0.0, .vs = kVdd, .vd = 0.0});
+  EXPECT_NEAR(i_n / i_p, m.params().mu_ratio, 0.05 * m.params().mu_ratio);
+}
+
+TEST(TigModel, AntisymmetricUnderTerminalSwap) {
+  const TigModel m = make_ff();
+  for (const double vcg : {0.0, 0.6, 1.2}) {
+    for (const double vpg : {0.0, 0.6, 1.2}) {
+      const double fwd = m.ids(
+          {.vcg = vcg, .vpgs = vpg, .vpgd = vpg, .vs = 0.2, .vd = 1.0});
+      const double rev = m.ids(
+          {.vcg = vcg, .vpgs = vpg, .vpgd = vpg, .vs = 1.0, .vd = 0.2});
+      EXPECT_NEAR(fwd, -rev, 1e-12 + 1e-9 * std::abs(fwd));
+    }
+  }
+}
+
+TEST(TigModel, ZeroVdsGivesZeroCurrent) {
+  const TigModel m = make_ff();
+  EXPECT_DOUBLE_EQ(
+      m.ids({.vcg = kVdd, .vpgs = kVdd, .vpgd = kVdd, .vs = 0.6, .vd = 0.6}),
+      0.0);
+}
+
+TEST(TigModel, TransferCurveMonotoneInVcg) {
+  const TigModel m = make_ff();
+  double prev = -1.0;
+  for (double vcg = 0.0; vcg <= 1.2; vcg += 0.05) {
+    const double i = m.ids(
+        {.vcg = vcg, .vpgs = kVdd, .vpgd = kVdd, .vs = 0.0, .vd = kVdd});
+    EXPECT_GE(i, prev) << "at vcg=" << vcg;
+    prev = i;
+  }
+}
+
+TEST(TigModel, OutputCurveMonotoneInVds) {
+  const TigModel m = make_ff();
+  double prev = -1.0;
+  for (double vd = 0.0; vd <= 1.2; vd += 0.05) {
+    const double i = m.ids(
+        {.vcg = kVdd, .vpgs = kVdd, .vpgd = kVdd, .vs = 0.0, .vd = vd});
+    EXPECT_GE(i, prev) << "at vd=" << vd;
+    prev = i;
+  }
+}
+
+/// The injection-side Schottky barrier kills conduction when the polarity
+/// gate is pulled ~0.56 V away from its nominal bias — the paper's
+/// stuck-open threshold for floating polarity gates (Sec. V-A).
+TEST(TigModel, PolarityGateCutThreshold) {
+  const TigModel m = make_ff();
+  const double i_nominal = m.ids_sat_n();
+  // PGS (injection side for vs=0) lowered to vdd - 0.64 = 0.56.
+  const double i_cut = m.ids(
+      {.vcg = kVdd, .vpgs = 0.56, .vpgd = kVdd, .vs = 0.0, .vd = kVdd});
+  EXPECT_LT(i_cut, 0.35 * i_nominal);  // heavily degraded
+  EXPECT_GT(i_cut, 0.02 * i_nominal);  // but not yet off
+  // Beyond the threshold: effectively off.
+  const double i_off = m.ids(
+      {.vcg = kVdd, .vpgs = 0.30, .vpgd = kVdd, .vs = 0.0, .vd = kVdd});
+  EXPECT_LT(i_off, 0.01 * i_nominal);
+}
+
+/// The collection-side barrier is soft (quasi-ballistic transport under the
+/// drain-side gate): the same cut hurts far less.
+TEST(TigModel, CollectionSideCutIsMilder) {
+  const TigModel m = make_ff();
+  const double i_nominal = m.ids_sat_n();
+  const double i_inj = m.ids(
+      {.vcg = kVdd, .vpgs = 0.56, .vpgd = kVdd, .vs = 0.0, .vd = kVdd});
+  const double i_col = m.ids(
+      {.vcg = kVdd, .vpgs = kVdd, .vpgd = 0.56, .vs = 0.0, .vd = kVdd});
+  EXPECT_GT(i_col, 3.0 * i_inj);
+  EXPECT_GT(i_col, 0.5 * i_nominal);
+}
+
+TEST(TigModel, GateCurrentsZeroWithoutGos) {
+  const TigModel m = make_ff();
+  const TigCurrents c = m.currents(
+      {.vcg = kVdd, .vpgs = kVdd, .vpgd = kVdd, .vs = 0.0, .vd = kVdd});
+  EXPECT_DOUBLE_EQ(c.into_cg, 0.0);
+  EXPECT_DOUBLE_EQ(c.into_pgs, 0.0);
+  EXPECT_DOUBLE_EQ(c.into_pgd, 0.0);
+  EXPECT_NEAR(c.into_drain + c.into_source, 0.0, 1e-18);
+}
+
+TEST(TigModel, RejectsInvalidParams) {
+  TigParams p;
+  p.k_n = -1.0;
+  EXPECT_THROW(TigModel{p}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cpsinw::device

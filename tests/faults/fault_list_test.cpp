@@ -1,0 +1,104 @@
+#include "faults/fault_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include "logic/benchmarks.hpp"
+
+namespace cpsinw::faults {
+namespace {
+
+TEST(FaultList, CountsForFullAdder) {
+  const logic::Circuit ckt = logic::full_adder();
+  FaultListOptions opt;
+  opt.collapse = false;
+  const auto faults = generate_fault_list(ckt, opt);
+  // Uncollapsed lines: 5 nets x 2 + branch faults on fanout stems:
+  // a, b, cin each feed 2 gates -> 3 stems x 2 branches x 2 polarities.
+  EXPECT_EQ(count_line_faults(faults), 5 * 2 + 3 * 2 * 2);
+  // Transistors: 8 devices x 4 fault kinds.
+  EXPECT_EQ(count_transistor_faults(faults), 32);
+}
+
+TEST(FaultList, CollapseRemovesFanoutFreeBranches) {
+  const logic::Circuit ckt = logic::full_adder();
+  FaultListOptions collapsed;
+  collapsed.collapse = true;
+  FaultListOptions uncollapsed;
+  uncollapsed.collapse = false;
+  const auto a = generate_fault_list(ckt, collapsed);
+  const auto b = generate_fault_list(ckt, uncollapsed);
+  EXPECT_LE(a.size(), b.size());
+  // With fanout on every PI (each feeds both gates), branch faults remain.
+  EXPECT_EQ(count_line_faults(a), count_line_faults(b));
+}
+
+TEST(FaultList, CollapseDropsEquivalentTransistorFaults) {
+  // In a NAND2, the two parallel pull-up transistors have symmetric but
+  // input-distinct faults; equivalence collapsing must still deduplicate
+  // faults with identical dictionaries (e.g. stuck-on pairs).
+  logic::Circuit c;
+  const auto a = c.add_primary_input("a");
+  const auto b = c.add_primary_input("b");
+  const auto y = c.add_net("y");
+  c.add_gate(gates::CellKind::kNand2, {a, b}, y);
+  c.mark_primary_output(y);
+  c.finalize();
+  FaultListOptions collapsed;
+  collapsed.collapse = true;
+  FaultListOptions full;
+  full.collapse = false;
+  const int n_collapsed =
+      count_transistor_faults(generate_fault_list(c, collapsed));
+  const int n_full = count_transistor_faults(generate_fault_list(c, full));
+  // 16 raw faults minus the 4 benign polarity bridges (each SP device's
+  // PG bridged to the rail it is already tied to has no effect).
+  EXPECT_EQ(n_full, 12);
+  EXPECT_LT(n_collapsed, n_full);
+}
+
+TEST(FaultList, BenignRailBridgesAreExcluded) {
+  // stuck-at-p-type on an SP pull-up (PG tied to GND) is effect-free and
+  // must not appear in the universe.
+  logic::Circuit c;
+  const auto a = c.add_primary_input("a");
+  const auto y = c.add_net("y");
+  c.add_gate(gates::CellKind::kInv, {a}, y);
+  c.mark_primary_output(y);
+  c.finalize();
+  FaultListOptions full;
+  full.collapse = false;
+  for (const Fault& f : generate_fault_list(c, full)) {
+    if (f.site != FaultSite::kGateTransistor) continue;
+    const bool benign_combo =
+        (f.cell_fault.transistor == 0 &&
+         f.cell_fault.kind == gates::TransistorFault::kStuckAtPType) ||
+        (f.cell_fault.transistor == 1 &&
+         f.cell_fault.kind == gates::TransistorFault::kStuckAtNType);
+    EXPECT_FALSE(benign_combo) << f.describe(c);
+  }
+}
+
+TEST(FaultList, OptionsDisableClasses) {
+  const logic::Circuit ckt = logic::c17();
+  FaultListOptions lines_only;
+  lines_only.include_transistor_faults = false;
+  EXPECT_EQ(count_transistor_faults(generate_fault_list(ckt, lines_only)), 0);
+  FaultListOptions trans_only;
+  trans_only.include_line_stuck_at = false;
+  EXPECT_EQ(count_line_faults(generate_fault_list(ckt, trans_only)), 0);
+}
+
+TEST(Fault, DescribeIsReadable) {
+  const logic::Circuit ckt = logic::full_adder();
+  const Fault net_fault = Fault::net_stuck(ckt.find_net("sum"), true);
+  EXPECT_EQ(net_fault.describe(ckt), "net sum SA1");
+  const Fault t_fault =
+      Fault::transistor(0, 1, gates::TransistorFault::kStuckAtPType);
+  EXPECT_NE(t_fault.describe(ckt).find("t2 stuck-at-p-type"),
+            std::string::npos);
+  const Fault pin_fault = Fault::input_stuck(1, 2, false);
+  EXPECT_NE(pin_fault.describe(ckt).find(".in2 SA0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cpsinw::faults

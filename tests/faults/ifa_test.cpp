@@ -1,0 +1,122 @@
+#include "faults/ifa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "logic/benchmarks.hpp"
+
+namespace cpsinw::faults {
+namespace {
+
+TEST(Ifa, TableOneMappingIsComplete) {
+  // Every process step lists at least one defect mechanism (paper Table I).
+  for (const ProcessStep step : all_process_steps()) {
+    EXPECT_FALSE(mechanisms_of(step).empty()) << to_string(step);
+    EXPECT_STRNE(outcome_of(step), "?");
+    EXPECT_STRNE(to_string(step), "?");
+  }
+  // Spot-check the paper's rows.
+  EXPECT_EQ(mechanisms_of(ProcessStep::kOxidation).front(),
+            DefectMechanism::kGateOxideShort);
+  EXPECT_EQ(mechanisms_of(ProcessStep::kBoschEtch).front(),
+            DefectMechanism::kNanowireBreak);
+  EXPECT_EQ(mechanisms_of(ProcessStep::kPolyDeposition).front(),
+            DefectMechanism::kGateBridge);
+  EXPECT_EQ(mechanisms_of(ProcessStep::kMetallization).size(), 2u);
+}
+
+TEST(Ifa, CoverageMatrixMatchesPaperConclusions) {
+  // Nanowire break: SOF in SP gates, new procedure in DP gates.
+  const auto sp_break =
+      coverage_for(DefectMechanism::kNanowireBreak, false);
+  EXPECT_TRUE(sp_break.stuck_open);
+  EXPECT_FALSE(sp_break.needs_cb_procedure);
+  const auto dp_break = coverage_for(DefectMechanism::kNanowireBreak, true);
+  EXPECT_TRUE(dp_break.needs_cb_procedure);
+  EXPECT_FALSE(dp_break.stuck_open);
+
+  // Polarity bridge: the new stuck-at-n/p models in DP gates.
+  const auto dp_bridge = coverage_for(DefectMechanism::kGateBridge, true);
+  EXPECT_TRUE(dp_bridge.stuck_at_polarity);
+  EXPECT_TRUE(dp_bridge.iddq);
+  const auto sp_bridge = coverage_for(DefectMechanism::kGateBridge, false);
+  EXPECT_TRUE(sp_bridge.stuck_open);
+
+  // GOS: parametric (delay + IDDQ).
+  const auto gos = coverage_for(DefectMechanism::kGateOxideShort, true);
+  EXPECT_TRUE(gos.delay_fault);
+  EXPECT_TRUE(gos.iddq);
+
+  // Floating gate: V_cut-dependent combination (paper Sec. V-A).
+  const auto fl = coverage_for(DefectMechanism::kFloatingGate, false);
+  EXPECT_TRUE(fl.delay_fault);
+  EXPECT_TRUE(fl.stuck_on);
+  EXPECT_TRUE(fl.stuck_open);
+}
+
+TEST(Ifa, SamplingIsDeterministicAndComplete) {
+  const logic::Circuit ckt = logic::ripple_adder(2);
+  IfaOptions opt;
+  opt.seed = 42;
+  opt.sample_count = 500;
+  const IfaReport a = run_ifa(ckt, opt);
+  const IfaReport b = run_ifa(ckt, opt);
+  ASSERT_EQ(a.defects.size(), 500u);
+  ASSERT_EQ(b.defects.size(), 500u);
+  for (std::size_t i = 0; i < a.defects.size(); ++i) {
+    EXPECT_EQ(a.defects[i].step, b.defects[i].step);
+    EXPECT_EQ(a.defects[i].mechanism, b.defects[i].mechanism);
+  }
+  int sum = 0;
+  for (const auto& [step, count] : a.per_step) sum += count;
+  EXPECT_EQ(sum, 500);
+}
+
+TEST(Ifa, DpCircuitsAccumulateMaskedBreaks) {
+  // A pure-DP circuit: every sampled nanowire break needs the procedure.
+  const logic::Circuit dp = logic::xor3_parity_chain(9);
+  IfaOptions opt;
+  opt.sample_count = 400;
+  const IfaReport rep = run_ifa(dp, opt);
+  int breaks = 0;
+  for (const auto& d : rep.defects)
+    if (d.mechanism == DefectMechanism::kNanowireBreak) ++breaks;
+  EXPECT_GT(breaks, 0);
+  EXPECT_EQ(rep.masked_without_cb, breaks);
+}
+
+TEST(Ifa, GosDefectsAreParametricOnly) {
+  const logic::Circuit ckt = logic::full_adder();
+  IfaOptions opt;
+  opt.sample_count = 300;
+  const IfaReport rep = run_ifa(ckt, opt);
+  for (const auto& d : rep.defects) {
+    if (d.mechanism == DefectMechanism::kGateOxideShort) {
+      EXPECT_FALSE(d.fault.has_value());
+    }
+    if (d.mechanism == DefectMechanism::kGateBridge) {
+      ASSERT_TRUE(d.fault.has_value());
+      const bool polarity =
+          d.fault->cell_fault.kind ==
+              gates::TransistorFault::kStuckAtNType ||
+          d.fault->cell_fault.kind == gates::TransistorFault::kStuckAtPType;
+      EXPECT_TRUE(polarity);
+    }
+  }
+  EXPECT_GT(rep.parametric_only, 0);
+}
+
+TEST(Ifa, ValidatesOptions) {
+  const logic::Circuit ckt = logic::full_adder();
+  IfaOptions bad;
+  bad.sample_count = -1;
+  EXPECT_THROW((void)run_ifa(ckt, bad), std::invalid_argument);
+  bad = IfaOptions{};
+  bad.step_weights = {1.0};
+  EXPECT_THROW((void)run_ifa(ckt, bad), std::invalid_argument);
+  bad = IfaOptions{};
+  bad.step_weights = {0, 0, 0, 0, 0};
+  EXPECT_THROW((void)run_ifa(ckt, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cpsinw::faults

@@ -1,0 +1,85 @@
+#include "faults/random_patterns.hpp"
+
+#include <gtest/gtest.h>
+
+#include "logic/benchmarks.hpp"
+
+namespace cpsinw::faults {
+namespace {
+
+TEST(RandomPatterns, CoverageCurveIsMonotoneAndReproducible) {
+  const logic::Circuit ckt = logic::c17();
+  const auto faults = generate_fault_list(ckt);
+  RandomPatternOptions opt;
+  opt.seed = 7;
+  opt.max_patterns = 64;
+  const RandomPatternResult a = run_random_patterns(ckt, faults, opt);
+  const RandomPatternResult b = run_random_patterns(ckt, faults, opt);
+  ASSERT_FALSE(a.curve.empty());
+  ASSERT_EQ(a.curve.size(), b.curve.size());
+  double prev = 0.0;
+  for (std::size_t i = 0; i < a.curve.size(); ++i) {
+    EXPECT_GE(a.curve[i].coverage, prev);
+    prev = a.curve[i].coverage;
+    EXPECT_DOUBLE_EQ(a.curve[i].coverage, b.curve[i].coverage);
+  }
+}
+
+TEST(RandomPatterns, IddqObservationLiftsTheCeiling) {
+  // The paper's message as a random-pattern experiment: without IDDQ the
+  // pull-up polarity faults of DP logic cap the achievable coverage.
+  const logic::Circuit ckt = logic::full_adder();
+  const auto faults = generate_fault_list(ckt);
+  RandomPatternOptions with;
+  with.max_patterns = 128;
+  RandomPatternOptions without = with;
+  without.sim.observe_iddq = false;
+  const double cov_with =
+      run_random_patterns(ckt, faults, with).final_coverage();
+  const double cov_without =
+      run_random_patterns(ckt, faults, without).final_coverage();
+  EXPECT_GT(cov_with, cov_without + 0.1);
+}
+
+TEST(RandomPatterns, SequentialSimulationCatchesStuckOpens) {
+  // With retention threaded between consecutive random patterns, SP
+  // stuck-opens become detectable by chance two-pattern sequences.
+  const logic::Circuit ckt = logic::c17();
+  std::vector<Fault> opens;
+  for (const logic::GateInst& g : ckt.gates())
+    for (int t = 0; t < 4; ++t)
+      opens.push_back(
+          Fault::transistor(g.id, t, gates::TransistorFault::kStuckOpen));
+  RandomPatternOptions opt;
+  opt.max_patterns = 192;
+  opt.sim.sequential_patterns = true;
+  const RandomPatternResult r = run_random_patterns(ckt, opens, opt);
+  EXPECT_GT(r.final_coverage(), 0.5);
+}
+
+TEST(RandomPatterns, StaleLimitStopsEarly) {
+  const logic::Circuit ckt = logic::c17();
+  faults::FaultListOptions flo;
+  flo.include_transistor_faults = false;
+  const auto faults = generate_fault_list(ckt, flo);
+  RandomPatternOptions opt;
+  opt.max_patterns = 10000;
+  opt.stale_limit = 8;
+  const RandomPatternResult r = run_random_patterns(ckt, faults, opt);
+  EXPECT_LT(static_cast<int>(r.patterns.size()), 10000);
+}
+
+TEST(RandomPatterns, ValidatesOptions) {
+  const logic::Circuit ckt = logic::c17();
+  RandomPatternOptions bad;
+  bad.max_patterns = 0;
+  EXPECT_THROW((void)run_random_patterns(ckt, {}, bad),
+               std::invalid_argument);
+  bad = RandomPatternOptions{};
+  bad.one_probability = 1.0;
+  EXPECT_THROW((void)run_random_patterns(ckt, {}, bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cpsinw::faults

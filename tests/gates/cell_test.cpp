@@ -1,0 +1,100 @@
+#include "gates/cell.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpsinw::gates {
+namespace {
+
+TEST(Cell, LibraryContainsAllSixPaperGatesPlusBuf) {
+  EXPECT_EQ(all_cell_kinds().size(), 7u);
+}
+
+TEST(Cell, InputCounts) {
+  EXPECT_EQ(input_count(CellKind::kInv), 1);
+  EXPECT_EQ(input_count(CellKind::kBuf), 1);
+  EXPECT_EQ(input_count(CellKind::kNand2), 2);
+  EXPECT_EQ(input_count(CellKind::kNor2), 2);
+  EXPECT_EQ(input_count(CellKind::kXor2), 2);
+  EXPECT_EQ(input_count(CellKind::kXor3), 3);
+  EXPECT_EQ(input_count(CellKind::kMaj3), 3);
+}
+
+TEST(Cell, PolarityClassMatchesPaperFig2) {
+  // SP family: INV, NAND, NOR; DP family: XOR2, XOR3, MAJ.
+  EXPECT_FALSE(is_dynamic_polarity(CellKind::kInv));
+  EXPECT_FALSE(is_dynamic_polarity(CellKind::kNand2));
+  EXPECT_FALSE(is_dynamic_polarity(CellKind::kNor2));
+  EXPECT_TRUE(is_dynamic_polarity(CellKind::kXor2));
+  EXPECT_TRUE(is_dynamic_polarity(CellKind::kXor3));
+  EXPECT_TRUE(is_dynamic_polarity(CellKind::kMaj3));
+}
+
+TEST(Cell, TruthTables) {
+  EXPECT_EQ(good_output(CellKind::kInv, 0u), 1);
+  EXPECT_EQ(good_output(CellKind::kInv, 1u), 0);
+  EXPECT_EQ(good_output(CellKind::kNand2, 0b11u), 0);
+  EXPECT_EQ(good_output(CellKind::kNand2, 0b01u), 1);
+  EXPECT_EQ(good_output(CellKind::kNor2, 0b00u), 1);
+  EXPECT_EQ(good_output(CellKind::kNor2, 0b10u), 0);
+  EXPECT_EQ(good_output(CellKind::kXor2, 0b01u), 1);
+  EXPECT_EQ(good_output(CellKind::kXor2, 0b11u), 0);
+  EXPECT_EQ(good_output(CellKind::kXor3, 0b111u), 1);
+  EXPECT_EQ(good_output(CellKind::kXor3, 0b011u), 0);
+  EXPECT_EQ(good_output(CellKind::kMaj3, 0b011u), 1);
+  EXPECT_EQ(good_output(CellKind::kMaj3, 0b100u), 0);
+}
+
+TEST(Cell, DpCellsUseFourTransistors) {
+  // The compactness claim of the paper's Fig. 2: XOR2/XOR3/MAJ in 4
+  // devices (vs 8+ in static CMOS).
+  EXPECT_EQ(cell(CellKind::kXor2).transistors.size(), 4u);
+  EXPECT_EQ(cell(CellKind::kXor3).transistors.size(), 4u);
+  EXPECT_EQ(cell(CellKind::kMaj3).transistors.size(), 4u);
+}
+
+TEST(Cell, SpCellsUseRailTiedPolarityGates) {
+  for (const CellKind kind :
+       {CellKind::kInv, CellKind::kNand2, CellKind::kNor2}) {
+    for (const TransistorSpec& t : cell(kind).transistors) {
+      const bool rail_pg = t.pg.kind == Sig::Kind::kGnd ||
+                           t.pg.kind == Sig::Kind::kVdd;
+      EXPECT_TRUE(rail_pg) << to_string(kind) << " " << t.label;
+    }
+  }
+}
+
+TEST(Cell, DpCellsDrivePolarityGatesFromInputs) {
+  for (const CellKind kind :
+       {CellKind::kXor2, CellKind::kXor3, CellKind::kMaj3}) {
+    for (const TransistorSpec& t : cell(kind).transistors) {
+      const bool input_pg = t.pg.kind == Sig::Kind::kIn ||
+                            t.pg.kind == Sig::Kind::kInBar;
+      EXPECT_TRUE(input_pg) << to_string(kind) << " " << t.label;
+    }
+  }
+}
+
+TEST(Cell, TransistorLabelsFollowPaperConvention) {
+  const auto& inv = cell(CellKind::kInv);
+  ASSERT_EQ(inv.transistors.size(), 2u);
+  EXPECT_EQ(inv.transistors[0].label, "t1");
+  EXPECT_EQ(inv.transistors[1].label, "t3");
+  const auto& xor2 = cell(CellKind::kXor2);
+  EXPECT_EQ(xor2.transistors[0].label, "t1");
+  EXPECT_EQ(xor2.transistors[3].label, "t4");
+}
+
+TEST(CellFault, NoneSemantics) {
+  EXPECT_TRUE(CellFault{}.is_none());
+  EXPECT_FALSE((CellFault{0, TransistorFault::kStuckOpen}).is_none());
+  EXPECT_TRUE((CellFault{-1, TransistorFault::kStuckOpen}).is_none());
+}
+
+TEST(Cell, Names) {
+  EXPECT_STREQ(to_string(CellKind::kXor2), "XOR2");
+  EXPECT_STREQ(to_string(TransistorFault::kStuckAtNType),
+               "stuck-at-n-type");
+}
+
+}  // namespace
+}  // namespace cpsinw::gates

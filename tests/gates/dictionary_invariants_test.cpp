@@ -1,0 +1,107 @@
+// Cross-cell invariants of the fault dictionaries: structural properties
+// that must hold for every cell and every transistor fault, tying the
+// dictionary flags to the row data they summarize.
+#include <gtest/gtest.h>
+
+#include "gates/fault_dictionary.hpp"
+
+namespace cpsinw::gates {
+namespace {
+
+class DictionaryInvariants : public ::testing::TestWithParam<CellKind> {};
+
+TEST_P(DictionaryInvariants, FlagsSummarizeRowsExactly) {
+  const CellKind kind = GetParam();
+  for (const FaultAnalysis& fa : all_fault_analyses(kind)) {
+    bool output = false, marginal = false, iddq = false, seq = false;
+    for (const FaultRow& row : fa.rows) {
+      switch (classify_row(row)) {
+        case RowEffect::kWrongValue: output = true; break;
+        case RowEffect::kMarginal: marginal = true; break;
+        case RowEffect::kFloating: seq = true; break;
+        default: break;
+      }
+      if (row.faulty.contention) iddq = true;
+    }
+    EXPECT_EQ(fa.output_detectable, output);
+    EXPECT_EQ(fa.marginal_detectable, marginal);
+    EXPECT_EQ(fa.iddq_detectable, iddq);
+    EXPECT_EQ(fa.needs_sequence, seq);
+    if (fa.first_output_vector) {
+      EXPECT_EQ(classify_row(fa.rows[*fa.first_output_vector]),
+                RowEffect::kWrongValue);
+    }
+    if (fa.first_iddq_vector) {
+      EXPECT_TRUE(fa.rows[*fa.first_iddq_vector].faulty.contention);
+    }
+  }
+}
+
+TEST_P(DictionaryInvariants, RowsCarryTheGoodMachine) {
+  const CellKind kind = GetParam();
+  for (const FaultAnalysis& fa : all_fault_analyses(kind)) {
+    ASSERT_EQ(fa.rows.size(), 1u << input_count(kind));
+    for (unsigned v = 0; v < fa.rows.size(); ++v) {
+      EXPECT_EQ(fa.rows[v].input, v);
+      EXPECT_EQ(fa.rows[v].good, good_output(kind, v));
+    }
+  }
+}
+
+TEST_P(DictionaryInvariants, BenignImpliesNoFlags) {
+  const CellKind kind = GetParam();
+  for (const FaultAnalysis& fa : all_fault_analyses(kind)) {
+    if (!fa.is_benign()) continue;
+    EXPECT_FALSE(fa.output_detectable);
+    EXPECT_FALSE(fa.marginal_detectable);
+    EXPECT_FALSE(fa.iddq_detectable);
+    EXPECT_FALSE(fa.needs_sequence);
+  }
+}
+
+TEST_P(DictionaryInvariants, EquivalenceIsSymmetricOnFullEnumeration) {
+  const CellKind kind = GetParam();
+  const auto all = all_fault_analyses(kind);
+  for (std::size_t i = 0; i < all.size(); ++i)
+    for (std::size_t j = 0; j < all.size(); ++j)
+      EXPECT_EQ(all[i].equivalent_to(all[j]), all[j].equivalent_to(all[i]));
+}
+
+TEST_P(DictionaryInvariants, StuckOpenNeverCausesContention) {
+  // A missing device can never create a crowbar path in a single cell.
+  const CellKind kind = GetParam();
+  const int nt = static_cast<int>(cell(kind).transistors.size());
+  for (int t = 0; t < nt; ++t) {
+    const FaultAnalysis fa =
+        analyze_fault(kind, {t, TransistorFault::kStuckOpen});
+    EXPECT_FALSE(fa.iddq_detectable)
+        << to_string(kind) << " t" << t + 1;
+  }
+}
+
+TEST_P(DictionaryInvariants, PolarityFaultsAreIddqOrBenign) {
+  // The paper's headline claim generalized to every cell in the library:
+  // a polarity bridge either produces a contention vector (IDDQ test) or a
+  // hard output error somewhere — unless it is the benign bridge onto the
+  // rail the PG already uses.
+  const CellKind kind = GetParam();
+  const int nt = static_cast<int>(cell(kind).transistors.size());
+  for (int t = 0; t < nt; ++t) {
+    for (const TransistorFault k :
+         {TransistorFault::kStuckAtNType, TransistorFault::kStuckAtPType}) {
+      const FaultAnalysis fa = analyze_fault(kind, {t, k});
+      EXPECT_TRUE(fa.is_benign() || fa.iddq_detectable ||
+                  fa.output_detectable)
+          << to_string(kind) << " t" << t + 1 << " " << to_string(k);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCells, DictionaryInvariants,
+                         ::testing::ValuesIn(all_cell_kinds()),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+}  // namespace
+}  // namespace cpsinw::gates

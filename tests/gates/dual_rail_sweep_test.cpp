@@ -1,0 +1,121 @@
+// Exhaustive dual-rail sweeps of the switch-level evaluator: every cell is
+// evaluated under every (true_bits, bar_bits) combination — including all
+// rail-inconsistent test-mode assignments — with and without faults.  The
+// evaluator must never crash, and a family of invariants must hold on the
+// full space.
+#include <gtest/gtest.h>
+
+#include "gates/fault_dictionary.hpp"
+#include "gates/switch_level.hpp"
+
+namespace cpsinw::gates {
+namespace {
+
+class DualRailSweep : public ::testing::TestWithParam<CellKind> {};
+
+TEST_P(DualRailSweep, EvaluatorIsTotalOverRailSpace) {
+  const CellKind kind = GetParam();
+  const int n = input_count(kind);
+  const unsigned combos = 1u << n;
+  for (unsigned t = 0; t < combos; ++t) {
+    for (unsigned b = 0; b < combos; ++b) {
+      const SwitchEval e = eval_switch_dual(kind, {t, b});
+      // Flags must be mutually consistent.
+      EXPECT_FALSE(e.contention && e.floating);
+      if (e.floating) {
+        EXPECT_EQ(e.out, SwitchValue::kZ);
+      }
+      if (e.out == SwitchValue::kZ) {
+        EXPECT_TRUE(e.floating);
+      }
+      EXPECT_EQ(e.contention, e.drive0 > 0.0 && e.drive1 > 0.0);
+      // Strong values require a winning drive of matching strength class.
+      if (e.out == SwitchValue::kStrong0) {
+        EXPECT_GE(e.drive0, 4.0);
+      }
+      if (e.out == SwitchValue::kStrong1) {
+        EXPECT_GE(e.drive1, 2.0);
+      }
+    }
+  }
+}
+
+TEST_P(DualRailSweep, ConsistentRailsNeverLeakFaultFree) {
+  const CellKind kind = GetParam();
+  const int n = input_count(kind);
+  for (unsigned v = 0; v < (1u << n); ++v) {
+    const SwitchEval e =
+        eval_switch_dual(kind, DualRailBits::consistent(v, n));
+    EXPECT_FALSE(e.contention) << to_string(kind) << " v=" << v;
+    EXPECT_FALSE(e.floating) << to_string(kind) << " v=" << v;
+  }
+}
+
+TEST_P(DualRailSweep, FaultsNeverCrashOnInconsistentRails) {
+  const CellKind kind = GetParam();
+  const int n = input_count(kind);
+  const unsigned combos = 1u << n;
+  for (const CellFault& f : enumerate_transistor_faults(kind)) {
+    for (unsigned t = 0; t < combos; ++t) {
+      for (unsigned b = 0; b < combos; ++b) {
+        const SwitchEval e = eval_switch_dual(kind, {t, b}, f);
+        EXPECT_FALSE(e.contention && e.floating);
+      }
+    }
+  }
+}
+
+TEST_P(DualRailSweep, StuckOpenOnlyRemovesDrive) {
+  // Removing a device can only lower drives — never create new contention.
+  const CellKind kind = GetParam();
+  const int n = input_count(kind);
+  const int nt = static_cast<int>(cell(kind).transistors.size());
+  const unsigned combos = 1u << n;
+  for (int t = 0; t < nt; ++t) {
+    for (unsigned tv = 0; tv < combos; ++tv) {
+      for (unsigned bv = 0; bv < combos; ++bv) {
+        const SwitchEval base = eval_switch_dual(kind, {tv, bv});
+        const SwitchEval open = eval_switch_dual(
+            kind, {tv, bv}, {t, TransistorFault::kStuckOpen});
+        EXPECT_LE(open.drive0, base.drive0);
+        EXPECT_LE(open.drive1, base.drive1);
+        if (!base.contention) {
+          EXPECT_FALSE(open.contention);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(DualRailSweep, StuckOnOnlyAddsDrive) {
+  const CellKind kind = GetParam();
+  // The monotonicity argument is per conduction network: in a multi-stage
+  // cell (BUF) a stuck-on device can drive the inter-stage net into X,
+  // which legitimately *disables* the second stage.
+  if (cell(kind).n_internal > 0) GTEST_SKIP();
+  const int n = input_count(kind);
+  const int nt = static_cast<int>(cell(kind).transistors.size());
+  const unsigned combos = 1u << n;
+  for (int t = 0; t < nt; ++t) {
+    for (unsigned tv = 0; tv < combos; ++tv) {
+      for (unsigned bv = 0; bv < combos; ++bv) {
+        const SwitchEval base = eval_switch_dual(kind, {tv, bv});
+        const SwitchEval on = eval_switch_dual(
+            kind, {tv, bv}, {t, TransistorFault::kStuckOn});
+        EXPECT_GE(on.drive0, base.drive0);
+        EXPECT_GE(on.drive1, base.drive1);
+        if (base.floating) continue;
+        EXPECT_FALSE(on.floating);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCells, DualRailSweep,
+                         ::testing::ValuesIn(all_cell_kinds()),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+}  // namespace
+}  // namespace cpsinw::gates

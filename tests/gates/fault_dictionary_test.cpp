@@ -1,0 +1,133 @@
+#include "gates/fault_dictionary.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpsinw::gates {
+namespace {
+
+TEST(FaultDictionary, EnumeratesFourKindsPerTransistor) {
+  const auto faults = enumerate_transistor_faults(CellKind::kXor2);
+  EXPECT_EQ(faults.size(), 16u);  // 4 transistors x 4 fault kinds
+  const auto inv_faults = enumerate_transistor_faults(CellKind::kInv);
+  EXPECT_EQ(inv_faults.size(), 8u);
+}
+
+TEST(FaultDictionary, RowsCoverAllInputVectors) {
+  const FaultAnalysis fa = analyze_fault(
+      CellKind::kXor3, {0, TransistorFault::kStuckOpen});
+  EXPECT_EQ(fa.rows.size(), 8u);
+  for (unsigned v = 0; v < 8; ++v) EXPECT_EQ(fa.rows[v].input, v);
+}
+
+/// Paper Table III invariant: every polarity fault of the XOR2 is
+/// IDDQ-detectable.
+TEST(FaultDictionary, AllXor2PolarityFaultsIddqDetectable) {
+  for (int t = 0; t < 4; ++t) {
+    for (const TransistorFault k :
+         {TransistorFault::kStuckAtNType, TransistorFault::kStuckAtPType}) {
+      const FaultAnalysis fa = analyze_fault(CellKind::kXor2, {t, k});
+      EXPECT_TRUE(fa.iddq_detectable)
+          << "t" << t + 1 << " " << to_string(k);
+      EXPECT_TRUE(fa.first_iddq_vector.has_value());
+    }
+  }
+}
+
+/// Paper Table III invariant: pull-up polarity faults are *not* detectable
+/// at the output (the pull-down network wins every contention), pull-down
+/// faults are (wrong value or degraded level).
+TEST(FaultDictionary, Xor2OutputDetectabilitySplitsByNetwork) {
+  for (const TransistorFault k :
+       {TransistorFault::kStuckAtNType, TransistorFault::kStuckAtPType}) {
+    for (const int t : {0, 1}) {  // pull-up t1, t2
+      const FaultAnalysis fa = analyze_fault(CellKind::kXor2, {t, k});
+      EXPECT_FALSE(fa.output_detectable)
+          << "pull-up t" << t + 1 << " " << to_string(k);
+    }
+    for (const int t : {2, 3}) {  // pull-down t3, t4
+      const FaultAnalysis fa = analyze_fault(CellKind::kXor2, {t, k});
+      EXPECT_TRUE(fa.output_detectable || fa.marginal_detectable)
+          << "pull-down t" << t + 1 << " " << to_string(k);
+    }
+  }
+}
+
+/// Each polarity fault has a unique detecting vector on the 2-input XOR
+/// (paper Table III lists exactly one per transistor).
+TEST(FaultDictionary, Xor2PolarityFaultsHaveSingleIddqVector) {
+  for (int t = 0; t < 4; ++t) {
+    for (const TransistorFault k :
+         {TransistorFault::kStuckAtNType, TransistorFault::kStuckAtPType}) {
+      const FaultAnalysis fa = analyze_fault(CellKind::kXor2, {t, k});
+      int leak_rows = 0;
+      for (const FaultRow& row : fa.rows)
+        if (row.faulty.contention) ++leak_rows;
+      EXPECT_EQ(leak_rows, 1) << "t" << t + 1 << " " << to_string(k);
+    }
+  }
+}
+
+/// Stuck-open on SP gates requires two-pattern testing (floating rows);
+/// stuck-open on the XOR2 is masked combinationally (paper Sec. V-C).
+TEST(FaultDictionary, StuckOpenSequenceRequirementSplitsByFamily) {
+  for (int t = 0; t < 4; ++t) {
+    const FaultAnalysis nand_fa = analyze_fault(
+        CellKind::kNand2, {t, TransistorFault::kStuckOpen});
+    EXPECT_TRUE(nand_fa.needs_sequence) << "NAND t" << t + 1;
+  }
+  for (int t = 0; t < 4; ++t) {
+    const FaultAnalysis xor_fa = analyze_fault(
+        CellKind::kXor2, {t, TransistorFault::kStuckOpen});
+    EXPECT_FALSE(xor_fa.needs_sequence) << "XOR t" << t + 1;
+    EXPECT_FALSE(xor_fa.output_detectable) << "XOR t" << t + 1;
+    EXPECT_FALSE(xor_fa.iddq_detectable) << "XOR t" << t + 1;
+  }
+}
+
+TEST(FaultDictionary, FaultyLogicEncodesZAndX) {
+  const FaultAnalysis fa = analyze_fault(
+      CellKind::kInv, {0, TransistorFault::kStuckOpen});
+  EXPECT_EQ(fa.faulty_logic(0u), -2);  // floating
+  EXPECT_EQ(fa.faulty_logic(1u), 0);   // pull-down still works
+}
+
+TEST(FaultDictionary, EquivalenceIsReflexiveAndDiscriminating) {
+  const FaultAnalysis a = analyze_fault(
+      CellKind::kXor2, {0, TransistorFault::kStuckOpen});
+  const FaultAnalysis b = analyze_fault(
+      CellKind::kXor2, {0, TransistorFault::kStuckOpen});
+  const FaultAnalysis c = analyze_fault(
+      CellKind::kXor2, {2, TransistorFault::kStuckAtNType});
+  EXPECT_TRUE(a.equivalent_to(b));
+  EXPECT_FALSE(a.equivalent_to(c));
+}
+
+TEST(FaultDictionary, AllFaultAnalysesCoversEveryFault) {
+  const auto all = all_fault_analyses(CellKind::kMaj3);
+  EXPECT_EQ(all.size(), 16u);
+}
+
+TEST(FaultDictionary, ClassifyRowSpectrum) {
+  FaultRow row;
+  row.good = 1;
+  row.faulty.floating = true;
+  row.faulty.out = SwitchValue::kZ;
+  EXPECT_EQ(classify_row(row), RowEffect::kFloating);
+
+  row.faulty.floating = false;
+  row.faulty.out = SwitchValue::kStrong0;
+  EXPECT_EQ(classify_row(row), RowEffect::kWrongValue);
+
+  row.faulty.out = SwitchValue::kX;
+  EXPECT_EQ(classify_row(row), RowEffect::kMarginal);
+
+  row.faulty.out = SwitchValue::kStrong1;
+  row.faulty.contention = true;
+  EXPECT_EQ(classify_row(row), RowEffect::kIddqOnly);
+
+  row.faulty.contention = false;
+  EXPECT_EQ(classify_row(row), RowEffect::kNone);
+}
+
+}  // namespace
+}  // namespace cpsinw::gates

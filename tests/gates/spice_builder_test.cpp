@@ -1,0 +1,155 @@
+#include "gates/spice_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "spice/dcop.hpp"
+#include "spice/measure.hpp"
+#include "spice/transient.hpp"
+
+namespace cpsinw::gates {
+namespace {
+
+constexpr double kVdd = 1.2;
+
+/// Property sweep: every cell's SPICE elaboration reproduces its truth
+/// table at DC, for every input vector.  This validates the transistor
+/// topologies of Fig. 2 against the analog device model.
+class CellSpiceDc : public ::testing::TestWithParam<CellKind> {};
+
+TEST_P(CellSpiceDc, TruthTableAtDc) {
+  const CellKind kind = GetParam();
+  const unsigned combos = 1u << input_count(kind);
+  for (unsigned v = 0; v < combos; ++v) {
+    CellCircuitSpec spec;
+    spec.kind = kind;
+    spec.inputs = dc_inputs(kind, v, kVdd);
+    CellCircuit cc = build_cell_circuit(spec);
+    const spice::DcResult op = spice::dc_operating_point(cc.ckt);
+    ASSERT_TRUE(op.converged) << to_string(kind) << " v=" << v;
+    const double vout = op.voltage(cc.out);
+    if (good_output(kind, v) == 1) {
+      EXPECT_GT(vout, 0.75) << to_string(kind) << " v=" << v;
+    } else {
+      EXPECT_LT(vout, 0.45) << to_string(kind) << " v=" << v;
+    }
+  }
+}
+
+TEST_P(CellSpiceDc, QuiescentLeakageIsNanoampScale) {
+  const CellKind kind = GetParam();
+  const unsigned combos = 1u << input_count(kind);
+  for (unsigned v = 0; v < combos; ++v) {
+    CellCircuitSpec spec;
+    spec.kind = kind;
+    spec.inputs = dc_inputs(kind, v, kVdd);
+    CellCircuit cc = build_cell_circuit(spec);
+    const spice::DcResult op = spice::dc_operating_point(cc.ckt);
+    ASSERT_TRUE(op.converged);
+    EXPECT_LT(spice::iddq(cc.ckt, op, CellCircuit::vdd_source()), 50e-9)
+        << to_string(kind) << " v=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCells, CellSpiceDc,
+                         ::testing::ValuesIn(all_cell_kinds()),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(SpiceBuilder, PolarityBridgeRaisesIddqByOrders) {
+  // Stuck-at-n-type on XOR2 t1 at its excitation vector: the paper reports
+  // a >1e6 leakage increase.
+  CellCircuitSpec ff;
+  ff.kind = CellKind::kXor2;
+  ff.inputs = dc_inputs(CellKind::kXor2, 0b00u, kVdd);
+  CellCircuit cc_ff = build_cell_circuit(ff);
+  const spice::DcResult op_ff = spice::dc_operating_point(cc_ff.ckt);
+  ASSERT_TRUE(op_ff.converged);
+  const double i_ff = spice::iddq(cc_ff.ckt, op_ff, CellCircuit::vdd_source());
+
+  CellCircuitSpec faulty = ff;
+  faulty.pg_forces.push_back({0, kVdd});  // t1 stuck-at-n-type
+  CellCircuit cc_f = build_cell_circuit(faulty);
+  const spice::DcResult op_f = spice::dc_operating_point(cc_f.ckt);
+  ASSERT_TRUE(op_f.converged);
+  const double i_f = spice::iddq(cc_f.ckt, op_f, CellCircuit::vdd_source());
+
+  EXPECT_GT(i_f / i_ff, 1e4);
+  EXPECT_GT(i_f, 1e-6);
+}
+
+TEST(SpiceBuilder, FloatingPgKillsConductionBeyondThreshold) {
+  // INV t1 (p pull-up) with PGS cut held at V_cut = 0.9: beyond the paper's
+  // 0.56 V threshold the pull-up is a stuck-open — the low-to-high output
+  // transition cannot complete within a normal timing window (statically
+  // the node would still drift high through the picoamp residue, which is
+  // exactly why SOF needs transition testing).
+  CellCircuitSpec spec;
+  spec.kind = CellKind::kInv;
+  spec.inputs = {spice::Waveform::step(kVdd, 0.0, 0.2e-9, 10e-12)};
+  spec.pg_floats.push_back({0, PgTerminal::kPgs, 0.9});
+  CellCircuit cc = build_cell_circuit(spec);
+  spice::TranOptions opt;
+  opt.t_stop = 3e-9;
+  opt.dt = 2e-12;
+  const spice::TranResult tr = spice::transient(cc.ckt, opt);
+  ASSERT_TRUE(tr.converged);
+  EXPECT_LT(tr.final_voltage(cc.out), 0.6);
+
+  // Same stimulus, fault-free: the transition completes comfortably.
+  CellCircuitSpec ff = spec;
+  ff.pg_floats.clear();
+  CellCircuit cc_ff = build_cell_circuit(ff);
+  const spice::TranResult tr_ff = spice::transient(cc_ff.ckt, opt);
+  ASSERT_TRUE(tr_ff.converged);
+  EXPECT_GT(tr_ff.final_voltage(cc_ff.out), 0.9 * kVdd);
+}
+
+TEST(SpiceBuilder, DeviceDefectInjection) {
+  // Full nanowire break on INV t1: output stuck low at in = 0 (DC; the
+  // transient retention is what two-pattern tests exploit).
+  CellCircuitSpec spec;
+  spec.kind = CellKind::kInv;
+  spec.inputs = {spice::Waveform::dc(0.0)};
+  spec.device_defects.push_back(
+      {0, device::make_break_state(1.0)});
+  CellCircuit cc = build_cell_circuit(spec);
+  const spice::DcResult op = spice::dc_operating_point(cc.ckt);
+  ASSERT_TRUE(op.converged);
+  EXPECT_LT(op.voltage(cc.out), 0.4);
+}
+
+TEST(SpiceBuilder, DualRailOverrideIsHonoured) {
+  // Drive A and A-bar inconsistently (both high): XOR2 exposes contention.
+  CellCircuitSpec spec;
+  spec.kind = CellKind::kXor2;
+  spec.inputs = {spice::Waveform::dc(kVdd), spice::Waveform::dc(kVdd)};
+  spec.input_bars = {spice::Waveform::dc(kVdd),   // Abar forced high too
+                     std::nullopt};               // Bbar = complement
+  CellCircuit cc = build_cell_circuit(spec);
+  const spice::DcResult op = spice::dc_operating_point(cc.ckt);
+  ASSERT_TRUE(op.converged);
+  EXPECT_GT(spice::iddq(cc.ckt, op, CellCircuit::vdd_source()), 1e-6);
+}
+
+TEST(SpiceBuilder, ValidatesSpec) {
+  CellCircuitSpec spec;
+  spec.kind = CellKind::kNand2;
+  spec.inputs = {spice::Waveform::dc(0.0)};  // arity mismatch
+  EXPECT_THROW((void)build_cell_circuit(spec), std::invalid_argument);
+
+  spec.inputs = dc_inputs(CellKind::kNand2, 0u, kVdd);
+  spec.pg_forces.push_back({9, 0.0});
+  EXPECT_THROW((void)build_cell_circuit(spec), std::invalid_argument);
+}
+
+TEST(SpiceBuilder, DcInputsEncodeBits) {
+  const auto ws = dc_inputs(CellKind::kXor3, 0b101u, kVdd);
+  ASSERT_EQ(ws.size(), 3u);
+  EXPECT_DOUBLE_EQ(ws[0].at(0.0), kVdd);
+  EXPECT_DOUBLE_EQ(ws[1].at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(ws[2].at(0.0), kVdd);
+}
+
+}  // namespace
+}  // namespace cpsinw::gates

@@ -1,0 +1,145 @@
+#include "gates/switch_level.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpsinw::gates {
+namespace {
+
+/// Property: every fault-free cell produces a strong, contention-free,
+/// driven output equal to its boolean function on every input vector.
+class FaultFreeSwitchEval
+    : public ::testing::TestWithParam<CellKind> {};
+
+TEST_P(FaultFreeSwitchEval, MatchesTruthTableStrongly) {
+  const CellKind kind = GetParam();
+  const unsigned combos = 1u << input_count(kind);
+  for (unsigned v = 0; v < combos; ++v) {
+    const SwitchEval e = eval_switch(kind, v);
+    EXPECT_FALSE(e.contention) << to_string(kind) << " v=" << v;
+    EXPECT_FALSE(e.floating) << to_string(kind) << " v=" << v;
+    EXPECT_TRUE(is_definite(e.out)) << to_string(kind) << " v=" << v;
+    EXPECT_EQ(logic_value(e.out), good_output(kind, v))
+        << to_string(kind) << " v=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCells, FaultFreeSwitchEval,
+                         ::testing::ValuesIn(all_cell_kinds()),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(SwitchEval, StuckOpenInverterFloatsOneSide) {
+  // t1 (pull-up) open: input 0 should drive out high but cannot.
+  const SwitchEval e =
+      eval_switch(CellKind::kInv, 0u, {0, TransistorFault::kStuckOpen});
+  EXPECT_TRUE(e.floating);
+  EXPECT_EQ(e.out, SwitchValue::kZ);
+  // Input 1: pull-down intact, unaffected.
+  const SwitchEval e1 =
+      eval_switch(CellKind::kInv, 1u, {0, TransistorFault::kStuckOpen});
+  EXPECT_EQ(logic_value(e1.out), 0);
+}
+
+TEST(SwitchEval, StuckOnInverterCausesContention) {
+  // t1 (pull-up) stuck-on: at input 1 both networks conduct.
+  const SwitchEval e =
+      eval_switch(CellKind::kInv, 1u, {0, TransistorFault::kStuckOn});
+  EXPECT_TRUE(e.contention);
+  // n pull-down (strength 4) beats the shorted pull-up (strength 2).
+  EXPECT_EQ(logic_value(e.out), 0);
+}
+
+TEST(SwitchEval, Xor2PullUpPolarityFaultLeaksWithoutFlipping) {
+  // Paper Table III: pull-up polarity faults are IDDQ-only detectable.
+  bool found_leak_only = false;
+  for (const int t : {0, 1}) {
+    for (const TransistorFault k :
+         {TransistorFault::kStuckAtNType, TransistorFault::kStuckAtPType}) {
+      for (unsigned v = 0; v < 4; ++v) {
+        const SwitchEval e = eval_switch(CellKind::kXor2, v, {t, k});
+        const int good = good_output(CellKind::kXor2, v);
+        const int lv = logic_value(e.out);
+        EXPECT_FALSE(lv >= 0 && lv != good)
+            << "pull-up fault must not flip the output: t" << t + 1
+            << " v=" << v;
+        if (e.contention) found_leak_only = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_leak_only);
+}
+
+TEST(SwitchEval, Xor2PullDownStuckAtNFlipsOutput) {
+  // Paper Table III: pull-down stuck-at-n-type faults are detectable at
+  // the output (wrong value) in addition to IDDQ.
+  bool t3_flip = false;
+  bool t4_flip = false;
+  for (unsigned v = 0; v < 4; ++v) {
+    const SwitchEval e3 = eval_switch(CellKind::kXor2, v,
+                                      {2, TransistorFault::kStuckAtNType});
+    if (logic_value(e3.out) == 0 && good_output(CellKind::kXor2, v) == 1) {
+      t3_flip = true;
+      EXPECT_TRUE(e3.contention);
+    }
+    const SwitchEval e4 = eval_switch(CellKind::kXor2, v,
+                                      {3, TransistorFault::kStuckAtNType});
+    if (logic_value(e4.out) == 0 && good_output(CellKind::kXor2, v) == 1)
+      t4_flip = true;
+  }
+  EXPECT_TRUE(t3_flip);
+  EXPECT_TRUE(t4_flip);
+}
+
+TEST(SwitchEval, Xor2StuckOpenIsMaskedByTransmissionPartner) {
+  // Paper Sec. V-C: channel break in a DP gate never floats the output —
+  // the parallel pass structure masks it.
+  for (int t = 0; t < 4; ++t) {
+    for (unsigned v = 0; v < 4; ++v) {
+      const SwitchEval e =
+          eval_switch(CellKind::kXor2, v, {t, TransistorFault::kStuckOpen});
+      EXPECT_FALSE(e.floating) << "t" << t + 1 << " v=" << v;
+      const int lv = logic_value(e.out);
+      EXPECT_FALSE(lv >= 0 && lv != good_output(CellKind::kXor2, v))
+          << "channel break must not flip XOR output";
+    }
+  }
+}
+
+TEST(SwitchEval, NandStuckOpenNeedsSequence) {
+  // SP gates do float under stuck-open: classical two-pattern territory.
+  // t3 (series pull-down, output side) open, input 11: no path.
+  const SwitchEval e =
+      eval_switch(CellKind::kNand2, 0b11u, {2, TransistorFault::kStuckOpen});
+  EXPECT_TRUE(e.floating);
+}
+
+TEST(SwitchEval, InconsistentDualRailsCreateContention) {
+  // The channel-break test mode: drive A and A-bar both high at logical
+  // vector 01 -> the intact t3 conducts against the pull-up.
+  const DualRailBits rails{0b11u, 0b10u};  // A=1, B=1, Abar=0... see below
+  // For XOR2: true_bits bit0 = A, bit1 = B; bar_bits bit0 = Abar.
+  // Here: A=1, B=1, Abar=0, Bbar=1 -> t1 (CG=Bbar=1, PG=A=1) n-conducts
+  // from VDD while t3 (CG=B=1, PG=A=1) n-conducts from GND.
+  const SwitchEval e = eval_switch_dual(CellKind::kXor2, rails);
+  EXPECT_TRUE(e.contention);
+}
+
+TEST(SwitchEval, RejectsBadFaultIndex) {
+  EXPECT_THROW(
+      (void)eval_switch(CellKind::kInv, 0u,
+                        {7, TransistorFault::kStuckOpen}),
+      std::invalid_argument);
+}
+
+TEST(SwitchValue, Helpers) {
+  EXPECT_TRUE(is_definite(SwitchValue::kStrong0));
+  EXPECT_FALSE(is_definite(SwitchValue::kWeak1));
+  EXPECT_EQ(logic_value(SwitchValue::kWeak1), 1);
+  EXPECT_EQ(logic_value(SwitchValue::kWeak0), -1);
+  EXPECT_EQ(logic_value(SwitchValue::kZ), -1);
+  EXPECT_STREQ(to_string(SwitchValue::kX), "X");
+}
+
+}  // namespace
+}  // namespace cpsinw::gates

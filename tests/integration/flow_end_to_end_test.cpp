@@ -1,0 +1,121 @@
+// End-to-end integration: the complete test flow's artifacts are verified
+// by independent fault simulation — every pattern the flow emits must
+// detect the fault it was generated for, through the observation protocol
+// it was assigned.
+#include <gtest/gtest.h>
+
+#include "core/test_flow.hpp"
+#include "logic/benchmarks.hpp"
+#include "logic/netlist_format.hpp"
+
+#include <sstream>
+
+namespace cpsinw {
+namespace {
+
+/// Checks one suite against its circuit fault-by-fault.
+void verify_suite(const logic::Circuit& ckt, const core::TestSuite& suite) {
+  const faults::FaultSimulator fsim(ckt);
+  for (const core::FaultOutcome& outcome : suite.outcomes) {
+    switch (outcome.method) {
+      case core::CoverageMethod::kStuckAtPattern: {
+        // Some pattern in the combinational set detects it (compaction may
+        // have merged the original one away).
+        bool hit = false;
+        for (const logic::Pattern& p : suite.logic_patterns)
+          if (fsim.line_fault_detected(outcome.fault, p)) hit = true;
+        EXPECT_TRUE(hit) << outcome.fault.describe(ckt);
+        break;
+      }
+      case core::CoverageMethod::kFunctionalPattern: {
+        bool hit = false;
+        for (const logic::Pattern& p : suite.logic_patterns) {
+          faults::FaultSimOptions fso;
+          fso.observe_iddq = false;
+          if (fsim.simulate_transistor_fault(outcome.fault, {p}, fso)
+                  .detected_output)
+            hit = true;
+        }
+        EXPECT_TRUE(hit) << outcome.fault.describe(ckt);
+        break;
+      }
+      case core::CoverageMethod::kIddqPattern: {
+        bool hit = false;
+        for (const logic::Pattern& p : suite.iddq_patterns)
+          if (fsim.simulate_transistor_fault(outcome.fault, {p})
+                  .detected_iddq)
+            hit = true;
+        EXPECT_TRUE(hit) << outcome.fault.describe(ckt);
+        break;
+      }
+      case core::CoverageMethod::kTwoPattern: {
+        bool hit = false;
+        for (const atpg::TwoPatternTest& t : suite.two_pattern_tests)
+          if (t.fault == outcome.fault &&
+              fsim.stuck_open_detected(outcome.fault, t.init, t.test))
+            hit = true;
+        EXPECT_TRUE(hit) << outcome.fault.describe(ckt);
+        break;
+      }
+      case core::CoverageMethod::kChannelBreak: {
+        bool found = false;
+        for (const atpg::ChannelBreakTest& t : suite.channel_break_tests) {
+          if (t.gate != outcome.fault.gate ||
+              t.transistor != outcome.fault.cell_fault.transistor)
+            continue;
+          found = true;
+          const auto cell_outcome = atpg::evaluate_cell_test(
+              ckt.gate(t.gate).kind, t);
+          EXPECT_TRUE(cell_outcome.distinguishes())
+              << outcome.fault.describe(ckt);
+        }
+        EXPECT_TRUE(found) << outcome.fault.describe(ckt);
+        break;
+      }
+      case core::CoverageMethod::kUncovered:
+        break;
+    }
+  }
+}
+
+class FlowEndToEnd : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FlowEndToEnd, EveryEmittedTestVerifies) {
+  const std::string name = GetParam();
+  logic::Circuit ckt;
+  if (name == "c17") ckt = logic::c17();
+  else if (name == "full_adder") ckt = logic::full_adder();
+  else if (name == "ripple_adder_3") ckt = logic::ripple_adder(3);
+  else if (name == "tmr_voter_2") ckt = logic::tmr_voter(2);
+  else if (name == "parity_tree_5") ckt = logic::parity_tree(5);
+  else FAIL() << "unknown benchmark";
+
+  const core::TestSuite suite = core::run_test_flow(ckt);
+  verify_suite(ckt, suite);
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, FlowEndToEnd,
+                         ::testing::Values("c17", "full_adder",
+                                           "ripple_adder_3", "tmr_voter_2",
+                                           "parity_tree_5"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+TEST(FlowEndToEnd, NetlistRoundTripPreservesFlowResults) {
+  // Serialize a circuit, parse it back, run the flow on both: coverage and
+  // method mix must match.
+  const logic::Circuit original = logic::ripple_adder(2);
+  std::istringstream is(logic::to_netlist_string(original));
+  const logic::Circuit parsed = logic::read_netlist(is);
+  const core::TestSuite a = core::run_test_flow(original);
+  const core::TestSuite b = core::run_test_flow(parsed);
+  EXPECT_DOUBLE_EQ(a.coverage(), b.coverage());
+  EXPECT_EQ(a.count(core::CoverageMethod::kIddqPattern),
+            b.count(core::CoverageMethod::kIddqPattern));
+  EXPECT_EQ(a.count(core::CoverageMethod::kChannelBreak),
+            b.count(core::CoverageMethod::kChannelBreak));
+}
+
+}  // namespace
+}  // namespace cpsinw

@@ -1,0 +1,227 @@
+// Cross-validation of the two independent behavioural models:
+// the discrete switch-level evaluator (gates/switch_level) and the analog
+// SPICE solution of the transistor netlist (spice + device).  For every
+// cell, every input vector and every transistor fault the two must agree
+// on the output classification and the IDDQ observation.
+//
+// This is the load-bearing property test of the whole reproduction: the
+// logic-level fault dictionaries that ATPG relies on are proven against
+// the physics-level model that reproduces the paper's device behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gates/fault_dictionary.hpp"
+#include "gates/spice_builder.hpp"
+#include "gates/switch_level.hpp"
+#include "spice/dcop.hpp"
+#include "spice/measure.hpp"
+#include "spice/transient.hpp"
+
+namespace cpsinw {
+namespace {
+
+constexpr double kVdd = 1.2;
+/// IDDQ threshold separating contention (tens of uA) from subthreshold
+/// leakage (sub-nA): generous margins on both sides.
+constexpr double kIddqThreshold = 0.5e-6;
+
+/// Analog interpretation aligned with the switch-level value classes.
+enum class AnalogClass { kZero, kOne, kMarginal };
+
+AnalogClass classify_voltage(double v) {
+  if (v <= 0.45) return AnalogClass::kZero;
+  if (v >= 0.75) return AnalogClass::kOne;
+  return AnalogClass::kMarginal;
+}
+
+/// Expected DC class of a switch-level value.  Weak0 is excluded here: a
+/// p-mode device passing 0 keeps discharging through its exponential
+/// barrier tails, so its *DC* equilibrium reads 0 while the *at-speed*
+/// sample sits mid-band — those rows are verified by transient below.
+std::optional<AnalogClass> expected_dc_class(gates::SwitchValue v) {
+  switch (v) {
+    case gates::SwitchValue::kStrong0: return AnalogClass::kZero;
+    case gates::SwitchValue::kStrong1: return AnalogClass::kOne;
+    // Weak1 settles near VDD - V_barrier (~0.8+ V): a degraded one.
+    case gates::SwitchValue::kWeak1: return AnalogClass::kOne;
+    case gates::SwitchValue::kWeak0: return std::nullopt;
+    case gates::SwitchValue::kX: return std::nullopt;  // analog tie varies
+    case gates::SwitchValue::kZ: return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+/// At-speed verification of a Weak0 row: starting from an initialization
+/// vector whose (faulty) output is a solid 1, switch to the target vector
+/// and sample after 3 ns.  A weak-0 drive must have left the output
+/// distinctly degraded: below the valid-1 threshold but visibly above a
+/// clean 0 (the paper's "wrong output voltage" observation).
+void verify_weak0_at_speed(gates::CellKind kind, unsigned target,
+                           const gates::CellFault& fault,
+                           gates::CellCircuitSpec spec_template) {
+  // Find an initialization vector that reads 1 under the fault.
+  const gates::FaultAnalysis fa = gates::analyze_fault(kind, fault);
+  std::optional<unsigned> init;
+  for (const gates::FaultRow& row : fa.rows) {
+    if (gates::logic_value(row.faulty.out) == 1 && row.good == 1) {
+      init = row.input;
+      break;
+    }
+  }
+  if (!init) return;  // nothing to initialize from; skip
+
+  constexpr double kSwitch = 0.3e-9;
+  gates::CellCircuitSpec spec = std::move(spec_template);
+  spec.inputs.clear();
+  for (int i = 0; i < gates::input_count(kind); ++i) {
+    const double v0 = ((*init >> i) & 1u) ? kVdd : 0.0;
+    const double v1 = ((target >> i) & 1u) ? kVdd : 0.0;
+    spec.inputs.push_back(
+        spice::Waveform::two_pattern(v0, v1, kSwitch, 10e-12));
+  }
+  gates::CellCircuit cc = gates::build_cell_circuit(spec);
+  spice::TranOptions opt;
+  opt.t_stop = 3e-9;
+  opt.dt = 4e-12;
+  const spice::TranResult tr = spice::transient(cc.ckt, opt);
+  ASSERT_TRUE(tr.converged);
+  const double sampled = tr.final_voltage(cc.out);
+  EXPECT_LT(sampled, 0.75) << gates::to_string(kind) << " v=" << target
+                           << " weak-0 should not read as a valid 1";
+  EXPECT_GT(sampled, 0.1) << gates::to_string(kind) << " v=" << target
+                          << " weak-0 should be visibly degraded at speed";
+}
+
+struct CrossCase {
+  gates::CellKind kind;
+  gates::CellFault fault;  // kNone for the fault-free sweep
+};
+
+class SwitchSpiceCross : public ::testing::TestWithParam<gates::CellKind> {};
+
+TEST_P(SwitchSpiceCross, FaultFreeAgreesEverywhere) {
+  const gates::CellKind kind = GetParam();
+  const unsigned combos = 1u << gates::input_count(kind);
+  for (unsigned v = 0; v < combos; ++v) {
+    const gates::SwitchEval sw = gates::eval_switch(kind, v);
+
+    gates::CellCircuitSpec spec;
+    spec.kind = kind;
+    spec.inputs = gates::dc_inputs(kind, v, kVdd);
+    gates::CellCircuit cc = gates::build_cell_circuit(spec);
+    const spice::DcResult op = spice::dc_operating_point(cc.ckt);
+    ASSERT_TRUE(op.converged) << gates::to_string(kind) << " v=" << v;
+
+    const auto expect = expected_dc_class(sw.out);
+    ASSERT_TRUE(expect.has_value());
+    EXPECT_EQ(classify_voltage(op.voltage(cc.out)), *expect)
+        << gates::to_string(kind) << " v=" << v
+        << " vout=" << op.voltage(cc.out);
+    const double iddq = spice::iddq_total(op);
+    EXPECT_EQ(iddq > kIddqThreshold, sw.contention)
+        << gates::to_string(kind) << " v=" << v << " iddq=" << iddq;
+  }
+}
+
+/// Polarity faults: the dictionary's output class and contention flag must
+/// match the SPICE solution with the PG contact bridged to the rail.
+TEST_P(SwitchSpiceCross, PolarityFaultsAgreeEverywhere) {
+  const gates::CellKind kind = GetParam();
+  const auto& tpl = gates::cell(kind);
+  const unsigned combos = 1u << gates::input_count(kind);
+  for (std::size_t t = 0; t < tpl.transistors.size(); ++t) {
+    for (const gates::TransistorFault tf :
+         {gates::TransistorFault::kStuckAtNType,
+          gates::TransistorFault::kStuckAtPType}) {
+      const double force =
+          tf == gates::TransistorFault::kStuckAtNType ? kVdd : 0.0;
+      for (unsigned v = 0; v < combos; ++v) {
+        const gates::SwitchEval sw =
+            gates::eval_switch(kind, v, {static_cast<int>(t), tf});
+
+        gates::CellCircuitSpec spec;
+        spec.kind = kind;
+        spec.inputs = gates::dc_inputs(kind, v, kVdd);
+        spec.pg_forces.push_back({static_cast<int>(t), force});
+        gates::CellCircuit cc = gates::build_cell_circuit(spec);
+        const spice::DcResult op = spice::dc_operating_point(cc.ckt);
+        ASSERT_TRUE(op.converged)
+            << gates::to_string(kind) << " t" << t + 1 << " v=" << v;
+
+        const double vout = op.voltage(cc.out);
+        const double iddq = spice::iddq_total(op);
+        const auto expect = expected_dc_class(sw.out);
+        if (expect.has_value()) {
+          EXPECT_EQ(classify_voltage(vout), *expect)
+              << gates::to_string(kind) << " t" << t + 1 << " "
+              << gates::to_string(tf) << " v=" << v << " vout=" << vout;
+        } else if (sw.out == gates::SwitchValue::kWeak0) {
+          gates::CellCircuitSpec weak_spec;
+          weak_spec.kind = kind;
+          weak_spec.pg_forces.push_back({static_cast<int>(t), force});
+          verify_weak0_at_speed(kind, v, {static_cast<int>(t), tf},
+                                std::move(weak_spec));
+        }
+        EXPECT_EQ(iddq > kIddqThreshold, sw.contention)
+            << gates::to_string(kind) << " t" << t + 1 << " "
+            << gates::to_string(tf) << " v=" << v << " iddq=" << iddq;
+      }
+    }
+  }
+}
+
+/// Channel breaks: a broken device (full nanowire break at SPICE level,
+/// stuck-open at switch level) must agree on output classification; the
+/// floating SP cases are checked for near-zero supply current instead of
+/// a level (the DC level of a floating node is gmin-determined).
+TEST_P(SwitchSpiceCross, StuckOpenAgreesOnDrivenOutputs) {
+  const gates::CellKind kind = GetParam();
+  const auto& tpl = gates::cell(kind);
+  const unsigned combos = 1u << gates::input_count(kind);
+  for (std::size_t t = 0; t < tpl.transistors.size(); ++t) {
+    for (unsigned v = 0; v < combos; ++v) {
+      const gates::SwitchEval sw = gates::eval_switch(
+          kind, v, {static_cast<int>(t),
+                    gates::TransistorFault::kStuckOpen});
+
+      gates::CellCircuitSpec spec;
+      spec.kind = kind;
+      spec.inputs = gates::dc_inputs(kind, v, kVdd);
+      spec.device_defects.push_back(
+          {static_cast<int>(t), device::make_break_state(1.0)});
+      gates::CellCircuit cc = gates::build_cell_circuit(spec);
+      const spice::DcResult op = spice::dc_operating_point(cc.ckt);
+      ASSERT_TRUE(op.converged)
+          << gates::to_string(kind) << " t" << t + 1 << " v=" << v;
+
+      const auto expect = expected_dc_class(sw.out);
+      if (expect.has_value()) {
+        EXPECT_EQ(classify_voltage(op.voltage(cc.out)), *expect)
+            << gates::to_string(kind) << " t" << t + 1 << " v=" << v
+            << " vout=" << op.voltage(cc.out);
+      } else if (sw.out == gates::SwitchValue::kWeak0) {
+        gates::CellCircuitSpec weak_spec;
+        weak_spec.kind = kind;
+        weak_spec.device_defects.push_back(
+            {static_cast<int>(t), device::make_break_state(1.0)});
+        verify_weak0_at_speed(
+            kind, v,
+            {static_cast<int>(t), gates::TransistorFault::kStuckOpen},
+            std::move(weak_spec));
+      }
+      // No single stuck-open can create a crowbar path.
+      EXPECT_LT(spice::iddq_total(op), kIddqThreshold)
+          << gates::to_string(kind) << " t" << t + 1 << " v=" << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCells, SwitchSpiceCross,
+                         ::testing::ValuesIn(gates::all_cell_kinds()),
+                         [](const auto& info) {
+                           return std::string(gates::to_string(info.param));
+                         });
+
+}  // namespace
+}  // namespace cpsinw

@@ -1,0 +1,103 @@
+#include "logic/circuit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "logic/benchmarks.hpp"
+
+namespace cpsinw::logic {
+namespace {
+
+using gates::CellKind;
+
+TEST(Circuit, BuildsAndFinalizes) {
+  Circuit c;
+  const NetId a = c.add_primary_input("a");
+  const NetId b = c.add_primary_input("b");
+  const NetId y = c.add_net("y");
+  const int g = c.add_gate(CellKind::kNand2, {a, b}, y);
+  c.mark_primary_output(y);
+  c.finalize();
+  EXPECT_TRUE(c.finalized());
+  EXPECT_EQ(c.net_count(), 3);
+  EXPECT_EQ(c.gate_count(), 1);
+  EXPECT_EQ(c.driver_of(y), g);
+  EXPECT_EQ(c.driver_of(a), -1);
+  EXPECT_TRUE(c.is_primary_input(a));
+  EXPECT_FALSE(c.is_primary_input(y));
+  EXPECT_EQ(c.fanout(a).size(), 1u);
+  EXPECT_EQ(c.find_net("y"), y);
+  EXPECT_THROW((void)c.find_net("zzz"), std::out_of_range);
+}
+
+TEST(Circuit, RejectsDoubleDrivenNets) {
+  Circuit c;
+  const NetId a = c.add_primary_input("a");
+  const NetId y = c.add_net("y");
+  c.add_gate(CellKind::kInv, {a}, y);
+  EXPECT_THROW(c.add_gate(CellKind::kBuf, {a}, y), std::invalid_argument);
+  EXPECT_THROW(c.add_gate(CellKind::kInv, {y}, a), std::invalid_argument);
+}
+
+TEST(Circuit, RejectsArityMismatch) {
+  Circuit c;
+  const NetId a = c.add_primary_input("a");
+  const NetId y = c.add_net("y");
+  EXPECT_THROW(c.add_gate(CellKind::kNand2, {a}, y), std::invalid_argument);
+}
+
+TEST(Circuit, DetectsUndrivenNets) {
+  Circuit c;
+  const NetId a = c.add_primary_input("a");
+  const NetId floating = c.add_net("floating");
+  const NetId y = c.add_net("y");
+  c.add_gate(CellKind::kNand2, {a, floating}, y);
+  EXPECT_THROW(c.finalize(), std::runtime_error);
+}
+
+TEST(Circuit, TopoOrderRespectsDependencies) {
+  const Circuit c = ripple_adder(4);
+  std::vector<int> position(static_cast<std::size_t>(c.gate_count()), -1);
+  const auto& order = c.topo_order();
+  for (std::size_t i = 0; i < order.size(); ++i)
+    position[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  for (const GateInst& g : c.gates()) {
+    for (int i = 0; i < g.input_count(); ++i) {
+      const int drv = c.driver_of(g.in[static_cast<std::size_t>(i)]);
+      if (drv >= 0) {
+        EXPECT_LT(position[static_cast<std::size_t>(drv)],
+                  position[static_cast<std::size_t>(g.id)]);
+      }
+    }
+  }
+}
+
+TEST(Circuit, ConstantsAreSharedAndValidated) {
+  Circuit c;
+  const NetId one_a = c.add_constant(LogicV::k1);
+  const NetId one_b = c.add_constant(LogicV::k1);
+  EXPECT_EQ(one_a, one_b);
+  EXPECT_EQ(c.constant_of(one_a), LogicV::k1);
+  EXPECT_THROW((void)c.add_constant(LogicV::kX), std::invalid_argument);
+}
+
+TEST(Circuit, TransistorCountSumsCells) {
+  const Circuit fa = full_adder();
+  // XOR3 (4) + MAJ3 (4).
+  EXPECT_EQ(fa.transistor_count(), 8);
+}
+
+TEST(Benchmarks, SizesAreAsDocumented) {
+  EXPECT_EQ(full_adder().gate_count(), 2);
+  EXPECT_EQ(ripple_adder(4).gate_count(), 8);
+  EXPECT_EQ(c17().gate_count(), 6);
+  EXPECT_EQ(c17().primary_inputs().size(), 5u);
+  EXPECT_EQ(c17().primary_outputs().size(), 2u);
+  EXPECT_GT(multiplier_2x2().gate_count(), 10);
+  EXPECT_EQ(tmr_voter(3).primary_inputs().size(), 9u);
+  EXPECT_THROW((void)ripple_adder(0), std::invalid_argument);
+  EXPECT_THROW((void)parity_tree(1), std::invalid_argument);
+  EXPECT_THROW((void)xor3_parity_chain(4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cpsinw::logic

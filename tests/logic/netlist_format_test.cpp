@@ -1,0 +1,83 @@
+#include "logic/netlist_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "logic/benchmarks.hpp"
+#include "logic/logic_sim.hpp"
+
+namespace cpsinw::logic {
+namespace {
+
+TEST(NetlistFormat, RoundTripPreservesBehaviour) {
+  const Circuit original = full_adder();
+  const std::string text = to_netlist_string(original);
+  std::istringstream is(text);
+  const Circuit parsed = read_netlist(is);
+
+  ASSERT_EQ(parsed.primary_inputs().size(), original.primary_inputs().size());
+  ASSERT_EQ(parsed.primary_outputs().size(),
+            original.primary_outputs().size());
+  const Simulator sim_a(original);
+  const Simulator sim_b(parsed);
+  for (unsigned v = 0; v < 8; ++v) {
+    Pattern p;
+    for (int i = 0; i < 3; ++i) p.push_back(from_bool((v >> i) & 1u));
+    const SimResult ra = sim_a.simulate(p);
+    const SimResult rb = sim_b.simulate(p);
+    for (std::size_t k = 0; k < original.primary_outputs().size(); ++k)
+      EXPECT_EQ(ra.value(original.primary_outputs()[k]),
+                rb.value(parsed.primary_outputs()[k]));
+  }
+}
+
+TEST(NetlistFormat, ParsesHandWrittenNetlist) {
+  const std::string text = R"(# demo
+input a b
+output y
+gate XOR2 y = a b
+)";
+  std::istringstream is(text);
+  const Circuit ckt = read_netlist(is);
+  EXPECT_EQ(ckt.gate_count(), 1);
+  const Simulator sim(ckt);
+  EXPECT_EQ(sim.simulate({LogicV::k1, LogicV::k0}).value(ckt.find_net("y")),
+            LogicV::k1);
+}
+
+TEST(NetlistFormat, ParsesConstants) {
+  const std::string text = R"(
+input a
+output y
+const1 one
+gate NAND2 y = a one
+)";
+  std::istringstream is(text);
+  const Circuit ckt = read_netlist(is);
+  const Simulator sim(ckt);
+  EXPECT_EQ(sim.simulate({LogicV::k1}).value(ckt.find_net("y")), LogicV::k0);
+  EXPECT_EQ(sim.simulate({LogicV::k0}).value(ckt.find_net("y")), LogicV::k1);
+}
+
+TEST(NetlistFormat, DiagnosesErrorsWithLineNumbers) {
+  const auto expect_error = [](const std::string& text,
+                               const std::string& needle) {
+    std::istringstream is(text);
+    try {
+      (void)read_netlist(is);
+      FAIL() << "expected parse error for: " << text;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_error("gate FROB y = a\n", "unknown cell");
+  expect_error("input a\ngate XOR2 y = a\n", "wrong input count");
+  expect_error("frobnicate\n", "unknown directive");
+  expect_error("input a\noutput zzz\n", "never defined");
+  expect_error("input a a\n", "duplicate net");
+}
+
+}  // namespace
+}  // namespace cpsinw::logic

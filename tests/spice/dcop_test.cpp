@@ -1,0 +1,129 @@
+#include "spice/dcop.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "spice/measure.hpp"
+
+namespace cpsinw::spice {
+namespace {
+
+constexpr double kVdd = 1.2;
+
+std::shared_ptr<const device::TigModel> ff_model() {
+  static const auto model =
+      std::make_shared<const device::TigModel>(device::TigParams{});
+  return model;
+}
+
+TEST(DcOp, ResistorDivider) {
+  Circuit ckt;
+  const NodeId top = ckt.node("top");
+  const NodeId mid = ckt.node("mid");
+  ckt.add_vsource("V1", top, 0, Waveform::dc(2.0));
+  ckt.add_resistor("R1", top, mid, 1000.0);
+  ckt.add_resistor("R2", mid, 0, 1000.0);
+  const DcResult r = dc_operating_point(ckt);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.voltage(mid), 1.0, 1e-6);
+  // Source delivers 1 mA into the divider.
+  EXPECT_NEAR(r.supply_current(ckt, "V1"), 1e-3, 1e-8);
+}
+
+TEST(DcOp, FloatingNodePulledByGmin) {
+  Circuit ckt;
+  const NodeId lonely = ckt.node("lonely");
+  ckt.add_resistor("R1", lonely, 0, 1e9);
+  const DcResult r = dc_operating_point(ckt);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.voltage(lonely), 0.0, 1e-9);
+}
+
+TEST(DcOp, TigInverterLevels) {
+  // Hand-built inverter: p pull-up (PG=0), n pull-down (PG=1).
+  for (const double vin : {0.0, kVdd}) {
+    Circuit ckt;
+    const NodeId vdd = ckt.node("vdd");
+    const NodeId in = ckt.node("in");
+    const NodeId out = ckt.node("out");
+    ckt.add_vsource("VDD", vdd, 0, Waveform::dc(kVdd));
+    ckt.add_vsource("VIN", in, 0, Waveform::dc(vin));
+    ckt.add_tig("tp", ff_model(), in, 0, 0, vdd, out);
+    ckt.add_tig("tn", ff_model(), in, vdd, vdd, 0, out);
+    const DcResult r = dc_operating_point(ckt);
+    ASSERT_TRUE(r.converged) << "vin=" << vin;
+    const double vout = r.voltage(out);
+    if (vin == 0.0) {
+      EXPECT_GT(vout, 0.9 * kVdd);
+    } else {
+      EXPECT_LT(vout, 0.1 * kVdd);
+    }
+  }
+}
+
+TEST(DcOp, TigInverterLeakageIsSmall) {
+  Circuit ckt;
+  const NodeId vdd = ckt.node("vdd");
+  const NodeId in = ckt.node("in");
+  const NodeId out = ckt.node("out");
+  ckt.add_vsource("VDD", vdd, 0, Waveform::dc(kVdd));
+  ckt.add_vsource("VIN", in, 0, Waveform::dc(kVdd));
+  ckt.add_tig("tp", ff_model(), in, 0, 0, vdd, out);
+  ckt.add_tig("tn", ff_model(), in, vdd, vdd, 0, out);
+  const DcResult r = dc_operating_point(ckt);
+  ASSERT_TRUE(r.converged);
+  // Quiescent supply current: subthreshold only (nA scale, paper Fig. 5).
+  EXPECT_LT(iddq(ckt, r, "VDD"), 5e-9);
+  EXPECT_GT(iddq(ckt, r, "VDD"), 1e-15);
+}
+
+TEST(DcOp, ContentionDrawsMicroamps) {
+  // n pull-down fighting a rail-shorted pull-up: the IDDQ signature of the
+  // paper's polarity faults (>1e6 leakage increase).
+  Circuit ckt;
+  const NodeId vdd = ckt.node("vdd");
+  const NodeId out = ckt.node("out");
+  ckt.add_vsource("VDD", vdd, 0, Waveform::dc(kVdd));
+  // p-type pull-up fully on (gates at 0).
+  ckt.add_tig("tp", ff_model(), 0, 0, 0, vdd, out);
+  // n-type pull-down fully on (gates at vdd).
+  ckt.add_tig("tn", ff_model(), vdd, vdd, vdd, 0, out);
+  const DcResult r = dc_operating_point(ckt);
+  ASSERT_TRUE(r.converged);
+  EXPECT_GT(iddq(ckt, r, "VDD"), 1e-6);
+  // n drive exceeds p drive: the output resolves low-ish.
+  EXPECT_LT(r.voltage(out), 0.5 * kVdd);
+}
+
+TEST(DcOp, SetVsourceWaveUpdatesSolution) {
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  ckt.add_vsource("VA", a, 0, Waveform::dc(1.0));
+  ckt.add_resistor("R", a, 0, 100.0);
+  DcResult r = dc_operating_point(ckt);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.voltage(a), 1.0, 1e-9);
+  ckt.set_vsource_wave("VA", Waveform::dc(0.25));
+  r = dc_operating_point(ckt);
+  EXPECT_NEAR(r.voltage(a), 0.25, 1e-9);
+  EXPECT_THROW(ckt.set_vsource_wave("nope", Waveform::dc(0.0)),
+               std::out_of_range);
+}
+
+TEST(Circuit, NodeManagement) {
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  EXPECT_EQ(ckt.node("a"), a);
+  EXPECT_EQ(ckt.find_node("a"), a);
+  EXPECT_THROW((void)ckt.find_node("missing"), std::out_of_range);
+  EXPECT_EQ(ckt.node_name(0), "0");
+  EXPECT_THROW(ckt.add_resistor("R", a, 99, 1.0), std::out_of_range);
+  EXPECT_THROW(ckt.add_resistor("R", a, 0, -5.0), std::invalid_argument);
+  EXPECT_THROW(ckt.add_capacitor("C", a, 0, 0.0), std::invalid_argument);
+  EXPECT_THROW(ckt.add_tig("T", nullptr, a, a, a, a, a),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cpsinw::spice

@@ -1,0 +1,89 @@
+#include "spice/linear.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace cpsinw::spice {
+namespace {
+
+TEST(Matrix, StoresEntries) {
+  Matrix m(3);
+  m.at(0, 1) = 2.5;
+  m.at(2, 2) = -1.0;
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 2.5);
+  EXPECT_DOUBLE_EQ(m.at(2, 2), -1.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 0.0);
+  m.clear();
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 0.0);
+  EXPECT_THROW(Matrix(0), std::invalid_argument);
+}
+
+TEST(LuSolve, Solves2x2) {
+  Matrix a(2);
+  a.at(0, 0) = 2.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 3.0;
+  std::vector<double> b = {5.0, 10.0};
+  ASSERT_TRUE(lu_solve(a, b));
+  EXPECT_NEAR(b[0], 1.0, 1e-12);
+  EXPECT_NEAR(b[1], 3.0, 1e-12);
+}
+
+TEST(LuSolve, RequiresPivoting) {
+  // Zero on the diagonal forces a row swap.
+  Matrix a(2);
+  a.at(0, 0) = 0.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 0.0;
+  std::vector<double> b = {2.0, 3.0};
+  ASSERT_TRUE(lu_solve(a, b));
+  EXPECT_NEAR(b[0], 3.0, 1e-12);
+  EXPECT_NEAR(b[1], 2.0, 1e-12);
+}
+
+TEST(LuSolve, DetectsSingular) {
+  Matrix a(2);
+  a.at(0, 0) = 1.0;
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = 2.0;
+  a.at(1, 1) = 4.0;
+  std::vector<double> b = {1.0, 2.0};
+  EXPECT_FALSE(lu_solve(a, b));
+}
+
+TEST(LuSolve, RandomSystemsRoundTrip) {
+  util::SplitMix64 rng(2024);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 1 + static_cast<int>(rng.below(12));
+    Matrix a(n);
+    std::vector<double> x_ref(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      x_ref[static_cast<std::size_t>(i)] = rng.uniform(-2.0, 2.0);
+      for (int j = 0; j < n; ++j) a.at(i, j) = rng.uniform(-1.0, 1.0);
+      a.at(i, i) += static_cast<double>(n);  // diagonally dominant
+    }
+    // b = A * x_ref
+    std::vector<double> b(static_cast<std::size_t>(n), 0.0);
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < n; ++j)
+        b[static_cast<std::size_t>(i)] +=
+            a.at(i, j) * x_ref[static_cast<std::size_t>(j)];
+    Matrix a_copy = a;
+    ASSERT_TRUE(lu_solve(a_copy, b));
+    for (int i = 0; i < n; ++i)
+      EXPECT_NEAR(b[static_cast<std::size_t>(i)],
+                  x_ref[static_cast<std::size_t>(i)], 1e-9);
+  }
+}
+
+TEST(LuSolve, RejectsDimensionMismatch) {
+  Matrix a(2);
+  std::vector<double> b = {1.0};
+  EXPECT_THROW((void)lu_solve(a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cpsinw::spice

@@ -1,0 +1,64 @@
+#include "spice/measure.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace cpsinw::spice {
+namespace {
+
+constexpr double kVdd = 1.2;
+
+std::shared_ptr<const device::TigModel> ff_model() {
+  static const auto model =
+      std::make_shared<const device::TigModel>(device::TigParams{});
+  return model;
+}
+
+TEST(Measure, PropagationDelayOfInverter) {
+  Circuit ckt;
+  const NodeId vdd = ckt.node("vdd");
+  const NodeId in = ckt.node("in");
+  const NodeId out = ckt.node("out");
+  ckt.add_vsource("VDD", vdd, 0, Waveform::dc(kVdd));
+  ckt.add_vsource("VIN", in, 0, Waveform::step(kVdd, 0.0, 0.2e-9, 10e-12));
+  ckt.add_tig("tp", ff_model(), in, 0, 0, vdd, out);
+  ckt.add_tig("tn", ff_model(), in, vdd, vdd, 0, out);
+  ckt.add_capacitor("CL", out, 0, 8e-15);
+  TranOptions opt;
+  opt.t_stop = 2.0e-9;
+  opt.dt = 1e-12;
+  const TranResult tr = transient(ckt, opt);
+  ASSERT_TRUE(tr.converged);
+  const DelayMeasurement d = propagation_delay(tr, in, out, kVdd / 2.0);
+  ASSERT_TRUE(d.valid);
+  // Calibration target: FO4-class inverter delay of tens to hundreds of ps
+  // (paper Fig. 5a plots 0..400 ps).
+  EXPECT_GT(d.delay, 10e-12);
+  EXPECT_LT(d.delay, 500e-12);
+}
+
+TEST(Measure, DelayInvalidWhenOutputNeverSwitches) {
+  Circuit ckt;
+  const NodeId in = ckt.node("in");
+  const NodeId out = ckt.node("out");
+  ckt.add_vsource("VIN", in, 0, Waveform::step(0.0, kVdd, 0.1e-9, 10e-12));
+  ckt.add_resistor("R", out, 0, 1e6);  // output pinned low
+  TranOptions opt;
+  opt.t_stop = 1e-9;
+  opt.dt = 2e-12;
+  const TranResult tr = transient(ckt, opt);
+  ASSERT_TRUE(tr.converged);
+  const DelayMeasurement d = propagation_delay(tr, in, out, kVdd / 2.0);
+  EXPECT_FALSE(d.valid);
+}
+
+TEST(Measure, ReadLogicThresholds) {
+  const LogicThresholds th;
+  EXPECT_EQ(read_logic(0.1, th.v_lo, th.v_hi), LogicRead::kZero);
+  EXPECT_EQ(read_logic(1.1, th.v_lo, th.v_hi), LogicRead::kOne);
+  EXPECT_EQ(read_logic(0.6, th.v_lo, th.v_hi), LogicRead::kUndefined);
+}
+
+}  // namespace
+}  // namespace cpsinw::spice

@@ -1,0 +1,125 @@
+// Solver robustness: convergence fallbacks, stiff element values, and
+// measurement edge cases.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "spice/dcop.hpp"
+#include "spice/measure.hpp"
+#include "spice/transient.hpp"
+
+namespace cpsinw::spice {
+namespace {
+
+constexpr double kVdd = 1.2;
+
+std::shared_ptr<const device::TigModel> ff_model() {
+  static const auto model =
+      std::make_shared<const device::TigModel>(device::TigParams{});
+  return model;
+}
+
+TEST(Robustness, SourceSteppingRescuesColdStart) {
+  // A long chain of inverters with a tight Newton budget: the plain solve
+  // may struggle from the zero initial guess; continuation must converge.
+  Circuit ckt;
+  const NodeId vdd = ckt.node("vdd");
+  ckt.add_vsource("VDD", vdd, 0, Waveform::dc(kVdd));
+  NodeId in = ckt.node("in");
+  ckt.add_vsource("VIN", in, 0, Waveform::dc(0.0));
+  for (int i = 0; i < 8; ++i) {
+    const NodeId out = ckt.node("n" + std::to_string(i));
+    ckt.add_tig("p" + std::to_string(i), ff_model(), in, 0, 0, vdd, out);
+    ckt.add_tig("n" + std::to_string(i), ff_model(), in, vdd, vdd, 0, out);
+    in = out;
+  }
+  NewtonOptions opt;
+  opt.max_iterations = 25;  // deliberately tight
+  const DcResult r = dc_operating_point(ckt, 0.0, opt);
+  ASSERT_TRUE(r.converged);
+  // Eight inversions of a 0: the last node is low... chain alternates.
+  const double v_last = r.voltage(in);
+  EXPECT_TRUE(v_last < 0.1 || v_last > 1.1);
+}
+
+TEST(Robustness, ExtremeResistorSpreadStaysSolvable) {
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  const NodeId b = ckt.node("b");
+  ckt.add_vsource("V", a, 0, Waveform::dc(1.0));
+  ckt.add_resistor("Rsmall", a, b, 1e-1);
+  ckt.add_resistor("Rbig", b, 0, 1e9);
+  const DcResult r = dc_operating_point(ckt);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.voltage(b), 1.0, 1e-6);
+}
+
+TEST(Robustness, TransientWithMultipleCapsConservesMonotonicity) {
+  // Cascade of two RC stages: the second node must lag the first and both
+  // must settle at the source level without overshoot (trapezoidal on an
+  // RC ladder is non-oscillatory at these steps).
+  Circuit ckt;
+  const NodeId in = ckt.node("in");
+  const NodeId m = ckt.node("m");
+  const NodeId out = ckt.node("out");
+  ckt.add_vsource("V", in, 0, Waveform::step(0.0, 1.0, 0.05e-9, 1e-12));
+  ckt.add_resistor("R1", in, m, 1e3);
+  ckt.add_capacitor("C1", m, 0, 0.2e-12);
+  ckt.add_resistor("R2", m, out, 1e3);
+  ckt.add_capacitor("C2", out, 0, 0.2e-12);
+  TranOptions opt;
+  opt.t_stop = 3e-9;
+  opt.dt = 2e-12;
+  const TranResult tr = transient(ckt, opt);
+  ASSERT_TRUE(tr.converged);
+  for (std::size_t i = 0; i < tr.time.size(); ++i) {
+    EXPECT_LE(tr.v[static_cast<std::size_t>(out)][i],
+              tr.v[static_cast<std::size_t>(m)][i] + 1e-6);
+    EXPECT_LE(tr.v[static_cast<std::size_t>(out)][i], 1.0 + 1e-6);
+  }
+  EXPECT_NEAR(tr.final_voltage(out), 1.0, 0.01);
+}
+
+TEST(Robustness, BranchCurrentSignConvention) {
+  // Source delivering current: branch current is negative (pos->neg
+  // internal flow), supply_current positive.
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  ckt.add_vsource("V", a, 0, Waveform::dc(2.0));
+  ckt.add_resistor("R", a, 0, 1000.0);
+  const DcResult r = dc_operating_point(ckt);
+  ASSERT_TRUE(r.converged);
+  EXPECT_LT(r.branch_current[0], 0.0);
+  EXPECT_NEAR(r.supply_current(ckt, "V"), 2e-3, 1e-9);
+  EXPECT_NEAR(iddq_total(r), 2e-3, 1e-9);
+}
+
+TEST(Robustness, BackToBackSourcesShareCurrent) {
+  // Two sources at different levels joined by a resistor: one delivers,
+  // one absorbs; iddq_total counts only the delivered part.
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  const NodeId b = ckt.node("b");
+  ckt.add_vsource("VA", a, 0, Waveform::dc(1.0));
+  ckt.add_vsource("VB", b, 0, Waveform::dc(0.0));
+  ckt.add_resistor("R", a, b, 1000.0);
+  const DcResult r = dc_operating_point(ckt);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(iddq_total(r), 1e-3, 1e-9);
+}
+
+TEST(Robustness, TimeDependentSourcesEvaluateAtRequestedTime) {
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  ckt.add_vsource("V", a, 0, Waveform::step(0.2, 0.9, 1e-9, 0.2e-9));
+  ckt.add_resistor("R", a, 0, 1e6);
+  const DcResult early = dc_operating_point(ckt, 0.0);
+  const DcResult late = dc_operating_point(ckt, 5e-9);
+  ASSERT_TRUE(early.converged);
+  ASSERT_TRUE(late.converged);
+  EXPECT_NEAR(early.voltage(a), 0.2, 1e-6);
+  EXPECT_NEAR(late.voltage(a), 0.9, 1e-6);
+}
+
+}  // namespace
+}  // namespace cpsinw::spice

@@ -1,0 +1,88 @@
+#include "spice/transient.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+namespace cpsinw::spice {
+namespace {
+
+constexpr double kVdd = 1.2;
+
+std::shared_ptr<const device::TigModel> ff_model() {
+  static const auto model =
+      std::make_shared<const device::TigModel>(device::TigParams{});
+  return model;
+}
+
+TEST(Transient, RcChargingMatchesAnalyticSolution) {
+  // R = 1k, C = 1pF -> tau = 1ns.
+  Circuit ckt;
+  const NodeId in = ckt.node("in");
+  const NodeId out = ckt.node("out");
+  ckt.add_vsource("V1", in, 0, Waveform::step(0.0, 1.0, 0.1e-9, 1e-12));
+  ckt.add_resistor("R", in, out, 1000.0);
+  ckt.add_capacitor("C", out, 0, 1e-12);
+  TranOptions opt;
+  opt.t_stop = 3e-9;
+  opt.dt = 2e-12;
+  const TranResult tr = transient(ckt, opt);
+  ASSERT_TRUE(tr.converged);
+  // Compare against v(t) = 1 - exp(-(t-t0)/tau) at a few instants.
+  for (const double t_probe : {0.5e-9, 1.0e-9, 2.0e-9}) {
+    std::size_t idx = 0;
+    while (idx + 1 < tr.time.size() && tr.time[idx] < t_probe) ++idx;
+    const double expected = 1.0 - std::exp(-(tr.time[idx] - 0.101e-9) / 1e-9);
+    EXPECT_NEAR(tr.v[static_cast<std::size_t>(out)][idx], expected, 0.02);
+  }
+}
+
+TEST(Transient, CapacitorRetainsChargeWhenFloating) {
+  // Charge a cap through a resistor, no discharge path: final voltage holds.
+  Circuit ckt;
+  const NodeId top = ckt.node("top");
+  ckt.add_vsource("V1", top, 0, Waveform::dc(1.0));
+  const NodeId store = ckt.node("store");
+  ckt.add_resistor("R", top, store, 100.0);
+  ckt.add_capacitor("C", store, 0, 1e-12);
+  TranOptions opt;
+  opt.t_stop = 2e-9;
+  opt.dt = 2e-12;
+  const TranResult tr = transient(ckt, opt);
+  ASSERT_TRUE(tr.converged);
+  EXPECT_NEAR(tr.final_voltage(store), 1.0, 1e-3);
+}
+
+TEST(Transient, InverterSwitchesWithPlausibleDelay) {
+  Circuit ckt;
+  const NodeId vdd = ckt.node("vdd");
+  const NodeId in = ckt.node("in");
+  const NodeId out = ckt.node("out");
+  ckt.add_vsource("VDD", vdd, 0, Waveform::dc(kVdd));
+  ckt.add_vsource("VIN", in, 0, Waveform::step(kVdd, 0.0, 0.2e-9, 10e-12));
+  ckt.add_tig("tp", ff_model(), in, 0, 0, vdd, out);
+  ckt.add_tig("tn", ff_model(), in, vdd, vdd, 0, out);
+  ckt.add_capacitor("CL", out, 0, 8e-15);
+  TranOptions opt;
+  opt.t_stop = 2.0e-9;
+  opt.dt = 1e-12;
+  const TranResult tr = transient(ckt, opt);
+  ASSERT_TRUE(tr.converged);
+  // Output starts low (in = vdd) and ends high after the edge.
+  EXPECT_LT(tr.v[static_cast<std::size_t>(out)].front(), 0.15);
+  EXPECT_GT(tr.final_voltage(out), 0.9 * kVdd);
+}
+
+TEST(Transient, RejectsBadOptions) {
+  Circuit ckt;
+  TranOptions opt;
+  opt.dt = 0.0;
+  EXPECT_THROW((void)transient(ckt, opt), std::invalid_argument);
+  opt.dt = 1e-12;
+  opt.t_stop = -1.0;
+  EXPECT_THROW((void)transient(ckt, opt), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cpsinw::spice

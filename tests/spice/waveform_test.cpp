@@ -1,0 +1,55 @@
+#include "spice/waveform.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpsinw::spice {
+namespace {
+
+TEST(Waveform, DcIsConstant) {
+  const Waveform w = Waveform::dc(1.2);
+  EXPECT_DOUBLE_EQ(w.at(0.0), 1.2);
+  EXPECT_DOUBLE_EQ(w.at(1e-9), 1.2);
+  EXPECT_TRUE(w.is_dc());
+}
+
+TEST(Waveform, PwlInterpolates) {
+  const Waveform w = Waveform::pwl({{0.0, 0.0}, {1e-9, 1.2}});
+  EXPECT_DOUBLE_EQ(w.at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.at(0.5e-9), 0.6);
+  EXPECT_DOUBLE_EQ(w.at(2e-9), 1.2);
+  EXPECT_FALSE(w.is_dc());
+}
+
+TEST(Waveform, PwlRejectsNonIncreasingTimes) {
+  EXPECT_THROW((void)Waveform::pwl({{1.0, 0.0}, {1.0, 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW((void)Waveform::pwl({}), std::invalid_argument);
+}
+
+TEST(Waveform, StepEdge) {
+  const Waveform w = Waveform::step(0.0, 1.2, 1e-9, 10e-12);
+  EXPECT_DOUBLE_EQ(w.at(0.5e-9), 0.0);
+  EXPECT_NEAR(w.at(1e-9 + 5e-12), 0.6, 1e-9);
+  EXPECT_DOUBLE_EQ(w.at(2e-9), 1.2);
+  EXPECT_THROW((void)Waveform::step(0.0, 1.0, 0.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Waveform, TwoPatternHoldsThenSwitches) {
+  const Waveform w = Waveform::two_pattern(1.2, 0.0, 2e-9, 10e-12);
+  EXPECT_DOUBLE_EQ(w.at(1e-9), 1.2);
+  EXPECT_DOUBLE_EQ(w.at(3e-9), 0.0);
+  // Identical levels collapse to DC.
+  EXPECT_TRUE(Waveform::two_pattern(1.2, 1.2, 2e-9, 10e-12).is_dc());
+}
+
+TEST(Waveform, ComplementMirrorsAroundVdd) {
+  const Waveform w = Waveform::step(0.0, 1.2, 1e-9, 10e-12);
+  const Waveform wb = w.complemented(1.2);
+  EXPECT_DOUBLE_EQ(wb.at(0.0), 1.2);
+  EXPECT_DOUBLE_EQ(wb.at(2e-9), 0.0);
+  EXPECT_NEAR(w.at(1e-9 + 5e-12) + wb.at(1e-9 + 5e-12), 1.2, 1e-9);
+}
+
+}  // namespace
+}  // namespace cpsinw::spice

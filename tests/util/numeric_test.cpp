@@ -1,0 +1,100 @@
+#include "util/numeric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cpsinw::util {
+namespace {
+
+TEST(Sigmoid, MatchesReferenceValues) {
+  EXPECT_NEAR(sigmoid(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(sigmoid(1.0), 1.0 / (1.0 + std::exp(-1.0)), 1e-12);
+  EXPECT_NEAR(sigmoid(-1.0), 1.0 - sigmoid(1.0), 1e-12);
+}
+
+TEST(Sigmoid, StableForLargeArguments) {
+  EXPECT_NEAR(sigmoid(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(sigmoid(-1000.0), 0.0, 1e-12);
+  EXPECT_TRUE(std::isfinite(sigmoid(700.0)));
+  EXPECT_TRUE(std::isfinite(sigmoid(-700.0)));
+}
+
+TEST(Sigmoid, Monotone) {
+  double prev = sigmoid(-10.0);
+  for (double x = -9.5; x <= 10.0; x += 0.5) {
+    const double cur = sigmoid(x);
+    EXPECT_GT(cur, prev) << "at x=" << x;
+    prev = cur;
+  }
+}
+
+TEST(Softplus, MatchesLogForm) {
+  EXPECT_NEAR(softplus(0.0), std::log(2.0), 1e-12);
+  EXPECT_NEAR(softplus(2.0), std::log1p(std::exp(2.0)), 1e-12);
+}
+
+TEST(Softplus, AsymptoticBehaviour) {
+  EXPECT_NEAR(softplus(50.0), 50.0, 1e-9);
+  EXPECT_NEAR(softplus(-50.0), std::exp(-50.0), 1e-24);
+  EXPECT_GT(softplus(-50.0), 0.0);
+}
+
+TEST(ClampChecked, ClampsAndValidates) {
+  EXPECT_EQ(clamp_checked(5.0, 0.0, 1.0), 1.0);
+  EXPECT_EQ(clamp_checked(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_EQ(clamp_checked(0.5, 0.0, 1.0), 0.5);
+  EXPECT_THROW((void)clamp_checked(0.0, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(ApproxEqual, RespectsTolerances) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(approx_equal(1.0, 1.01));
+  EXPECT_TRUE(approx_equal(1.0, 1.005, 1e-2));
+}
+
+TEST(PiecewiseLinear, InterpolatesAndExtrapolatesFlat) {
+  PiecewiseLinear f({0.0, 1.0, 2.0}, {0.0, 10.0, 0.0});
+  EXPECT_NEAR(f(0.5), 5.0, 1e-12);
+  EXPECT_NEAR(f(1.5), 5.0, 1e-12);
+  EXPECT_NEAR(f(-1.0), 0.0, 1e-12);
+  EXPECT_NEAR(f(3.0), 0.0, 1e-12);
+}
+
+TEST(PiecewiseLinear, RejectsBadInput) {
+  EXPECT_THROW(PiecewiseLinear({}, {}), std::invalid_argument);
+  EXPECT_THROW(PiecewiseLinear({0.0, 0.0}, {1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(PiecewiseLinear({0.0, 1.0}, {1.0}), std::invalid_argument);
+}
+
+TEST(Linspace, CoversRangeInclusive) {
+  const auto v = linspace(0.0, 1.0, 5);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_DOUBLE_EQ(v.front(), 0.0);
+  EXPECT_DOUBLE_EQ(v.back(), 1.0);
+  EXPECT_NEAR(v[2], 0.5, 1e-12);
+  EXPECT_THROW((void)linspace(0.0, 1.0, 1), std::invalid_argument);
+}
+
+TEST(Logspace, GeometricSpacing) {
+  const auto v = logspace(1.0, 100.0, 3);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_NEAR(v[0], 1.0, 1e-9);
+  EXPECT_NEAR(v[1], 10.0, 1e-9);
+  EXPECT_NEAR(v[2], 100.0, 1e-9);
+  EXPECT_THROW((void)logspace(0.0, 1.0, 3), std::invalid_argument);
+}
+
+TEST(FindCrossing, LocatesRisingAndFalling) {
+  const std::vector<double> x = {0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> rising = {0.0, 0.0, 1.0, 1.0};
+  EXPECT_NEAR(find_crossing(x, rising, 0.5), 1.5, 1e-12);
+  const std::vector<double> falling = {1.0, 1.0, 0.0, 0.0};
+  EXPECT_NEAR(find_crossing(x, falling, 0.5), 1.5, 1e-12);
+  const std::vector<double> flat = {0.0, 0.0, 0.0, 0.0};
+  EXPECT_TRUE(std::isnan(find_crossing(x, flat, 0.5)));
+}
+
+}  // namespace
+}  // namespace cpsinw::util

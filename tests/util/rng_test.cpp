@@ -1,0 +1,62 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace cpsinw::util {
+namespace {
+
+TEST(SplitMix64, DeterministicForSameSeed) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(SplitMix64, DoublesInUnitInterval) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(SplitMix64, UniformRespectsBounds) {
+  SplitMix64 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(d, -2.0);
+    EXPECT_LT(d, 3.0);
+  }
+}
+
+TEST(SplitMix64, BelowCoversRange) {
+  SplitMix64 rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(5));
+  EXPECT_EQ(seen.size(), 5u);
+  for (const auto v : seen) EXPECT_LT(v, 5u);
+}
+
+TEST(SplitMix64, ChanceIsRoughlyCalibrated) {
+  SplitMix64 rng(13);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (rng.chance(0.25)) ++hits;
+  const double rate = static_cast<double>(hits) / n;
+  EXPECT_NEAR(rate, 0.25, 0.02);
+}
+
+}  // namespace
+}  // namespace cpsinw::util

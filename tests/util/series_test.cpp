@@ -1,0 +1,49 @@
+#include "util/series.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace cpsinw::util {
+namespace {
+
+TEST(DataSeries, StoresColumnsAndSamples) {
+  DataSeries s("test", "x");
+  const int c0 = s.add_column("y0");
+  const int c1 = s.add_column("y1");
+  s.add_sample(0.0, {1.0, 2.0});
+  s.add_sample(1.0, {3.0, 4.0});
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.column_count(), 2);
+  EXPECT_DOUBLE_EQ(s.column(c0)[1], 3.0);
+  EXPECT_DOUBLE_EQ(s.column(c1)[0], 2.0);
+  EXPECT_EQ(s.column_label(1), "y1");
+}
+
+TEST(DataSeries, RejectsArityMismatch) {
+  DataSeries s("test", "x");
+  s.add_column("y");
+  EXPECT_THROW(s.add_sample(0.0, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(DataSeries, WritesCsv) {
+  DataSeries s("test", "t");
+  s.add_column("v");
+  s.add_sample(0.5, {2.5});
+  std::ostringstream oss;
+  s.write_csv(oss);
+  EXPECT_EQ(oss.str(), "t,v\n0.5,2.5\n");
+}
+
+TEST(DataSeries, PrintsReadableTable) {
+  DataSeries s("demo", "x");
+  s.add_column("y");
+  s.add_sample(1.0, {2.0});
+  std::ostringstream oss;
+  s.print(oss);
+  EXPECT_NE(oss.str().find("# demo"), std::string::npos);
+  EXPECT_NE(oss.str().find("y"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cpsinw::util

@@ -1,0 +1,43 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace cpsinw::util {
+namespace {
+
+TEST(AsciiTable, RendersAlignedCells) {
+  AsciiTable t({"fault", "vector"});
+  t.add_row({"t1 SA-N", "00"});
+  t.add_row({"t2", "11"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| fault  "), std::string::npos);
+  EXPECT_NE(s.find("| t1 SA-N"), std::string::npos);
+  EXPECT_NE(s.find("+--------"), std::string::npos);
+}
+
+TEST(AsciiTable, RejectsArityMismatch) {
+  AsciiTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(AsciiTable({}), std::invalid_argument);
+}
+
+TEST(AsciiTable, RowBuilderCommitsOnDestruction) {
+  AsciiTable t({"name", "value", "flag"});
+  { t.row().cell("x").num(1.25, 2).boolean(true); }
+  EXPECT_EQ(t.row_count(), 1u);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("1.25"), std::string::npos);
+  EXPECT_NE(s.find("Yes"), std::string::npos);
+}
+
+TEST(Format, FixedSciAndYesNo) {
+  EXPECT_EQ(format_fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(format_sci(12345.0, 2), "1.23e+04");
+  EXPECT_EQ(format_yes_no(true), "Yes");
+  EXPECT_EQ(format_yes_no(false), "No");
+}
+
+}  // namespace
+}  // namespace cpsinw::util
