@@ -1,0 +1,93 @@
+// Campaign-engine scaling: throughput (sampled faults x patterns per
+// second) of the same parity_tree(64) campaign at 1/2/4/8 threads.  The
+// deterministic JSON of every run is checked against the 1-thread
+// reference — a scaling number only counts if the answer is bit-identical.
+// The last line printed is a single JSON object for the bench trajectory.
+#include <iostream>
+#include <string>
+
+#include "engine/campaign.hpp"
+#include "engine/thread_pool.hpp"
+#include "logic/benchmarks.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace cpsinw;
+
+  const auto make_spec = [](int threads) {
+    engine::CampaignSpec spec;
+    spec.jobs.push_back({"parity_tree_64", logic::parity_tree(64)});
+    spec.patterns.kind = engine::PatternSourceSpec::Kind::kRandom;
+    spec.patterns.random_count = 128;
+    spec.shard_size = 32;
+    spec.seed = 1;
+    spec.threads = threads;
+    return spec;
+  };
+
+  std::cout << "=== Campaign-engine scaling: parity_tree(64), full CP fault "
+               "universe, 128 random patterns ===\n";
+  std::cout << "hardware threads: " << engine::ThreadPool::hardware_threads()
+            << "\n\n";
+
+  // Warm-up run (page-faults, allocator) outside the measured set.
+  (void)engine::run_campaign(make_spec(1));
+
+  util::AsciiTable table({"threads", "shards", "wall [ms]",
+                          "faults x patterns / s", "speedup vs 1T",
+                          "identical JSON"});
+  std::string json_line;
+  double wall_1t = 0.0;
+  std::string reference_json;
+  bool all_identical = true;
+
+  for (const int threads : {1, 2, 4, 8}) {
+    const engine::CampaignReport report =
+        engine::run_campaign(make_spec(threads));
+    const std::string stable = report.to_json(false);
+    if (threads == 1) {
+      reference_json = stable;
+      wall_1t = report.timing.wall_s;
+    }
+    const bool identical = stable == reference_json;
+    all_identical = all_identical && identical;
+
+    const double speedup =
+        report.timing.wall_s > 0.0 ? wall_1t / report.timing.wall_s : 0.0;
+    table.add_row({std::to_string(threads),
+                   std::to_string(report.timing.shard_count),
+                   std::to_string(report.timing.wall_s * 1e3),
+                   std::to_string(report.timing.fault_patterns_per_s),
+                   std::to_string(speedup), identical ? "yes" : "NO"});
+
+    if (!json_line.empty()) json_line += ",";
+    json_line += "{\"threads\":" + std::to_string(threads) +
+                 ",\"wall_s\":" + std::to_string(report.timing.wall_s) +
+                 ",\"fault_patterns_per_s\":" +
+                 std::to_string(report.timing.fault_patterns_per_s) +
+                 ",\"speedup\":" + std::to_string(speedup) +
+                 ",\"identical\":" + (identical ? "true" : "false") + "}";
+  }
+  table.print(std::cout);
+
+  const engine::CampaignReport ref = engine::run_campaign(make_spec(1));
+  const engine::ClassStats totals = ref.totals();
+  std::cout << "\nworkload: " << totals.total << " faults x "
+            << ref.jobs[0].pattern_count << " patterns, coverage "
+            << totals.coverage() << "\n";
+  std::cout << "determinism: "
+            << (all_identical ? "all runs bit-identical"
+                              : "MISMATCH ACROSS THREAD COUNTS")
+            << "\n\n";
+
+  // Single JSON line for the bench trajectory.
+  std::cout << "{\"bench\":\"engine_scaling\",\"circuit\":\"parity_tree_64\","
+               "\"faults\":"
+            << totals.total << ",\"patterns\":" << ref.jobs[0].pattern_count
+            << ",\"hardware_threads\":"
+            << engine::ThreadPool::hardware_threads()
+            << ",\"deterministic\":" << (all_identical ? "true" : "false")
+            << ",\"runs\":[" << json_line << "]}\n";
+
+  return all_identical ? 0 : 1;
+}

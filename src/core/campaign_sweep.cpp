@@ -1,0 +1,33 @@
+#include "core/campaign_sweep.hpp"
+
+#include "logic/benchmarks.hpp"
+
+namespace cpsinw::core {
+
+std::vector<engine::CircuitJobSpec> benchmark_campaign_jobs() {
+  std::vector<engine::CircuitJobSpec> jobs;
+  jobs.push_back({"c17", logic::c17()});
+  jobs.push_back({"full_adder", logic::full_adder()});
+  jobs.push_back({"ripple_adder_4", logic::ripple_adder(4)});
+  jobs.push_back({"parity_tree_8", logic::parity_tree(8)});
+  jobs.push_back({"multiplier_2x2", logic::multiplier_2x2()});
+  jobs.push_back({"alu_slice", logic::alu_slice()});
+  jobs.push_back({"tmr_voter_3", logic::tmr_voter(3)});
+  jobs.push_back({"xor3_chain_9", logic::xor3_parity_chain(9)});
+  return jobs;
+}
+
+engine::CampaignReport run_benchmark_campaign(
+    const CampaignSweepOptions& options) {
+  engine::CampaignSpec spec;
+  spec.jobs = benchmark_campaign_jobs();
+  spec.models.bridge = options.include_bridges;
+  spec.patterns.kind = options.pattern_source;
+  spec.patterns.random_count = options.random_patterns;
+  spec.seed = options.seed;
+  spec.shard_size = options.shard_size;
+  spec.threads = options.threads;
+  return engine::run_campaign(spec);
+}
+
+}  // namespace cpsinw::core

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <set>
 
+#include "core/campaign_sweep.hpp"
 #include "core/test_flow.hpp"
 #include "gates/fault_dictionary.hpp"
 #include "logic/benchmarks.hpp"
@@ -496,35 +497,21 @@ GosDetectData run_gos_detectability() {
 // ----------------------------------------------------------- ATPG coverage
 
 AtpgCoverageData run_atpg_coverage() {
-  struct Named {
-    std::string name;
-    logic::Circuit ckt;
-  };
-  std::vector<Named> circuits;
-  circuits.push_back({"c17", logic::c17()});
-  circuits.push_back({"full_adder", logic::full_adder()});
-  circuits.push_back({"ripple_adder_4", logic::ripple_adder(4)});
-  circuits.push_back({"parity_tree_8", logic::parity_tree(8)});
-  circuits.push_back({"multiplier_2x2", logic::multiplier_2x2()});
-  circuits.push_back({"alu_slice", logic::alu_slice()});
-  circuits.push_back({"tmr_voter_3", logic::tmr_voter(3)});
-  circuits.push_back({"xor3_chain_9", logic::xor3_parity_chain(9)});
-
   AtpgCoverageData data;
-  for (const Named& named : circuits) {
+  for (const engine::CircuitJobSpec& named : benchmark_campaign_jobs()) {
     TestFlowOptions classical;
     classical.classical_only = true;
     classical.compact = false;
-    const TestSuite base = run_test_flow(named.ckt, classical);
+    const TestSuite base = run_test_flow(named.circuit, classical);
 
     TestFlowOptions full;
     full.compact = false;
-    const TestSuite ext = run_test_flow(named.ckt, full);
+    const TestSuite ext = run_test_flow(named.circuit, full);
 
     CoverageRow row;
     row.circuit = named.name;
-    row.gate_count = named.ckt.gate_count();
-    row.transistor_count = named.ckt.transistor_count();
+    row.gate_count = named.circuit.gate_count();
+    row.transistor_count = named.circuit.transistor_count();
     row.fault_count = static_cast<int>(ext.outcomes.size());
     row.classical_coverage = base.coverage();
     row.full_coverage = ext.coverage();

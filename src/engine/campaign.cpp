@@ -1,0 +1,223 @@
+#include "engine/campaign.hpp"
+
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "core/test_flow.hpp"
+#include "engine/thread_pool.hpp"
+#include "faults/fault_list.hpp"
+
+namespace cpsinw::engine {
+
+const char* to_string(PatternSourceSpec::Kind kind) {
+  switch (kind) {
+    case PatternSourceSpec::Kind::kExplicit: return "explicit";
+    case PatternSourceSpec::Kind::kRandom: return "random";
+    case PatternSourceSpec::Kind::kAtpg: return "atpg";
+  }
+  return "?";
+}
+
+std::vector<CampaignFault> build_universe(const logic::Circuit& ckt,
+                                          const FaultModelSelection& models) {
+  faults::FaultListOptions flo;
+  flo.include_line_stuck_at = models.line_stuck_at;
+  flo.include_transistor_faults =
+      models.polarity || models.stuck_open || models.stuck_on;
+  flo.collapse = models.collapse;
+
+  std::vector<CampaignFault> universe;
+  for (const faults::Fault& f : generate_fault_list(ckt, flo)) {
+    const CampaignFault cf = CampaignFault::from_fault(f);
+    const bool keep = (cf.cls == FaultClass::kLineStuckAt &&
+                       models.line_stuck_at) ||
+                      (cf.cls == FaultClass::kPolarity && models.polarity) ||
+                      (cf.cls == FaultClass::kStuckOpen &&
+                       models.stuck_open) ||
+                      (cf.cls == FaultClass::kStuckOn && models.stuck_on);
+    if (keep) universe.push_back(cf);
+  }
+  if (models.bridge)
+    for (const faults::BridgeFault& b :
+         faults::enumerate_adjacent_bridges(ckt))
+      universe.push_back(CampaignFault::from_bridge(b));
+  return universe;
+}
+
+std::vector<logic::Pattern> build_patterns(const logic::Circuit& ckt,
+                                           const PatternSourceSpec& source,
+                                           util::SplitMix64 job_rng) {
+  switch (source.kind) {
+    case PatternSourceSpec::Kind::kExplicit:
+      return source.explicit_patterns;
+
+    case PatternSourceSpec::Kind::kRandom: {
+      if (source.random_count < 1)
+        throw std::invalid_argument("build_patterns: random_count >= 1");
+      std::vector<logic::Pattern> out;
+      out.reserve(static_cast<std::size_t>(source.random_count));
+      for (int k = 0; k < source.random_count; ++k) {
+        logic::Pattern p(ckt.primary_inputs().size());
+        for (logic::LogicV& v : p)
+          v = logic::from_bool(job_rng.chance(source.one_probability));
+        out.push_back(std::move(p));
+      }
+      return out;
+    }
+
+    case PatternSourceSpec::Kind::kAtpg: {
+      core::TestFlowOptions opt;
+      opt.compact = source.atpg_compact;
+      const core::TestSuite suite = core::run_test_flow(ckt, opt);
+      std::vector<logic::Pattern> out = suite.logic_patterns;
+      out.insert(out.end(), suite.iddq_patterns.begin(),
+                 suite.iddq_patterns.end());
+      // Two-pattern tests ride along as consecutive (init, test) pairs so
+      // campaigns with sequential_patterns see the retention sequences.
+      for (const atpg::TwoPatternTest& t : suite.two_pattern_tests) {
+        out.push_back(t.init);
+        out.push_back(t.test);
+      }
+      return out;
+    }
+  }
+  throw std::invalid_argument("build_patterns: unknown source kind");
+}
+
+namespace {
+
+/// Everything one job needs, materialized before any shard runs.
+struct JobData {
+  const CircuitJobSpec* spec = nullptr;
+  std::vector<CampaignFault> universe;
+  std::vector<logic::Pattern> patterns;
+  std::vector<Shard> shards;
+  std::vector<ShardResult> results;  ///< slot per shard, filled in parallel
+};
+
+}  // namespace
+
+CampaignReport run_campaign(const CampaignSpec& spec) {
+  if (spec.fault_sample_fraction <= 0.0 || spec.fault_sample_fraction > 1.0)
+    throw std::invalid_argument(
+        "run_campaign: fault_sample_fraction must be in (0, 1]");
+
+  const util::SplitMix64 campaign_rng(spec.seed);
+
+  std::vector<JobData> jobs(spec.jobs.size());
+  for (std::size_t j = 0; j < spec.jobs.size(); ++j) {
+    jobs[j].spec = &spec.jobs[j];
+    if (!jobs[j].spec->circuit.finalized())
+      throw std::invalid_argument("run_campaign: circuit not finalized: " +
+                                  jobs[j].spec->name);
+    // Explicit patterns apply to every job, so a PI-count mismatch is
+    // certain to blow up mid-campaign — fail fast, naming the job.
+    if (spec.patterns.kind == PatternSourceSpec::Kind::kExplicit) {
+      const std::size_t pis = jobs[j].spec->circuit.primary_inputs().size();
+      for (std::size_t p = 0; p < spec.patterns.explicit_patterns.size(); ++p)
+        if (spec.patterns.explicit_patterns[p].size() != pis)
+          throw std::invalid_argument(
+              "run_campaign: explicit pattern " + std::to_string(p) +
+              " has arity " +
+              std::to_string(spec.patterns.explicit_patterns[p].size()) +
+              " but job '" + jobs[j].spec->name + "' has " +
+              std::to_string(pis) + " primary inputs");
+    }
+  }
+
+  ShardExecOptions exec;
+  exec.sim = spec.sim;
+  exec.fault_sample_fraction = spec.fault_sample_fraction;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  int shard_count = 0;
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  {
+    ThreadPool pool(spec.threads);
+
+    // ---- Setup phase, one task per job: universe, patterns (ATPG runs
+    // here, so an all-kAtpg campaign generates tests in parallel too) and
+    // shard decomposition.  Each job's RNG streams are forked from the
+    // campaign seed by job index, so scheduling cannot affect them. --------
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      pool.submit([&jobs, j, &spec, &campaign_rng, &first_error,
+                   &error_mutex] {
+        try {
+          JobData& job = jobs[j];
+          job.universe = build_universe(job.spec->circuit, spec.models);
+          job.patterns = build_patterns(
+              job.spec->circuit, spec.patterns,
+              campaign_rng.fork(2 * static_cast<std::uint64_t>(j)));
+          job.shards = make_shards(
+              static_cast<int>(j), job.universe.size(), spec.shard_size,
+              campaign_rng.fork(2 * static_cast<std::uint64_t>(j) + 1));
+          job.results.resize(job.shards.size());
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      });
+    }
+    pool.wait_idle();
+    if (first_error) std::rethrow_exception(first_error);
+
+    // ---- Shard phase: each shard fills its own pre-sized slot. -----------
+    for (JobData& job : jobs) {
+      for (std::size_t s = 0; s < job.shards.size(); ++s) {
+        ++shard_count;
+        pool.submit([&job, s, &exec, &first_error, &error_mutex] {
+          try {
+            job.results[s] = run_shard(job.spec->circuit, job.universe,
+                                       job.patterns, job.shards[s], exec);
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+          }
+        });
+      }
+    }
+    pool.wait_idle();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  // ---- Deterministic merge in (job, shard) order. ------------------------
+  CampaignReport report;
+  report.seed = spec.seed;
+  report.shard_size = spec.shard_size;
+  report.pattern_source = to_string(spec.patterns.kind);
+  report.fault_sample_fraction = spec.fault_sample_fraction;
+  report.observe_iddq = spec.sim.observe_iddq;
+
+  double sampled_fault_patterns = 0.0;
+  for (const JobData& job : jobs) {
+    JobReport jr;
+    jr.circuit = job.spec->name;
+    jr.gate_count = job.spec->circuit.gate_count();
+    jr.transistor_count = job.spec->circuit.transistor_count();
+    jr.pattern_count = static_cast<int>(job.patterns.size());
+    for (const ShardResult& sr : job.results)
+      accumulate_shard(jr, sr, jr.pattern_count, spec.sim.observe_iddq);
+    sampled_fault_patterns += static_cast<double>(jr.totals().sampled) *
+                              static_cast<double>(jr.pattern_count);
+    report.jobs.push_back(std::move(jr));
+  }
+
+  report.timing.threads =
+      spec.threads > 0 ? spec.threads : ThreadPool::hardware_threads();
+  report.timing.shard_count = shard_count;
+  report.timing.wall_s = wall_s;
+  for (const JobReport& jr : report.jobs)
+    report.timing.shard_time_sum_s += jr.shard_time_sum_s;
+  report.timing.fault_patterns_per_s =
+      wall_s > 0.0 ? sampled_fault_patterns / wall_s : 0.0;
+  return report;
+}
+
+}  // namespace cpsinw::engine

@@ -1,0 +1,89 @@
+// Fault-campaign engine: a whole sweep (circuits x fault models x a
+// pattern source) as one first-class object, executed as sharded work
+// units on a work-stealing pool and merged into a deterministic
+// CampaignReport.  Bit-identical results for every thread count are an
+// API guarantee: all stochastic choices flow from per-job / per-shard
+// forks of the campaign seed, and the merge order is fixed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/report.hpp"
+#include "engine/shard.hpp"
+#include "logic/circuit.hpp"
+
+namespace cpsinw::engine {
+
+/// Where a job's patterns come from.
+struct PatternSourceSpec {
+  enum class Kind {
+    kExplicit,  ///< caller-provided patterns (applied to every job)
+    kRandom,    ///< seeded random patterns, one stream per job
+    kAtpg,      ///< run the full CP test-generation flow per job
+  };
+  Kind kind = Kind::kRandom;
+
+  // kExplicit:
+  std::vector<logic::Pattern> explicit_patterns;
+
+  // kRandom:
+  int random_count = 256;
+  double one_probability = 0.5;
+
+  // kAtpg:
+  bool atpg_compact = true;
+};
+
+/// Readable source name ("explicit", "random", "atpg").
+[[nodiscard]] const char* to_string(PatternSourceSpec::Kind kind);
+
+/// Which fault models populate the universe.
+struct FaultModelSelection {
+  bool line_stuck_at = true;
+  bool polarity = true;    ///< stuck-at-n-type / stuck-at-p-type
+  bool stuck_open = true;  ///< channel break
+  bool stuck_on = true;    ///< resistive short
+  bool bridge = false;     ///< adjacent-net bridge universe (large!)
+  /// Collapse equivalent faults before classification (note: collapsing
+  /// runs on the full transistor universe, so a kept representative may
+  /// stand for merged faults of a deselected class).
+  bool collapse = true;
+};
+
+/// One circuit of a campaign.
+struct CircuitJobSpec {
+  std::string name;
+  logic::Circuit circuit;  ///< finalized
+};
+
+/// A complete campaign description.
+struct CampaignSpec {
+  std::vector<CircuitJobSpec> jobs;
+  FaultModelSelection models;
+  PatternSourceSpec patterns;
+  faults::FaultSimOptions sim;
+  std::uint64_t seed = 1;
+  std::size_t shard_size = 64;  ///< faults per work unit
+  int threads = 1;              ///< 0 = hardware concurrency
+  double fault_sample_fraction = 1.0;
+};
+
+/// Builds the classified fault universe of one circuit (deterministic
+/// enumeration order; exposed so tests can reproduce exactly what a
+/// campaign simulates).
+[[nodiscard]] std::vector<CampaignFault> build_universe(
+    const logic::Circuit& ckt, const FaultModelSelection& models);
+
+/// Materializes the pattern set of one job.  `job_rng` is consumed only by
+/// the random source (fork it per job as the campaign does).
+[[nodiscard]] std::vector<logic::Pattern> build_patterns(
+    const logic::Circuit& ckt, const PatternSourceSpec& source,
+    util::SplitMix64 job_rng);
+
+/// Runs the campaign.  Shards execute in arbitrary order on the pool; the
+/// report they merge into does not depend on that order.
+[[nodiscard]] CampaignReport run_campaign(const CampaignSpec& spec);
+
+}  // namespace cpsinw::engine

@@ -1,0 +1,234 @@
+#include "engine/report.hpp"
+
+#include <cstdio>
+
+namespace cpsinw::engine {
+
+double ClassStats::coverage() const {
+  if (total == 0) return 1.0;   // vacuous: nothing to cover
+  if (sampled == 0) return 0.0; // every fault sampled out: no evidence
+  return static_cast<double>(detected) / static_cast<double>(sampled);
+}
+
+void ClassStats::add(const ClassStats& other) {
+  total += other.total;
+  sampled += other.sampled;
+  detected += other.detected;
+  detected_output += other.detected_output;
+  iddq_only += other.iddq_only;
+  potential += other.potential;
+}
+
+ClassStats JobReport::totals() const {
+  ClassStats t;
+  for (const ClassStats& c : by_class) t.add(c);
+  return t;
+}
+
+ClassStats CampaignReport::totals() const {
+  ClassStats t;
+  for (const JobReport& j : jobs) t.add(j.totals());
+  return t;
+}
+
+void accumulate_shard(JobReport& job, const ShardResult& shard,
+                      int pattern_count, bool observe_iddq) {
+  for (const FaultResult& r : shard.results) {
+    ClassStats& c = job.by_class[static_cast<std::size_t>(r.cls)];
+    ++c.total;
+    if (r.sampled_out) continue;
+    ++c.sampled;
+    if (r.record.detected(observe_iddq)) ++c.detected;
+    if (r.record.detected_output) ++c.detected_output;
+    if (r.record.detected_iddq && !r.record.detected_output) ++c.iddq_only;
+    if (r.record.potential) ++c.potential;
+    if (r.record.detected(observe_iddq) && r.record.first_pattern >= 0 &&
+        pattern_count > 0) {
+      int bucket = r.record.first_pattern * kHistogramBuckets / pattern_count;
+      if (bucket >= kHistogramBuckets) bucket = kHistogramBuckets - 1;
+      ++job.first_detect_histogram[static_cast<std::size_t>(bucket)];
+    }
+  }
+  ++job.shard_count;
+  job.shard_time_sum_s += shard.elapsed_s;
+}
+
+// ------------------------------------------------------------------- JSON
+
+namespace {
+
+/// Minimal append-only JSON writer with stable formatting: doubles via
+/// "%.10g" so equal values always serialize to equal bytes.
+class Json {
+ public:
+  void key(const std::string& k) {
+    comma();
+    append_quoted(k);
+    out_ += ':';
+    fresh_ = true;
+  }
+  void value(const std::string& v) {
+    comma();
+    append_quoted(v);
+  }
+  void value(std::uint64_t v) {
+    comma();
+    out_ += std::to_string(v);
+  }
+  void value(int v) {
+    comma();
+    out_ += std::to_string(v);
+  }
+  void value(double v) {
+    comma();
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+    out_ += buf;
+  }
+  void value(bool v) {
+    comma();
+    out_ += v ? "true" : "false";
+  }
+  void open_object() {
+    comma();
+    out_ += '{';
+    fresh_ = true;
+  }
+  void close_object() {
+    out_ += '}';
+    fresh_ = false;
+  }
+  void open_array() {
+    comma();
+    out_ += '[';
+    fresh_ = true;
+  }
+  void close_array() {
+    out_ += ']';
+    fresh_ = false;
+  }
+  [[nodiscard]] std::string str() && { return std::move(out_); }
+
+ private:
+  void comma() {
+    if (!fresh_) out_ += ',';
+    fresh_ = false;
+  }
+  /// Strings come from caller-chosen job names — escape per RFC 8259.
+  void append_quoted(const std::string& s) {
+    out_ += '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\t': out_ += "\\t"; break;
+        case '\r': out_ += "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+  std::string out_;
+  bool fresh_ = true;
+};
+
+void emit_class_stats(Json& j, const ClassStats& c) {
+  j.open_object();
+  j.key("total");
+  j.value(c.total);
+  j.key("sampled");
+  j.value(c.sampled);
+  j.key("detected");
+  j.value(c.detected);
+  j.key("detected_output");
+  j.value(c.detected_output);
+  j.key("iddq_only");
+  j.value(c.iddq_only);
+  j.key("potential");
+  j.value(c.potential);
+  j.key("coverage");
+  j.value(c.coverage());
+  j.close_object();
+}
+
+}  // namespace
+
+std::string CampaignReport::to_json(bool include_timing) const {
+  Json j;
+  j.open_object();
+  j.key("seed");
+  j.value(static_cast<std::uint64_t>(seed));
+  j.key("shard_size");
+  j.value(static_cast<std::uint64_t>(shard_size));
+  j.key("pattern_source");
+  j.value(pattern_source);
+  j.key("fault_sample_fraction");
+  j.value(fault_sample_fraction);
+  j.key("observe_iddq");
+  j.value(observe_iddq);
+
+  j.key("jobs");
+  j.open_array();
+  for (const JobReport& job : jobs) {
+    j.open_object();
+    j.key("circuit");
+    j.value(job.circuit);
+    j.key("gates");
+    j.value(job.gate_count);
+    j.key("transistors");
+    j.value(job.transistor_count);
+    j.key("patterns");
+    j.value(job.pattern_count);
+    j.key("shards");
+    j.value(job.shard_count);
+    j.key("classes");
+    j.open_object();
+    for (int c = 0; c < kFaultClassCount; ++c) {
+      const ClassStats& stats = job.by_class[static_cast<std::size_t>(c)];
+      if (stats.total == 0) continue;
+      j.key(to_string(static_cast<FaultClass>(c)));
+      emit_class_stats(j, stats);
+    }
+    j.close_object();
+    j.key("totals");
+    emit_class_stats(j, job.totals());
+    j.key("first_detect_histogram");
+    j.open_array();
+    for (const int n : job.first_detect_histogram) j.value(n);
+    j.close_array();
+    j.close_object();
+  }
+  j.close_array();
+
+  j.key("totals");
+  emit_class_stats(j, totals());
+
+  if (include_timing) {
+    j.key("timing");
+    j.open_object();
+    j.key("threads");
+    j.value(timing.threads);
+    j.key("shard_count");
+    j.value(timing.shard_count);
+    j.key("wall_s");
+    j.value(timing.wall_s);
+    j.key("shard_time_sum_s");
+    j.value(timing.shard_time_sum_s);
+    j.key("fault_patterns_per_s");
+    j.value(timing.fault_patterns_per_s);
+    j.close_object();
+  }
+  j.close_object();
+  return std::move(j).str();
+}
+
+}  // namespace cpsinw::engine

@@ -1,0 +1,83 @@
+// Campaign result aggregation and JSON emission.  Everything outside the
+// `timing` section is a pure function of the campaign spec — the JSON of a
+// 1-thread and a 64-thread run of the same spec is byte-identical (the
+// determinism guarantee the tests pin down).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/shard.hpp"
+
+namespace cpsinw::engine {
+
+/// First-detect histograms bucket the pattern index into this many bins.
+inline constexpr int kHistogramBuckets = 16;
+
+/// Detection statistics of one fault class.
+struct ClassStats {
+  int total = 0;            ///< faults of this class in the universe
+  int sampled = 0;          ///< actually simulated (fault sampling)
+  int detected = 0;         ///< per the campaign's observation options
+  int detected_output = 0;  ///< definite PO flip
+  int iddq_only = 0;        ///< IDDQ anomaly without any PO flip
+  int potential = 0;        ///< X reached a PO where good is defined
+
+  /// detected / sampled; 1.0 for an empty class (nothing to cover) but
+  /// 0.0 when fault sampling skipped every fault of a non-empty class.
+  [[nodiscard]] double coverage() const;
+
+  void add(const ClassStats& other);
+};
+
+/// Aggregated result of one circuit job.
+struct JobReport {
+  std::string circuit;
+  int gate_count = 0;
+  int transistor_count = 0;
+  int pattern_count = 0;
+  int shard_count = 0;
+  std::array<ClassStats, kFaultClassCount> by_class;
+  /// Count of first detections per pattern-index bucket.
+  std::array<int, kHistogramBuckets> first_detect_histogram = {};
+  double shard_time_sum_s = 0.0;  ///< reporting only, not in stable JSON
+
+  [[nodiscard]] ClassStats totals() const;
+};
+
+/// Wall-clock statistics (never part of the deterministic JSON).
+struct CampaignTiming {
+  int threads = 0;
+  int shard_count = 0;
+  double wall_s = 0.0;
+  double shard_time_sum_s = 0.0;       ///< total CPU-side shard time
+  double fault_patterns_per_s = 0.0;   ///< sampled faults x patterns / wall
+};
+
+/// The merged result of a whole campaign.
+struct CampaignReport {
+  std::uint64_t seed = 0;
+  std::size_t shard_size = 0;
+  std::string pattern_source;
+  double fault_sample_fraction = 1.0;
+  bool observe_iddq = true;
+  std::vector<JobReport> jobs;
+  CampaignTiming timing;
+
+  [[nodiscard]] ClassStats totals() const;
+
+  /// Deterministic JSON (stable key order, fixed float formatting).  With
+  /// `include_timing` a trailing "timing" object is appended — only then
+  /// does the output depend on the machine and thread count.
+  [[nodiscard]] std::string to_json(bool include_timing = false) const;
+};
+
+/// Folds one shard's results into a job report (the fold is commutative,
+/// so any merge order yields the same report; the campaign still merges
+/// in shard-index order for clarity).
+void accumulate_shard(JobReport& job, const ShardResult& shard,
+                      int pattern_count, bool observe_iddq);
+
+}  // namespace cpsinw::engine

@@ -1,0 +1,169 @@
+#include "engine/shard.hpp"
+
+#include <chrono>
+#include <optional>
+#include <stdexcept>
+
+#include "logic/logic_sim.hpp"
+
+namespace cpsinw::engine {
+
+const char* to_string(FaultClass cls) {
+  switch (cls) {
+    case FaultClass::kLineStuckAt: return "line_stuck_at";
+    case FaultClass::kPolarity: return "polarity";
+    case FaultClass::kStuckOpen: return "stuck_open";
+    case FaultClass::kStuckOn: return "stuck_on";
+    case FaultClass::kBridge: return "bridge";
+  }
+  return "?";
+}
+
+FaultClass classify(const faults::Fault& fault) {
+  if (fault.site != faults::FaultSite::kGateTransistor)
+    return FaultClass::kLineStuckAt;
+  switch (fault.cell_fault.kind) {
+    case gates::TransistorFault::kStuckOpen: return FaultClass::kStuckOpen;
+    case gates::TransistorFault::kStuckOn: return FaultClass::kStuckOn;
+    case gates::TransistorFault::kStuckAtNType:
+    case gates::TransistorFault::kStuckAtPType:
+      return FaultClass::kPolarity;
+    case gates::TransistorFault::kNone: break;
+  }
+  throw std::invalid_argument("classify: fault without a kind");
+}
+
+std::vector<Shard> make_shards(int job, std::size_t fault_count,
+                               std::size_t shard_size,
+                               const util::SplitMix64& job_rng) {
+  if (shard_size == 0)
+    throw std::invalid_argument("make_shards: shard_size must be > 0");
+  std::vector<Shard> shards;
+  int index = 0;
+  for (std::size_t begin = 0; begin < fault_count; begin += shard_size) {
+    Shard s;
+    s.job = job;
+    s.index = index;
+    s.begin = begin;
+    s.end = std::min(fault_count, begin + shard_size);
+    s.rng = job_rng.fork(static_cast<std::uint64_t>(index));
+    shards.push_back(s);
+    ++index;
+  }
+  return shards;
+}
+
+namespace {
+
+/// Simulates one bridge over the pattern sequence, mirroring the hit
+/// semantics of FaultSimulator::simulate_transistor_fault.  The good
+/// machine is simulated at most once per pattern per shard via
+/// `good_cache` — it serves both the PO comparison and the IDDQ
+/// excitation check for every bridge of the shard.
+faults::DetectionRecord simulate_bridge_fault(
+    const logic::Circuit& ckt, const faults::BridgeFault& bridge,
+    const std::vector<logic::Pattern>& patterns, const logic::Simulator& sim,
+    std::vector<std::optional<logic::SimResult>>& good_cache,
+    const faults::FaultSimOptions& options) {
+  faults::DetectionRecord rec;
+  for (std::size_t pi = 0; pi < patterns.size(); ++pi) {
+    const logic::Pattern& p = patterns[pi];
+    std::optional<logic::SimResult>& good = good_cache[pi];
+    if (!good) good = sim.simulate(p);
+    bool hit = false;
+    if (!rec.detected_output) {
+      const std::vector<logic::LogicV> bad =
+          faults::simulate_bridge(ckt, bridge, p);
+      for (const logic::NetId po : ckt.primary_outputs()) {
+        const logic::LogicV g = good->value(po);
+        const logic::LogicV b = bad[static_cast<std::size_t>(po)];
+        if (logic::is_binary(g) && logic::is_binary(b) && g != b) {
+          rec.detected_output = true;
+          hit = true;
+          break;
+        }
+      }
+    }
+    if (options.observe_iddq) {
+      const logic::LogicV va = good->value(bridge.a);
+      const logic::LogicV vb = good->value(bridge.b);
+      if (logic::is_binary(va) && logic::is_binary(vb) && va != vb) {
+        rec.detected_iddq = true;
+        hit = true;
+      }
+    }
+    if (hit && rec.first_pattern < 0)
+      rec.first_pattern = static_cast<int>(pi);
+    if (rec.detected_output &&
+        (rec.detected_iddq || !options.observe_iddq))
+      break;  // nothing left to learn about this bridge
+  }
+  return rec;
+}
+
+}  // namespace
+
+ShardResult run_shard(const logic::Circuit& ckt,
+                      const std::vector<CampaignFault>& universe,
+                      const std::vector<logic::Pattern>& patterns,
+                      const Shard& shard, const ShardExecOptions& options) {
+  if (shard.begin > shard.end || shard.end > universe.size())
+    throw std::invalid_argument("run_shard: shard range out of bounds");
+
+  const auto t0 = std::chrono::steady_clock::now();
+  ShardResult out;
+  out.job = shard.job;
+  out.index = shard.index;
+  out.results.resize(shard.end - shard.begin);
+
+  // Sampling decisions first, in slice order, so the RNG stream consumed
+  // per fault is independent of how the work below is batched.
+  util::SplitMix64 rng = shard.rng;
+  const bool sampling = options.fault_sample_fraction < 1.0;
+  for (std::size_t i = shard.begin; i < shard.end; ++i) {
+    FaultResult& r = out.results[i - shard.begin];
+    r.cls = universe[i].cls;
+    if (sampling && !rng.chance(options.fault_sample_fraction))
+      r.sampled_out = true;
+  }
+
+  // Circuit faults (line + transistor) go through the shared simulator
+  // hook in one gathered batch; bridges have their own evaluation.
+  std::vector<faults::Fault> gathered;
+  std::vector<std::size_t> gathered_slot;
+  for (std::size_t i = shard.begin; i < shard.end; ++i) {
+    const FaultResult& r = out.results[i - shard.begin];
+    if (r.sampled_out || universe[i].cls == FaultClass::kBridge) continue;
+    gathered.push_back(universe[i].fault);
+    gathered_slot.push_back(i - shard.begin);
+  }
+  if (!gathered.empty()) {
+    const faults::FaultSimulator fsim(ckt);
+    const std::vector<faults::DetectionRecord> records =
+        fsim.run_range(gathered, 0, gathered.size(), patterns, options.sim);
+    for (std::size_t k = 0; k < gathered.size(); ++k)
+      out.results[gathered_slot[k]].record = records[k];
+  }
+
+  bool any_bridge = false;
+  for (std::size_t i = shard.begin; i < shard.end && !any_bridge; ++i)
+    any_bridge = !out.results[i - shard.begin].sampled_out &&
+                 universe[i].cls == FaultClass::kBridge;
+  if (any_bridge) {
+    const logic::Simulator sim(ckt);
+    std::vector<std::optional<logic::SimResult>> good_cache(patterns.size());
+    for (std::size_t i = shard.begin; i < shard.end; ++i) {
+      FaultResult& r = out.results[i - shard.begin];
+      if (r.sampled_out || r.cls != FaultClass::kBridge) continue;
+      r.record = simulate_bridge_fault(ckt, universe[i].bridge, patterns, sim,
+                                       good_cache, options.sim);
+    }
+  }
+
+  out.elapsed_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  return out;
+}
+
+}  // namespace cpsinw::engine

@@ -1,0 +1,107 @@
+#include "engine/thread_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace cpsinw::engine {
+
+int ThreadPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = threads > 0 ? threads : hardware_threads();
+  queues_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  threads_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    threads_.emplace_back(
+        [this, i] { worker_loop(static_cast<std::size_t>(i)); });
+}
+
+ThreadPool::~ThreadPool() {
+  wait_idle();
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::submit(Task task) {
+  const std::size_t slot =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  // Count before publishing: a nested submit's task can be popped and
+  // finished the moment it lands in a deque, and its -- must never see the
+  // counters pre-increment (underflow, premature wait_idle return).  A
+  // worker waking between the increment and the push just re-scans.
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    ++queued_;
+    ++pending_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[slot]->mutex);
+    queues_[slot]->tasks.push_back(std::move(task));
+  }
+  wake_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(wake_mutex_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+bool ThreadPool::try_pop_local(std::size_t index, Task& out) {
+  WorkerQueue& q = *queues_[index];
+  std::lock_guard<std::mutex> lock(q.mutex);
+  if (q.tasks.empty()) return false;
+  out = std::move(q.tasks.back());
+  q.tasks.pop_back();
+  return true;
+}
+
+bool ThreadPool::try_steal(std::size_t thief, Task& out) {
+  const std::size_t n = queues_.size();
+  for (std::size_t k = 1; k < n; ++k) {
+    WorkerQueue& q = *queues_[(thief + k) % n];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (q.tasks.empty()) continue;
+    out = std::move(q.tasks.front());
+    q.tasks.pop_front();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  for (;;) {
+    Task task;
+    if (try_pop_local(index, task) || try_steal(index, task)) {
+      {
+        std::lock_guard<std::mutex> lock(wake_mutex_);
+        --queued_;
+      }
+      try {
+        task();
+      } catch (...) {
+        // No result channel to surface this through; see submit() contract.
+      }
+      bool idle = false;
+      {
+        std::lock_guard<std::mutex> lock(wake_mutex_);
+        idle = (--pending_ == 0);
+      }
+      if (idle) idle_cv_.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    wake_cv_.wait(lock, [this] { return stop_ || queued_ > 0; });
+    if (stop_ && queued_ == 0) return;
+  }
+}
+
+}  // namespace cpsinw::engine

@@ -1,0 +1,71 @@
+// Work-stealing thread pool for fault-campaign shards.  Each worker owns a
+// deque: it pushes/pops its own work LIFO (cache-warm) and steals FIFO from
+// victims (oldest, largest-granularity work first).  The pool guarantees
+// nothing about execution order — campaign determinism comes from the
+// shard decomposition and the merge order, never from scheduling.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cpsinw::engine {
+
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// @param threads worker count; 0 selects the hardware concurrency
+  explicit ThreadPool(int threads);
+
+  /// Drains nothing: outstanding tasks are finished before teardown.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task (round-robin across worker deques).  Thread-safe;
+  /// tasks may themselves submit.  Exceptions escaping a task are
+  /// swallowed by the worker (the pool has no result channel) — tasks
+  /// that can fail must capture their own errors, as run_campaign does.
+  void submit(Task task);
+
+  /// Blocks until every submitted task has finished executing.
+  void wait_idle();
+
+  [[nodiscard]] int thread_count() const {
+    return static_cast<int>(threads_.size());
+  }
+
+  /// Detected hardware concurrency (>= 1).
+  [[nodiscard]] static int hardware_threads();
+
+ private:
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<Task> tasks;
+  };
+
+  void worker_loop(std::size_t index);
+  [[nodiscard]] bool try_pop_local(std::size_t index, Task& out);
+  [[nodiscard]] bool try_steal(std::size_t thief, Task& out);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> threads_;
+
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;  ///< workers sleep here
+  std::condition_variable idle_cv_;  ///< wait_idle sleeps here
+  std::size_t queued_ = 0;           ///< tasks sitting in deques
+  std::size_t pending_ = 0;          ///< queued + executing
+  bool stop_ = false;
+  std::atomic<std::size_t> next_queue_{0};
+};
+
+}  // namespace cpsinw::engine

@@ -60,10 +60,27 @@ FaultSimReport FaultSimulator::run(const std::vector<Fault>& faults,
                                    const FaultSimOptions& options) const {
   FaultSimReport report;
   report.options = options;
-  report.records.assign(faults.size(), {});
+  report.records = run_range(faults, 0, faults.size(), patterns, options);
+  return report;
+}
 
-  // --- Line faults: 64-pattern-parallel batches. -------------------------
-  for (std::size_t base = 0; base < patterns.size(); base += 64) {
+std::vector<DetectionRecord> FaultSimulator::run_range(
+    const std::vector<Fault>& faults, std::size_t begin, std::size_t end,
+    const std::vector<Pattern>& patterns,
+    const FaultSimOptions& options) const {
+  if (begin > end || end > faults.size())
+    throw std::invalid_argument("run_range: bad fault range");
+  std::vector<DetectionRecord> records(end - begin);
+
+  bool any_line_fault = false;
+  for (std::size_t fi = begin; fi < end && !any_line_fault; ++fi)
+    any_line_fault = faults[fi].site != FaultSite::kGateTransistor;
+
+  // --- Line faults: 64-pattern-parallel batches.  The good-machine packed
+  // simulation is only worth paying for when the range has line faults —
+  // transistor-only shards skip it entirely. --------------------------------
+  for (std::size_t base = 0; any_line_fault && base < patterns.size();
+       base += 64) {
     const std::size_t count = std::min<std::size_t>(64, patterns.size() - base);
     const std::vector<Pattern> batch(patterns.begin() + static_cast<long>(base),
                                      patterns.begin() +
@@ -73,10 +90,10 @@ FaultSimReport FaultSimulator::run(const std::vector<Fault>& faults,
     const std::uint64_t active =
         count == 64 ? ~0ull : ((1ull << count) - 1ull);
 
-    for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+    for (std::size_t fi = begin; fi < end; ++fi) {
       const Fault& f = faults[fi];
       if (f.site == FaultSite::kGateTransistor) continue;
-      DetectionRecord& rec = report.records[fi];
+      DetectionRecord& rec = records[fi - begin];
       if (rec.detected_output) continue;  // fault dropping
       const auto faulty = simulate_packed_with_line_fault(pi_words, f);
       std::uint64_t diff = 0;
@@ -93,12 +110,12 @@ FaultSimReport FaultSimulator::run(const std::vector<Fault>& faults,
   }
 
   // --- Transistor faults: serial dictionary-based simulation. ------------
-  for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+  for (std::size_t fi = begin; fi < end; ++fi) {
     const Fault& f = faults[fi];
     if (f.site != FaultSite::kGateTransistor) continue;
-    report.records[fi] = simulate_transistor_fault(f, patterns, options);
+    records[fi - begin] = simulate_transistor_fault(f, patterns, options);
   }
-  return report;
+  return records;
 }
 
 bool FaultSimulator::line_fault_detected(const Fault& fault,

@@ -54,6 +54,17 @@ class FaultSimulator {
                                    const std::vector<logic::Pattern>& patterns,
                                    const FaultSimOptions& options = {}) const;
 
+  /// Engine hook: simulates the contiguous sub-range [begin, end) of a
+  /// fault list, returning records parallel to that range.  Each fault is
+  /// self-contained (line faults via packed batches, transistor faults via
+  /// their own retained-state sequence), so concatenating the records of a
+  /// partition of [0, size) is bit-identical to one `run` over the whole
+  /// list — this is what makes campaign sharding deterministic.
+  [[nodiscard]] std::vector<DetectionRecord> run_range(
+      const std::vector<Fault>& faults, std::size_t begin, std::size_t end,
+      const std::vector<logic::Pattern>& patterns,
+      const FaultSimOptions& options = {}) const;
+
   /// Single line-fault / single-pattern check (used by ATPG verification).
   [[nodiscard]] bool line_fault_detected(const Fault& fault,
                                          const logic::Pattern& pattern) const;

@@ -41,6 +41,18 @@ class SplitMix64 {
   /// Bernoulli trial with probability p.
   bool chance(double p) { return next_double() < p; }
 
+  /// Derives an independent child stream for parallel work unit `stream`
+  /// (shard index, job index, ...).  Forking does not advance the parent,
+  /// so sibling forks of the same parent are reproducible in any order;
+  /// the double avalanche keeps adjacent stream indices statistically
+  /// uncorrelated even though SplitMix64 state increments are tiny.
+  [[nodiscard]] constexpr SplitMix64 fork(std::uint64_t stream) const {
+    std::uint64_t z = state_ + 0x9e3779b97f4a7c15ULL * (stream + 1);
+    z = (z ^ (z >> 33)) * 0xff51afd7ed558ccdULL;
+    z = (z ^ (z >> 33)) * 0xc4ceb9fe1a85ec53ULL;
+    return SplitMix64(z ^ (z >> 33));
+  }
+
   /// Gaussian sample via Box-Muller (one fresh pair per call).
   double normal(double mean, double sigma) {
     double u1 = next_double();

@@ -1,0 +1,152 @@
+#include "engine/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpsinw::engine {
+namespace {
+
+FaultResult make_result(FaultClass cls, bool output, bool iddq,
+                        int first_pattern, bool sampled_out = false) {
+  FaultResult r;
+  r.cls = cls;
+  r.record.detected_output = output;
+  r.record.detected_iddq = iddq;
+  r.record.first_pattern = first_pattern;
+  r.sampled_out = sampled_out;
+  return r;
+}
+
+TEST(Report, EmptyClassCoversTrivially) {
+  ClassStats stats;
+  EXPECT_DOUBLE_EQ(stats.coverage(), 1.0);
+}
+
+TEST(Report, FullySampledOutClassReportsZeroCoverage) {
+  // A non-empty class in which fault sampling skipped every member has no
+  // detection evidence; claiming full coverage would be maximally wrong.
+  ClassStats stats;
+  stats.total = 6;
+  stats.sampled = 0;
+  EXPECT_DOUBLE_EQ(stats.coverage(), 0.0);
+}
+
+TEST(Report, AccumulateShardCountsClassesAndHistogram) {
+  JobReport job;
+  ShardResult shard;
+  const int patterns = 32;
+  shard.results.push_back(
+      make_result(FaultClass::kLineStuckAt, true, false, 0));
+  shard.results.push_back(
+      make_result(FaultClass::kPolarity, false, true, 31));  // IDDQ-only
+  shard.results.push_back(
+      make_result(FaultClass::kStuckOpen, false, false, -1));
+  shard.results.push_back(
+      make_result(FaultClass::kBridge, true, true, 16));
+  shard.results.push_back(
+      make_result(FaultClass::kStuckOn, true, false, 5, /*sampled_out=*/true));
+  shard.elapsed_s = 0.25;
+
+  accumulate_shard(job, shard, patterns, /*observe_iddq=*/true);
+
+  const auto& cls = job.by_class;
+  EXPECT_EQ(cls[static_cast<std::size_t>(FaultClass::kLineStuckAt)].detected,
+            1);
+  EXPECT_EQ(cls[static_cast<std::size_t>(FaultClass::kPolarity)].iddq_only,
+            1);
+  EXPECT_EQ(cls[static_cast<std::size_t>(FaultClass::kPolarity)].detected, 1);
+  EXPECT_EQ(cls[static_cast<std::size_t>(FaultClass::kStuckOpen)].detected,
+            0);
+  // Sampled-out fault counts toward total but not sampled/detected.
+  EXPECT_EQ(cls[static_cast<std::size_t>(FaultClass::kStuckOn)].total, 1);
+  EXPECT_EQ(cls[static_cast<std::size_t>(FaultClass::kStuckOn)].sampled, 0);
+
+  const ClassStats totals = job.totals();
+  EXPECT_EQ(totals.total, 5);
+  EXPECT_EQ(totals.sampled, 4);
+  EXPECT_EQ(totals.detected, 3);
+  EXPECT_EQ(totals.iddq_only, 1);
+
+  // Histogram: first_pattern 0 -> bucket 0, 16 -> bucket 8, 31 -> last.
+  EXPECT_EQ(job.first_detect_histogram[0], 1);
+  EXPECT_EQ(job.first_detect_histogram[kHistogramBuckets / 2], 1);
+  EXPECT_EQ(job.first_detect_histogram[kHistogramBuckets - 1], 1);
+  int histogram_sum = 0;
+  for (const int n : job.first_detect_histogram) histogram_sum += n;
+  EXPECT_EQ(histogram_sum, totals.detected);
+
+  EXPECT_EQ(job.shard_count, 1);
+  EXPECT_DOUBLE_EQ(job.shard_time_sum_s, 0.25);
+}
+
+TEST(Report, IddqObservationOffChangesDetection) {
+  JobReport job;
+  ShardResult shard;
+  shard.results.push_back(
+      make_result(FaultClass::kPolarity, false, true, 3));
+  accumulate_shard(job, shard, 8, /*observe_iddq=*/false);
+  const ClassStats totals = job.totals();
+  EXPECT_EQ(totals.detected, 0);
+  // The anomaly is still recorded as IDDQ-only for diagnosis.
+  EXPECT_EQ(totals.iddq_only, 1);
+  int histogram_sum = 0;
+  for (const int n : job.first_detect_histogram) histogram_sum += n;
+  EXPECT_EQ(histogram_sum, 0);
+}
+
+TEST(Report, JsonIsStableAndTimingIsOptIn) {
+  CampaignReport report;
+  report.seed = 42;
+  report.shard_size = 16;
+  report.pattern_source = "random";
+  JobReport job;
+  job.circuit = "c17";
+  job.gate_count = 6;
+  job.pattern_count = 8;
+  ShardResult shard;
+  shard.results.push_back(
+      make_result(FaultClass::kLineStuckAt, true, false, 2));
+  accumulate_shard(job, shard, 8, true);
+  report.jobs.push_back(job);
+  report.timing.threads = 4;
+  report.timing.wall_s = 1.5;
+
+  const std::string stable = report.to_json(false);
+  EXPECT_EQ(stable, report.to_json(false));  // reproducible
+  EXPECT_EQ(stable.find("timing"), std::string::npos);
+  EXPECT_EQ(stable.find("wall_s"), std::string::npos);
+  EXPECT_NE(stable.find("\"circuit\":\"c17\""), std::string::npos);
+  EXPECT_NE(stable.find("\"line_stuck_at\""), std::string::npos);
+  // Empty classes are omitted from the per-class map.
+  EXPECT_EQ(stable.find("\"bridge\""), std::string::npos);
+
+  const std::string timed = report.to_json(true);
+  EXPECT_NE(timed.find("\"timing\""), std::string::npos);
+  EXPECT_NE(timed.find("\"threads\":4"), std::string::npos);
+  // The deterministic prefix is unchanged by the timing suffix.
+  EXPECT_EQ(timed.compare(0, stable.size() - 1, stable, 0,
+                          stable.size() - 1),
+            0);
+}
+
+TEST(Report, JsonEscapesCircuitNames) {
+  CampaignReport report;
+  report.pattern_source = "random";
+  JobReport job;
+  job.circuit = "mux2\"wide\\v1\n";
+  report.jobs.push_back(job);
+  const std::string json = report.to_json(false);
+  EXPECT_NE(json.find("\"circuit\":\"mux2\\\"wide\\\\v1\\n\""),
+            std::string::npos);
+}
+
+TEST(Report, HistogramLastBucketClamps) {
+  JobReport job;
+  ShardResult shard;
+  shard.results.push_back(
+      make_result(FaultClass::kLineStuckAt, true, false, 15));
+  accumulate_shard(job, shard, /*pattern_count=*/16, true);
+  EXPECT_EQ(job.first_detect_histogram[kHistogramBuckets - 1], 1);
+}
+
+}  // namespace
+}  // namespace cpsinw::engine

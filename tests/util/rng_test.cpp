@@ -58,5 +58,52 @@ TEST(SplitMix64, ChanceIsRoughlyCalibrated) {
   EXPECT_NEAR(rate, 0.25, 0.02);
 }
 
+TEST(SplitMix64Fork, DeterministicAndOrderIndependent) {
+  const SplitMix64 parent(123);
+  SplitMix64 a = parent.fork(7);
+  SplitMix64 b = parent.fork(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+
+  // Forking does not advance the parent: fork(3) after fork(7) equals
+  // fork(3) taken first.
+  SplitMix64 parent2(123);
+  SplitMix64 c = parent2.fork(3);
+  (void)parent.fork(7);
+  SplitMix64 d = parent.fork(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(c.next_u64(), d.next_u64());
+}
+
+TEST(SplitMix64Fork, AdjacentStreamsDivergeStatistically) {
+  // Shard streams are forked with consecutive indices; their outputs must
+  // look independent.  Across adjacent pairs, XOR of the two streams
+  // should flip about half of all bits.
+  const SplitMix64 parent(2024);
+  const int streams = 16;
+  const int draws = 256;
+  for (int s = 0; s + 1 < streams; ++s) {
+    SplitMix64 a = parent.fork(static_cast<std::uint64_t>(s));
+    SplitMix64 b = parent.fork(static_cast<std::uint64_t>(s + 1));
+    long long differing_bits = 0;
+    for (int i = 0; i < draws; ++i)
+      differing_bits += __builtin_popcountll(a.next_u64() ^ b.next_u64());
+    const double rate =
+        static_cast<double>(differing_bits) / (64.0 * draws);
+    EXPECT_NEAR(rate, 0.5, 0.05) << "streams " << s << "," << s + 1;
+  }
+}
+
+TEST(SplitMix64Fork, StreamsDifferFromParentAndEachOther) {
+  const SplitMix64 parent(9);
+  SplitMix64 parent_draw(9);
+  std::set<std::uint64_t> first_draws;
+  first_draws.insert(parent_draw.next_u64());
+  for (int s = 0; s < 64; ++s) {
+    SplitMix64 child = parent.fork(static_cast<std::uint64_t>(s));
+    first_draws.insert(child.next_u64());
+  }
+  // 1 parent draw + 64 child draws, all distinct.
+  EXPECT_EQ(first_draws.size(), 65u);
+}
+
 }  // namespace
 }  // namespace cpsinw::util
