@@ -1,0 +1,149 @@
+// Shared-evaluation-context speedup on the transistor-fault hot loop:
+// "before" replays the seed algorithm (good machine re-simulated and the
+// switch-level dictionary re-derived for every fault), "after" is the
+// context path (good machine once per pattern set, memoized dictionaries,
+// packed 64-pattern batches for purely binary dictionaries).  Detection
+// records are cross-checked fault by fault — a speedup only counts when
+// the answer is bit-identical.  The last line printed is a single JSON
+// object for the bench trajectory; the same object is written to
+// BENCH_context.json.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "faults/eval_context.hpp"
+#include "faults/fault_sim.hpp"
+#include "gates/fault_dictionary.hpp"
+#include "logic/benchmarks.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace cpsinw;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// The seed's serial transistor-fault loop, verbatim: per fault, an ad-hoc
+/// analyze_fault plus a fresh good-machine simulation per pattern.
+faults::DetectionRecord seed_style_transistor(
+    const logic::Circuit& ckt, const logic::Simulator& sim,
+    const faults::Fault& fault, const std::vector<logic::Pattern>& patterns,
+    const faults::FaultSimOptions& options) {
+  const logic::GateFault gf{fault.gate, fault.cell_fault};
+  const gates::FaultAnalysis fa =
+      gates::analyze_fault(ckt.gate(fault.gate).kind, fault.cell_fault);
+
+  faults::DetectionRecord rec;
+  std::vector<logic::LogicV> state;
+  for (std::size_t pi = 0; pi < patterns.size(); ++pi) {
+    const logic::Pattern& p = patterns[pi];
+    const logic::SimResult good = sim.simulate(p);
+    const logic::SimResult bad = sim.simulate_faulty_with(
+        p, gf, fa, options.sequential_patterns && !state.empty() ? &state
+                                                                 : nullptr);
+    if (options.sequential_patterns) state = bad.net_values;
+
+    bool hit = false;
+    if (bad.iddq_flag && options.observe_iddq) {
+      rec.detected_iddq = true;
+      hit = true;
+    }
+    for (const logic::NetId po : ckt.primary_outputs()) {
+      const logic::LogicV g = good.value(po);
+      const logic::LogicV b = bad.value(po);
+      if (is_binary(g) && is_binary(b) && g != b) {
+        rec.detected_output = true;
+        hit = true;
+      } else if (is_binary(g) && !is_binary(b)) {
+        rec.potential = true;
+      }
+    }
+    if (hit && rec.first_pattern < 0)
+      rec.first_pattern = static_cast<int>(pi);
+  }
+  return rec;
+}
+
+}  // namespace
+
+int main() {
+  const logic::Circuit ckt = logic::parity_tree(64);
+
+  faults::FaultListOptions flo;
+  flo.include_line_stuck_at = false;
+  flo.include_transistor_faults = true;
+  const std::vector<faults::Fault> universe = generate_fault_list(ckt, flo);
+
+  util::SplitMix64 rng(1);
+  std::vector<logic::Pattern> patterns;
+  for (int k = 0; k < 128; ++k) {
+    logic::Pattern p(ckt.primary_inputs().size());
+    for (logic::LogicV& v : p) v = logic::from_bool(rng.chance(0.5));
+    patterns.push_back(std::move(p));
+  }
+
+  const faults::FaultSimOptions options;
+  const double work = static_cast<double>(universe.size()) *
+                      static_cast<double>(patterns.size());
+
+  std::cout << "=== Shared-context transistor-fault throughput: "
+            << "parity_tree(64), " << universe.size() << " faults x "
+            << patterns.size() << " patterns, 1 thread ===\n";
+
+  // ---- Before: seed algorithm, O(faults x patterns) good-machine work.
+  const logic::Simulator sim(ckt);
+  std::vector<faults::DetectionRecord> before_records;
+  const auto t_before = Clock::now();
+  for (const faults::Fault& f : universe)
+    before_records.push_back(
+        seed_style_transistor(ckt, sim, f, patterns, options));
+  const double before_s = seconds_since(t_before);
+
+  // ---- After: one context (includes its build cost), context run.
+  const faults::FaultSimulator fsim(ckt);
+  const auto t_after = Clock::now();
+  const faults::EvalContext ctx(ckt, patterns);
+  const faults::FaultSimReport after = fsim.run(ctx, universe, options);
+  const double after_s = seconds_since(t_after);
+
+  bool identical = after.records.size() == before_records.size();
+  for (std::size_t i = 0; identical && i < before_records.size(); ++i) {
+    const faults::DetectionRecord& a = before_records[i];
+    const faults::DetectionRecord& b = after.records[i];
+    identical = a.detected_output == b.detected_output &&
+                a.detected_iddq == b.detected_iddq &&
+                a.potential == b.potential &&
+                a.first_pattern == b.first_pattern;
+  }
+
+  const double before_rate = before_s > 0.0 ? work / before_s : 0.0;
+  const double after_rate = after_s > 0.0 ? work / after_s : 0.0;
+  const double speedup = after_s > 0.0 ? before_s / after_s : 0.0;
+
+  std::cout << "before (seed serial):   " << before_s * 1e3 << " ms, "
+            << before_rate << " faults x patterns / s\n";
+  std::cout << "after (shared context): " << after_s * 1e3 << " ms, "
+            << after_rate << " faults x patterns / s\n";
+  std::cout << "speedup: " << speedup << "x, records "
+            << (identical ? "bit-identical" : "MISMATCH") << "\n\n";
+
+  const std::string json =
+      "{\"bench\":\"context\",\"circuit\":\"parity_tree_64\",\"faults\":" +
+      std::to_string(universe.size()) +
+      ",\"patterns\":" + std::to_string(patterns.size()) +
+      ",\"before_s\":" + std::to_string(before_s) +
+      ",\"after_s\":" + std::to_string(after_s) +
+      ",\"before_fault_patterns_per_s\":" + std::to_string(before_rate) +
+      ",\"after_fault_patterns_per_s\":" + std::to_string(after_rate) +
+      ",\"speedup\":" + std::to_string(speedup) +
+      ",\"identical\":" + (identical ? "true" : "false") + "}";
+  std::ofstream("BENCH_context.json") << json << "\n";
+  std::cout << json << "\n";
+
+  return identical && speedup >= 2.0 ? 0 : 1;
+}

@@ -8,6 +8,7 @@
 #include "atpg/channel_break.hpp"
 #include "atpg/podem.hpp"
 #include "device/table_model.hpp"
+#include "faults/eval_context.hpp"
 #include "faults/fault_sim.hpp"
 #include "gates/spice_builder.hpp"
 #include "gates/switch_level.hpp"
@@ -101,6 +102,29 @@ void BM_PackedFaultSim(benchmark::State& state) {
   state.counters["faults"] = static_cast<double>(faults.size());
 }
 BENCHMARK(BM_PackedFaultSim);
+
+void BM_ContextTransistorSim(benchmark::State& state) {
+  const logic::Circuit ckt = logic::parity_tree(64);
+  const faults::FaultSimulator fsim(ckt);
+  faults::FaultListOptions flo;
+  flo.include_line_stuck_at = false;
+  flo.include_transistor_faults = true;
+  const auto faults = generate_fault_list(ckt, flo);
+  std::vector<logic::Pattern> patterns;
+  util::SplitMix64 rng(3);
+  for (int k = 0; k < 64; ++k) {
+    logic::Pattern p;
+    for (std::size_t i = 0; i < ckt.primary_inputs().size(); ++i)
+      p.push_back(logic::from_bool(rng.chance(0.5)));
+    patterns.push_back(std::move(p));
+  }
+  const faults::EvalContext ctx(ckt, patterns);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fsim.run(ctx, faults));
+  }
+  state.counters["faults"] = static_cast<double>(faults.size());
+}
+BENCHMARK(BM_ContextTransistorSim);
 
 void BM_PodemLineFault(benchmark::State& state) {
   const logic::Circuit ckt = logic::multiplier_2x2();

@@ -11,7 +11,8 @@ CompactionResult compact_patterns(const logic::Circuit& ckt,
   const faults::FaultSimulator fsim(ckt);
   CompactionResult out;
   out.original_count = static_cast<int>(patterns.size());
-  out.coverage_before = fsim.run(faults, patterns, options).coverage();
+  const faults::EvalContext before_ctx(ckt, patterns);
+  out.coverage_before = fsim.run(before_ctx, faults, options).coverage();
 
   // Walk patterns in reverse; keep one iff it adds coverage over the kept
   // set so far.  (Reverse order works well because ATPG emits patterns for
@@ -21,7 +22,8 @@ CompactionResult compact_patterns(const logic::Circuit& ckt,
   int covered_count = 0;
   for (auto it = patterns.rbegin(); it != patterns.rend(); ++it) {
     bool adds = false;
-    const faults::FaultSimReport rep = fsim.run(faults, {*it}, options);
+    const faults::EvalContext pattern_ctx(ckt, {*it});
+    const faults::FaultSimReport rep = fsim.run(pattern_ctx, faults, options);
     for (std::size_t fi = 0; fi < faults.size(); ++fi) {
       if (covered[fi]) continue;
       if (rep.records[fi].detected(options.observe_iddq)) {

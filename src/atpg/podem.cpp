@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "gates/dictionary_cache.hpp"
 #include "gates/fault_dictionary.hpp"
 
 namespace cpsinw::atpg {
@@ -475,7 +476,7 @@ AtpgResult PodemEngine::generate_functional(const Fault& fault,
                                             const PodemOptions& opt) const {
   if (fault.site != FaultSite::kGateTransistor)
     throw std::invalid_argument("generate_functional: not a transistor fault");
-  const gates::FaultAnalysis fa = gates::analyze_fault(
+  const gates::FaultAnalysis& fa = gates::DictionaryCache::global().lookup(
       ckt_.gate(fault.gate).kind, fault.cell_fault);
 
   AtpgResult last;
@@ -501,7 +502,7 @@ AtpgResult PodemEngine::generate_iddq(const Fault& fault,
                                       const PodemOptions& opt) const {
   if (fault.site != FaultSite::kGateTransistor)
     throw std::invalid_argument("generate_iddq: not a transistor fault");
-  const gates::FaultAnalysis fa = gates::analyze_fault(
+  const gates::FaultAnalysis& fa = gates::DictionaryCache::global().lookup(
       ckt_.gate(fault.gate).kind, fault.cell_fault);
 
   AtpgResult last;
@@ -526,7 +527,7 @@ AtpgResult PodemEngine::generate_functional_retained(
   if (fault.site != FaultSite::kGateTransistor)
     throw std::invalid_argument(
         "generate_functional_retained: not a transistor fault");
-  const gates::FaultAnalysis fa = gates::analyze_fault(
+  const gates::FaultAnalysis& fa = gates::DictionaryCache::global().lookup(
       ckt_.gate(fault.gate).kind, fault.cell_fault);
   Target t;
   t.functional = true;

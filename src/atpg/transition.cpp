@@ -23,21 +23,22 @@ std::vector<TransitionFault> enumerate_transition_faults(
 bool transition_detected(const logic::Circuit& ckt,
                          const TransitionFault& fault,
                          const Pattern& launch, const Pattern& capture) {
-  const logic::Simulator sim(ckt);
   const LogicV old_v = fault.old_value();
 
+  // One context serves the launch/capture good values and the packed
+  // verification below without re-simulating the good machine.
+  const faults::EvalContext ctx(ckt, {launch, capture});
+
   // Launch must establish the pre-transition value...
-  const logic::SimResult at_launch = sim.simulate(launch);
-  if (at_launch.value(fault.net) != old_v) return false;
+  if (ctx.good(0).value(fault.net) != old_v) return false;
   // ...and capture must create the transition.
-  const logic::SimResult at_capture = sim.simulate(capture);
-  if (at_capture.value(fault.net) != logic_not(old_v)) return false;
+  if (ctx.good(1).value(fault.net) != logic_not(old_v)) return false;
 
   // Gross delay: the late net still holds the old value at capture time —
   // a temporary stuck-at that must reach a primary output.
   const faults::FaultSimulator fsim(ckt);
   return fsim.line_fault_detected(
-      faults::Fault::net_stuck(fault.net, old_v == LogicV::k1), capture);
+      ctx, faults::Fault::net_stuck(fault.net, old_v == LogicV::k1), 1);
 }
 
 TransitionResult generate_transition_test(const logic::Circuit& ckt,

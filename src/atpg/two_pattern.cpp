@@ -2,7 +2,7 @@
 
 #include <stdexcept>
 
-#include "gates/fault_dictionary.hpp"
+#include "gates/dictionary_cache.hpp"
 
 namespace cpsinw::atpg {
 
@@ -18,8 +18,8 @@ TwoPatternResult generate_two_pattern(const logic::Circuit& ckt,
         "generate_two_pattern: needs a transistor stuck-open fault");
 
   const logic::GateInst& g = ckt.gate(fault.gate);
-  const gates::FaultAnalysis fa =
-      gates::analyze_fault(g.kind, fault.cell_fault);
+  const gates::FaultAnalysis& fa =
+      gates::DictionaryCache::global().lookup(g.kind, fault.cell_fault);
   const PodemEngine engine(ckt);
   const faults::FaultSimulator fsim(ckt);
 

@@ -6,6 +6,7 @@
 
 #include "core/campaign_sweep.hpp"
 #include "core/test_flow.hpp"
+#include "gates/dictionary_cache.hpp"
 #include "gates/fault_dictionary.hpp"
 #include "logic/benchmarks.hpp"
 #include "spice/measure.hpp"
@@ -239,8 +240,8 @@ Table3Data run_table3() {
     for (const gates::TransistorFault kind :
          {gates::TransistorFault::kStuckAtNType,
           gates::TransistorFault::kStuckAtPType}) {
-      const gates::FaultAnalysis fa =
-          gates::analyze_fault(CellKind::kXor2, {t, kind});
+      const gates::FaultAnalysis& fa =
+          gates::DictionaryCache::global().lookup(CellKind::kXor2, {t, kind});
 
       Table3Row row;
       row.transistor = t;

@@ -1,6 +1,6 @@
 #include "core/test_flow.hpp"
 
-#include "gates/fault_dictionary.hpp"
+#include "gates/dictionary_cache.hpp"
 
 namespace cpsinw::core {
 
@@ -67,8 +67,8 @@ TestSuite run_test_flow(const logic::Circuit& ckt,
 
     // Transistor fault: pick the strongest applicable method.
     const logic::GateInst& g = ckt.gate(f.gate);
-    const gates::FaultAnalysis fa =
-        gates::analyze_fault(g.kind, f.cell_fault);
+    const gates::FaultAnalysis& fa =
+        gates::DictionaryCache::global().lookup(g.kind, f.cell_fault);
 
     if (fa.output_detectable) {
       const AtpgResult r = engine.generate_functional(f, options.podem);

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <utility>
@@ -89,11 +90,13 @@ std::vector<logic::Pattern> build_patterns(const logic::Circuit& ckt,
 
 namespace {
 
-/// Everything one job needs, materialized before any shard runs.
+/// Everything one job needs, materialized before any shard runs.  The
+/// evaluation context (packed patterns + good machine + dictionaries) is
+/// built once here and shared read-only by every shard of the job.
 struct JobData {
   const CircuitJobSpec* spec = nullptr;
   std::vector<CampaignFault> universe;
-  std::vector<logic::Pattern> patterns;
+  std::unique_ptr<faults::EvalContext> context;
   std::vector<Shard> shards;
   std::vector<ShardResult> results;  ///< slot per shard, filled in parallel
 };
@@ -135,6 +138,7 @@ CampaignReport run_campaign(const CampaignSpec& spec) {
   const auto t0 = std::chrono::steady_clock::now();
   int shard_count = 0;
   std::exception_ptr first_error;
+  std::exception_ptr first_shard_error;
   std::mutex error_mutex;
   {
     ThreadPool pool(spec.threads);
@@ -149,9 +153,11 @@ CampaignReport run_campaign(const CampaignSpec& spec) {
         try {
           JobData& job = jobs[j];
           job.universe = build_universe(job.spec->circuit, spec.models);
-          job.patterns = build_patterns(
-              job.spec->circuit, spec.patterns,
-              campaign_rng.fork(2 * static_cast<std::uint64_t>(j)));
+          job.context = std::make_unique<faults::EvalContext>(
+              job.spec->circuit,
+              build_patterns(
+                  job.spec->circuit, spec.patterns,
+                  campaign_rng.fork(2 * static_cast<std::uint64_t>(j))));
           job.shards = make_shards(
               static_cast<int>(j), job.universe.size(), spec.shard_size,
               campaign_rng.fork(2 * static_cast<std::uint64_t>(j) + 1));
@@ -165,24 +171,44 @@ CampaignReport run_campaign(const CampaignSpec& spec) {
     pool.wait_idle();
     if (first_error) std::rethrow_exception(first_error);
 
-    // ---- Shard phase: each shard fills its own pre-sized slot. -----------
+    // ---- Shard phase: each shard fills its own pre-sized slot, reading
+    // the job's shared context.  A failing shard does not abort the
+    // campaign: the first failure is surfaced on the report's error slot
+    // and the remaining shards still contribute their records. -------------
     for (JobData& job : jobs) {
       for (std::size_t s = 0; s < job.shards.size(); ++s) {
         ++shard_count;
-        pool.submit([&job, s, &exec, &first_error, &error_mutex] {
+        pool.submit([&job, s, &exec, &first_shard_error, &error_mutex] {
           try {
-            job.results[s] = run_shard(job.spec->circuit, job.universe,
-                                       job.patterns, job.shards[s], exec);
+            job.results[s] =
+                run_shard(*job.context, job.universe, job.shards[s], exec);
           } catch (...) {
-            std::lock_guard<std::mutex> lock(error_mutex);
-            if (!first_error) first_error = std::current_exception();
+            {
+              std::lock_guard<std::mutex> lock(error_mutex);
+              if (!first_shard_error)
+                first_shard_error = std::current_exception();
+            }
+            // Keep the merge honest: the failed shard's faults stay in
+            // the report as simulated-but-undetected, so every detection
+            // count and coverage is a lower bound (the contract
+            // CampaignReport::error documents).
+            const Shard& shard = job.shards[s];
+            ShardResult& slot = job.results[s];
+            slot.job = shard.job;
+            slot.index = shard.index;
+            slot.results.assign(shard.end - shard.begin, {});
+            for (std::size_t i = shard.begin; i < shard.end; ++i)
+              slot.results[i - shard.begin].cls = job.universe[i].cls;
           }
         });
       }
     }
     pool.wait_idle();
+    // Belt and braces: anything that slipped past the per-task handlers
+    // (it cannot today, but the pool-level capture keeps this future-proof)
+    // is treated like a shard failure, not silently dropped.
+    if (!first_shard_error) first_shard_error = pool.first_exception();
   }
-  if (first_error) std::rethrow_exception(first_error);
   const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -194,6 +220,15 @@ CampaignReport run_campaign(const CampaignSpec& spec) {
   report.pattern_source = to_string(spec.patterns.kind);
   report.fault_sample_fraction = spec.fault_sample_fraction;
   report.observe_iddq = spec.sim.observe_iddq;
+  if (first_shard_error) {
+    try {
+      std::rethrow_exception(first_shard_error);
+    } catch (const std::exception& e) {
+      report.error = e.what();
+    } catch (...) {
+      report.error = "unknown shard failure";
+    }
+  }
 
   double sampled_fault_patterns = 0.0;
   for (const JobData& job : jobs) {
@@ -201,7 +236,7 @@ CampaignReport run_campaign(const CampaignSpec& spec) {
     jr.circuit = job.spec->name;
     jr.gate_count = job.spec->circuit.gate_count();
     jr.transistor_count = job.spec->circuit.transistor_count();
-    jr.pattern_count = static_cast<int>(job.patterns.size());
+    jr.pattern_count = static_cast<int>(job.context->pattern_count());
     for (const ShardResult& sr : job.results)
       accumulate_shard(jr, sr, jr.pattern_count, spec.sim.observe_iddq);
     sampled_fault_patterns += static_cast<double>(jr.totals().sampled) *

@@ -175,6 +175,10 @@ std::string CampaignReport::to_json(bool include_timing) const {
   j.value(fault_sample_fraction);
   j.key("observe_iddq");
   j.value(observe_iddq);
+  if (!error.empty()) {
+    j.key("error");
+    j.value(error);
+  }
 
   j.key("jobs");
   j.open_array();

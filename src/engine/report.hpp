@@ -63,9 +63,17 @@ struct CampaignReport {
   std::string pattern_source;
   double fault_sample_fraction = 1.0;
   bool observe_iddq = true;
+  /// First shard-phase task failure (what() text), empty on success.  A
+  /// failed shard's slot is filled with default simulated-but-undetected
+  /// records (totals stay complete), so a non-empty error marks every
+  /// detection count and coverage below as a lower bound.  Serialized into
+  /// the stable JSON only when non-empty — successful runs stay
+  /// byte-identical.
+  std::string error;
   std::vector<JobReport> jobs;
   CampaignTiming timing;
 
+  [[nodiscard]] bool ok() const { return error.empty(); }
   [[nodiscard]] ClassStats totals() const;
 
   /// Deterministic JSON (stable key order, fixed float formatting).  With

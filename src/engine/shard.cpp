@@ -57,25 +57,22 @@ namespace {
 
 /// Simulates one bridge over the pattern sequence, mirroring the hit
 /// semantics of FaultSimulator::simulate_transistor_fault.  The good
-/// machine is simulated at most once per pattern per shard via
-/// `good_cache` — it serves both the PO comparison and the IDDQ
-/// excitation check for every bridge of the shard.
+/// machine comes from the job's shared context — simulated once per
+/// pattern set, serving both the PO comparison and the IDDQ excitation
+/// check for every bridge of every shard.
 faults::DetectionRecord simulate_bridge_fault(
-    const logic::Circuit& ckt, const faults::BridgeFault& bridge,
-    const std::vector<logic::Pattern>& patterns, const logic::Simulator& sim,
-    std::vector<std::optional<logic::SimResult>>& good_cache,
+    const faults::EvalContext& ctx, const faults::BridgeFault& bridge,
     const faults::FaultSimOptions& options) {
+  const logic::Circuit& ckt = ctx.circuit();
   faults::DetectionRecord rec;
-  for (std::size_t pi = 0; pi < patterns.size(); ++pi) {
-    const logic::Pattern& p = patterns[pi];
-    std::optional<logic::SimResult>& good = good_cache[pi];
-    if (!good) good = sim.simulate(p);
+  for (std::size_t pi = 0; pi < ctx.pattern_count(); ++pi) {
+    const logic::SimResult& good = ctx.good(pi);
     bool hit = false;
     if (!rec.detected_output) {
       const std::vector<logic::LogicV> bad =
-          faults::simulate_bridge(ckt, bridge, p);
+          faults::simulate_bridge(ckt, bridge, ctx.patterns()[pi]);
       for (const logic::NetId po : ckt.primary_outputs()) {
-        const logic::LogicV g = good->value(po);
+        const logic::LogicV g = good.value(po);
         const logic::LogicV b = bad[static_cast<std::size_t>(po)];
         if (logic::is_binary(g) && logic::is_binary(b) && g != b) {
           rec.detected_output = true;
@@ -85,8 +82,8 @@ faults::DetectionRecord simulate_bridge_fault(
       }
     }
     if (options.observe_iddq) {
-      const logic::LogicV va = good->value(bridge.a);
-      const logic::LogicV vb = good->value(bridge.b);
+      const logic::LogicV va = good.value(bridge.a);
+      const logic::LogicV vb = good.value(bridge.b);
       if (logic::is_binary(va) && logic::is_binary(vb) && va != vb) {
         rec.detected_iddq = true;
         hit = true;
@@ -103,9 +100,8 @@ faults::DetectionRecord simulate_bridge_fault(
 
 }  // namespace
 
-ShardResult run_shard(const logic::Circuit& ckt,
+ShardResult run_shard(const faults::EvalContext& ctx,
                       const std::vector<CampaignFault>& universe,
-                      const std::vector<logic::Pattern>& patterns,
                       const Shard& shard, const ShardExecOptions& options) {
   if (shard.begin > shard.end || shard.end > universe.size())
     throw std::invalid_argument("run_shard: shard range out of bounds");
@@ -138,32 +134,31 @@ ShardResult run_shard(const logic::Circuit& ckt,
     gathered_slot.push_back(i - shard.begin);
   }
   if (!gathered.empty()) {
-    const faults::FaultSimulator fsim(ckt);
+    const faults::FaultSimulator fsim(ctx.circuit());
     const std::vector<faults::DetectionRecord> records =
-        fsim.run_range(gathered, 0, gathered.size(), patterns, options.sim);
+        fsim.run_range(ctx, gathered, 0, gathered.size(), options.sim);
     for (std::size_t k = 0; k < gathered.size(); ++k)
       out.results[gathered_slot[k]].record = records[k];
   }
 
-  bool any_bridge = false;
-  for (std::size_t i = shard.begin; i < shard.end && !any_bridge; ++i)
-    any_bridge = !out.results[i - shard.begin].sampled_out &&
-                 universe[i].cls == FaultClass::kBridge;
-  if (any_bridge) {
-    const logic::Simulator sim(ckt);
-    std::vector<std::optional<logic::SimResult>> good_cache(patterns.size());
-    for (std::size_t i = shard.begin; i < shard.end; ++i) {
-      FaultResult& r = out.results[i - shard.begin];
-      if (r.sampled_out || r.cls != FaultClass::kBridge) continue;
-      r.record = simulate_bridge_fault(ckt, universe[i].bridge, patterns, sim,
-                                       good_cache, options.sim);
-    }
+  for (std::size_t i = shard.begin; i < shard.end; ++i) {
+    FaultResult& r = out.results[i - shard.begin];
+    if (r.sampled_out || r.cls != FaultClass::kBridge) continue;
+    r.record = simulate_bridge_fault(ctx, universe[i].bridge, options.sim);
   }
 
   out.elapsed_s = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - t0)
                       .count();
   return out;
+}
+
+ShardResult run_shard(const logic::Circuit& ckt,
+                      const std::vector<CampaignFault>& universe,
+                      const std::vector<logic::Pattern>& patterns,
+                      const Shard& shard, const ShardExecOptions& options) {
+  const faults::EvalContext ctx(ckt, patterns);
+  return run_shard(ctx, universe, shard, options);
 }
 
 }  // namespace cpsinw::engine

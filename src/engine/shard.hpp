@@ -1,8 +1,10 @@
 // Fault-list sharding: the unit of parallelism of a campaign.  A shard is
 // a contiguous slice of one job's fault universe plus a forked RNG stream;
-// executing it builds a private FaultSimulator and produces records that
-// depend only on (circuit, universe slice, patterns, shard seed) — never
-// on which thread ran it or when.
+// executing it against the job's shared faults::EvalContext produces
+// records that depend only on (circuit, universe slice, patterns, shard
+// seed) — never on which thread ran it or when.  All shards of a job read
+// one immutable context: patterns are packed and the good machine is
+// simulated once per job, not once per shard.
 #pragma once
 
 #include <cstddef>
@@ -10,6 +12,7 @@
 #include <vector>
 
 #include "faults/bridge.hpp"
+#include "faults/eval_context.hpp"
 #include "faults/fault_sim.hpp"
 #include "util/rng.hpp"
 
@@ -96,8 +99,16 @@ struct ShardExecOptions {
                                              std::size_t shard_size,
                                              const util::SplitMix64& job_rng);
 
-/// Executes one shard: builds a private FaultSimulator over `ckt` and
-/// simulates the slice against the job's shared pattern set.
+/// Executes one shard against the job's shared evaluation context (the
+/// campaign path: the context is built once per job and shared by every
+/// shard and thread).
+[[nodiscard]] ShardResult run_shard(const faults::EvalContext& ctx,
+                                    const std::vector<CampaignFault>& universe,
+                                    const Shard& shard,
+                                    const ShardExecOptions& options);
+
+/// Convenience wrapper: builds a private context over (ckt, patterns) and
+/// runs the shard against it.  Bit-identical to the shared-context path.
 [[nodiscard]] ShardResult run_shard(
     const logic::Circuit& ckt, const std::vector<CampaignFault>& universe,
     const std::vector<logic::Pattern>& patterns, const Shard& shard,

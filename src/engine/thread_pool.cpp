@@ -55,6 +55,11 @@ void ThreadPool::wait_idle() {
   idle_cv_.wait(lock, [this] { return pending_ == 0; });
 }
 
+std::exception_ptr ThreadPool::first_exception() {
+  std::lock_guard<std::mutex> lock(wake_mutex_);
+  return first_exception_;
+}
+
 bool ThreadPool::try_pop_local(std::size_t index, Task& out) {
   WorkerQueue& q = *queues_[index];
   std::lock_guard<std::mutex> lock(q.mutex);
@@ -88,7 +93,8 @@ void ThreadPool::worker_loop(std::size_t index) {
       try {
         task();
       } catch (...) {
-        // No result channel to surface this through; see submit() contract.
+        std::lock_guard<std::mutex> lock(wake_mutex_);
+        if (!first_exception_) first_exception_ = std::current_exception();
       }
       bool idle = false;
       {

@@ -9,6 +9,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -31,13 +32,19 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task (round-robin across worker deques).  Thread-safe;
-  /// tasks may themselves submit.  Exceptions escaping a task are
-  /// swallowed by the worker (the pool has no result channel) — tasks
-  /// that can fail must capture their own errors, as run_campaign does.
+  /// tasks may themselves submit.  An exception escaping a task does not
+  /// kill the worker: the first one is captured and exposed through
+  /// first_exception() (the rest are dropped) — run_campaign surfaces it
+  /// on the campaign report's error slot.
   void submit(Task task);
 
   /// Blocks until every submitted task has finished executing.
   void wait_idle();
+
+  /// The first exception that escaped a task, or nullptr when every task
+  /// returned cleanly.  Sticky for the pool's lifetime; read it after
+  /// wait_idle() for a complete answer.
+  [[nodiscard]] std::exception_ptr first_exception();
 
   [[nodiscard]] int thread_count() const {
     return static_cast<int>(threads_.size());
@@ -64,6 +71,7 @@ class ThreadPool {
   std::condition_variable idle_cv_;  ///< wait_idle sleeps here
   std::size_t queued_ = 0;           ///< tasks sitting in deques
   std::size_t pending_ = 0;          ///< queued + executing
+  std::exception_ptr first_exception_;  ///< first escaped task exception
   bool stop_ = false;
   std::atomic<std::size_t> next_queue_{0};
 };

@@ -121,8 +121,10 @@ std::vector<LogicV> simulate_bridge(const logic::Circuit& ckt,
       const logic::GateInst& g = ckt.gate(gid);
       if (g.out != fault.a && g.out != fault.b) continue;
       const auto in_at = [&](int i) {
-        return next[static_cast<std::size_t>(
-            g.in[static_cast<std::size_t>(i)])];
+        return g.in[static_cast<std::size_t>(i)] >= 0
+                   ? next[static_cast<std::size_t>(
+                         g.in[static_cast<std::size_t>(i)])]
+                   : LogicV::kX;
       };
       driver_values[static_cast<std::size_t>(g.out)] =
           logic::eval_cell_x(g.kind, in_at(0), in_at(1), in_at(2));
@@ -138,8 +140,10 @@ std::vector<LogicV> simulate_bridge(const logic::Circuit& ckt,
     const logic::GateInst& g = ckt.gate(gid);
     if (g.out == fault.a || g.out == fault.b) continue;
     const auto in_at = [&](int i) {
-      return conservative[static_cast<std::size_t>(
-          g.in[static_cast<std::size_t>(i)])];
+      return g.in[static_cast<std::size_t>(i)] >= 0
+                 ? conservative[static_cast<std::size_t>(
+                       g.in[static_cast<std::size_t>(i)])]
+                 : LogicV::kX;
     };
     conservative[static_cast<std::size_t>(g.out)] =
         logic::eval_cell_x(g.kind, in_at(0), in_at(1), in_at(2));

@@ -1,0 +1,50 @@
+#include "faults/eval_context.hpp"
+
+#include <stdexcept>
+
+namespace cpsinw::faults {
+
+EvalContext::EvalContext(const logic::Circuit& ckt,
+                         std::vector<logic::Pattern> patterns,
+                         gates::DictionaryCache* cache)
+    : ckt_(&ckt),
+      cache_(cache != nullptr ? cache : &gates::DictionaryCache::global()),
+      patterns_(std::move(patterns)) {
+  if (!ckt.finalized())
+    throw std::invalid_argument("EvalContext: circuit not finalized");
+
+  // Scalar good machine, once per pattern (this also validates arity).
+  const logic::Simulator sim(ckt);
+  good_.reserve(patterns_.size());
+  for (const logic::Pattern& p : patterns_) good_.push_back(sim.simulate(p));
+
+  // Packed batches need fully-specified patterns; an X anywhere keeps the
+  // context scalar-only (the serial transistor paths still work).
+  packed_ = true;
+  for (const logic::Pattern& p : patterns_) {
+    for (const logic::LogicV v : p)
+      if (!is_binary(v)) {
+        packed_ = false;
+        break;
+      }
+    if (!packed_) break;
+  }
+  if (!packed_) return;
+
+  for (std::size_t base = 0; base < patterns_.size(); base += 64) {
+    const std::size_t count =
+        std::min<std::size_t>(64, patterns_.size() - base);
+    Batch b;
+    b.base = base;
+    b.count = count;
+    b.active = count == 64 ? ~0ull : ((1ull << count) - 1ull);
+    const std::vector<logic::Pattern> slice(
+        patterns_.begin() + static_cast<long>(base),
+        patterns_.begin() + static_cast<long>(base + count));
+    b.pi_words = logic::pack_patterns(ckt, slice);
+    b.net_words = logic::simulate_packed(ckt, b.pi_words);
+    batches_.push_back(std::move(b));
+  }
+}
+
+}  // namespace cpsinw::faults

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "gates/dictionary_cache.hpp"
 #include "gates/fault_dictionary.hpp"
 
 namespace cpsinw::faults {
@@ -53,10 +54,11 @@ std::vector<Fault> generate_fault_list(const logic::Circuit& ckt,
 
   if (options.include_transistor_faults) {
     for (const logic::GateInst& g : ckt.gates()) {
-      std::vector<gates::FaultAnalysis> kept;
+      std::vector<const gates::FaultAnalysis*> kept;
       for (const gates::CellFault& cf :
            gates::enumerate_transistor_faults(g.kind)) {
-        const gates::FaultAnalysis fa = gates::analyze_fault(g.kind, cf);
+        const gates::FaultAnalysis& fa =
+            gates::DictionaryCache::global().lookup(g.kind, cf);
         // A polarity bridge onto the rail the PG is already tied to is not
         // an electrical defect: never listed.  Other benign-looking faults
         // (e.g. a statically-masked channel break) stay in the universe —
@@ -67,13 +69,13 @@ std::vector<Fault> generate_fault_list(const logic::Circuit& ckt,
         if (polarity_fault && fa.is_benign()) continue;
         if (options.collapse) {
           bool duplicate = false;
-          for (const gates::FaultAnalysis& prev : kept)
-            if (fa.equivalent_to(prev)) {
+          for (const gates::FaultAnalysis* prev : kept)
+            if (fa.equivalent_to(*prev)) {
               duplicate = true;
               break;
             }
           if (duplicate) continue;
-          kept.push_back(fa);
+          kept.push_back(&fa);
         }
         out.push_back(Fault::transistor(g.id, cf.transistor, cf.kind));
       }

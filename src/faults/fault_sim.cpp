@@ -2,7 +2,7 @@
 
 #include <stdexcept>
 
-#include "gates/fault_dictionary.hpp"
+#include "gates/dictionary_cache.hpp"
 
 namespace cpsinw::faults {
 
@@ -24,6 +24,12 @@ double FaultSimReport::coverage() const {
 
 FaultSimulator::FaultSimulator(const logic::Circuit& ckt)
     : ckt_(ckt), sim_(ckt) {}
+
+void FaultSimulator::check_context(const EvalContext& ctx) const {
+  if (&ctx.circuit() != &ckt_)
+    throw std::invalid_argument(
+        "FaultSimulator: context built for a different circuit");
+}
 
 std::vector<std::uint64_t> FaultSimulator::simulate_packed_with_line_fault(
     const std::vector<std::uint64_t>& pi_words, const Fault& fault) const {
@@ -58,9 +64,16 @@ std::vector<std::uint64_t> FaultSimulator::simulate_packed_with_line_fault(
 FaultSimReport FaultSimulator::run(const std::vector<Fault>& faults,
                                    const std::vector<Pattern>& patterns,
                                    const FaultSimOptions& options) const {
+  const EvalContext ctx(ckt_, patterns);
+  return run(ctx, faults, options);
+}
+
+FaultSimReport FaultSimulator::run(const EvalContext& ctx,
+                                   const std::vector<Fault>& faults,
+                                   const FaultSimOptions& options) const {
   FaultSimReport report;
   report.options = options;
-  report.records = run_range(faults, 0, faults.size(), patterns, options);
+  report.records = run_range(ctx, faults, 0, faults.size(), options);
   return report;
 }
 
@@ -68,6 +81,14 @@ std::vector<DetectionRecord> FaultSimulator::run_range(
     const std::vector<Fault>& faults, std::size_t begin, std::size_t end,
     const std::vector<Pattern>& patterns,
     const FaultSimOptions& options) const {
+  const EvalContext ctx(ckt_, patterns);
+  return run_range(ctx, faults, begin, end, options);
+}
+
+std::vector<DetectionRecord> FaultSimulator::run_range(
+    const EvalContext& ctx, const std::vector<Fault>& faults,
+    std::size_t begin, std::size_t end, const FaultSimOptions& options) const {
+  check_context(ctx);
   if (begin > end || end > faults.size())
     throw std::invalid_argument("run_range: bad fault range");
   std::vector<DetectionRecord> records(end - begin);
@@ -75,45 +96,40 @@ std::vector<DetectionRecord> FaultSimulator::run_range(
   bool any_line_fault = false;
   for (std::size_t fi = begin; fi < end && !any_line_fault; ++fi)
     any_line_fault = faults[fi].site != FaultSite::kGateTransistor;
+  if (any_line_fault && !ctx.packed() && ctx.pattern_count() > 0)
+    throw std::invalid_argument(
+        "run_range: line faults need fully-specified (packable) patterns");
 
-  // --- Line faults: 64-pattern-parallel batches.  The good-machine packed
-  // simulation is only worth paying for when the range has line faults —
-  // transistor-only shards skip it entirely. --------------------------------
-  for (std::size_t base = 0; any_line_fault && base < patterns.size();
-       base += 64) {
-    const std::size_t count = std::min<std::size_t>(64, patterns.size() - base);
-    const std::vector<Pattern> batch(patterns.begin() + static_cast<long>(base),
-                                     patterns.begin() +
-                                         static_cast<long>(base + count));
-    const auto pi_words = logic::pack_patterns(ckt_, batch);
-    const auto good = logic::simulate_packed(ckt_, pi_words);
-    const std::uint64_t active =
-        count == 64 ? ~0ull : ((1ull << count) - 1ull);
-
+  // --- Line faults: 64-pattern-parallel batches against the context's
+  // precomputed good-machine words (simulated once per pattern set, not
+  // once per shard or per fault). ------------------------------------------
+  for (std::size_t bi = 0; any_line_fault && bi < ctx.batches().size(); ++bi) {
+    const EvalContext::Batch& batch = ctx.batches()[bi];
     for (std::size_t fi = begin; fi < end; ++fi) {
       const Fault& f = faults[fi];
       if (f.site == FaultSite::kGateTransistor) continue;
       DetectionRecord& rec = records[fi - begin];
       if (rec.detected_output) continue;  // fault dropping
-      const auto faulty = simulate_packed_with_line_fault(pi_words, f);
+      const auto faulty = simulate_packed_with_line_fault(batch.pi_words, f);
       std::uint64_t diff = 0;
       for (const logic::NetId po : ckt_.primary_outputs())
-        diff |= (good[static_cast<std::size_t>(po)] ^
+        diff |= (batch.net_words[static_cast<std::size_t>(po)] ^
                  faulty[static_cast<std::size_t>(po)]);
-      diff &= active;
+      diff &= batch.active;
       if (diff != 0) {
         rec.detected_output = true;
         rec.first_pattern =
-            static_cast<int>(base) + __builtin_ctzll(diff);
+            static_cast<int>(batch.base) + __builtin_ctzll(diff);
       }
     }
   }
 
-  // --- Transistor faults: serial dictionary-based simulation. ------------
+  // --- Transistor faults: packed table-driven batches when the dictionary
+  // allows it, retained-state serial simulation otherwise. -----------------
   for (std::size_t fi = begin; fi < end; ++fi) {
     const Fault& f = faults[fi];
     if (f.site != FaultSite::kGateTransistor) continue;
-    records[fi - begin] = simulate_transistor_fault(f, patterns, options);
+    records[fi - begin] = simulate_transistor_fault(ctx, f, options);
   }
   return records;
 }
@@ -133,14 +149,35 @@ bool FaultSimulator::line_fault_detected(const Fault& fault,
   return false;
 }
 
+bool FaultSimulator::line_fault_detected(const EvalContext& ctx,
+                                         const Fault& fault,
+                                         std::size_t pattern_index) const {
+  check_context(ctx);
+  if (fault.site == FaultSite::kGateTransistor)
+    throw std::invalid_argument("line_fault_detected: transistor fault");
+  if (pattern_index >= ctx.pattern_count())
+    throw std::invalid_argument("line_fault_detected: bad pattern index");
+  if (!ctx.packed())
+    return line_fault_detected(fault, ctx.patterns()[pattern_index]);
+  const EvalContext::Batch& batch = ctx.batches()[pattern_index / 64];
+  const std::uint64_t bit = 1ull << (pattern_index % 64);
+  const auto faulty = simulate_packed_with_line_fault(batch.pi_words, fault);
+  for (const logic::NetId po : ckt_.primary_outputs())
+    if (((batch.net_words[static_cast<std::size_t>(po)] ^
+          faulty[static_cast<std::size_t>(po)]) &
+         bit) != 0)
+      return true;
+  return false;
+}
+
 DetectionRecord FaultSimulator::simulate_transistor_fault(
     const Fault& fault, const std::vector<Pattern>& patterns,
     const FaultSimOptions& options) const {
   if (fault.site != FaultSite::kGateTransistor)
     throw std::invalid_argument("simulate_transistor_fault: wrong site");
   const logic::GateFault gf{fault.gate, fault.cell_fault};
-  const gates::FaultAnalysis fa =
-      gates::analyze_fault(ckt_.gate(fault.gate).kind, fault.cell_fault);
+  const gates::FaultAnalysis& fa = gates::DictionaryCache::global().lookup(
+      ckt_.gate(fault.gate).kind, fault.cell_fault);
 
   DetectionRecord rec;
   std::vector<LogicV> state;
@@ -169,6 +206,123 @@ DetectionRecord FaultSimulator::simulate_transistor_fault(
     }
     if (hit && rec.first_pattern < 0)
       rec.first_pattern = static_cast<int>(pi);
+  }
+  return rec;
+}
+
+DetectionRecord FaultSimulator::simulate_transistor_fault(
+    const EvalContext& ctx, const Fault& fault,
+    const FaultSimOptions& options) const {
+  check_context(ctx);
+  if (fault.site != FaultSite::kGateTransistor)
+    throw std::invalid_argument("simulate_transistor_fault: wrong site");
+  if (fault.gate < 0 || fault.gate >= ckt_.gate_count())
+    throw std::invalid_argument("simulate_faulty: bad gate id");
+  const gates::FaultAnalysis& fa =
+      ctx.dictionary(ckt_.gate(fault.gate).kind, fault.cell_fault);
+
+  // Purely binary dictionaries (no floating rows to retain, no X rows to
+  // propagate) behave as a combinational table substitution: 64 patterns
+  // per pass.  Floating/marginal faults keep the retained-state serial
+  // path that two-pattern stuck-open detection relies on.
+  if (options.batch_transistor_faults && ctx.packed() &&
+      !fa.needs_sequence && !fa.marginal_detectable)
+    return simulate_transistor_packed(ctx, fault, fa, options);
+  return simulate_transistor_serial(ctx, fault, fa, options);
+}
+
+DetectionRecord FaultSimulator::simulate_transistor_serial(
+    const EvalContext& ctx, const Fault& fault,
+    const gates::FaultAnalysis& fa, const FaultSimOptions& options) const {
+  const logic::GateFault gf{fault.gate, fault.cell_fault};
+  DetectionRecord rec;
+  std::vector<LogicV> state;
+  for (std::size_t pi = 0; pi < ctx.pattern_count(); ++pi) {
+    const Pattern& p = ctx.patterns()[pi];
+    const logic::SimResult& good = ctx.good(pi);
+    const logic::SimResult bad = sim_.simulate_faulty_with(
+        p, gf, fa, options.sequential_patterns && !state.empty() ? &state
+                                                                 : nullptr);
+    if (options.sequential_patterns) state = bad.net_values;
+
+    bool hit = false;
+    if (bad.iddq_flag && options.observe_iddq) {
+      rec.detected_iddq = true;
+      hit = true;
+    }
+    for (const logic::NetId po : ckt_.primary_outputs()) {
+      const LogicV g = good.value(po);
+      const LogicV b = bad.value(po);
+      if (is_binary(g) && is_binary(b) && g != b) {
+        rec.detected_output = true;
+        hit = true;
+      } else if (is_binary(g) && !is_binary(b)) {
+        rec.potential = true;
+      }
+    }
+    if (hit && rec.first_pattern < 0)
+      rec.first_pattern = static_cast<int>(pi);
+  }
+  return rec;
+}
+
+DetectionRecord FaultSimulator::simulate_transistor_packed(
+    const EvalContext& ctx, const Fault& fault,
+    const gates::FaultAnalysis& fa, const FaultSimOptions& options) const {
+  DetectionRecord rec;
+  std::vector<std::uint64_t> values(
+      static_cast<std::size_t>(ckt_.net_count()), 0);
+
+  for (const EvalContext::Batch& batch : ctx.batches()) {
+    for (logic::NetId n = 0; n < ckt_.net_count(); ++n)
+      values[static_cast<std::size_t>(n)] =
+          ckt_.constant_of(n) == LogicV::k1 ? ~0ull : 0ull;
+    for (std::size_t i = 0; i < batch.pi_words.size(); ++i)
+      values[static_cast<std::size_t>(ckt_.primary_inputs()[i])] =
+          batch.pi_words[i];
+
+    // Faulty machine: every gate evaluates normally except the faulted
+    // one, whose output word comes from its dictionary's faulty-logic
+    // table.  Its local inputs equal the good machine's (the circuit is
+    // acyclic and this is the only faulted gate), so the contention word
+    // doubles as the per-pattern IDDQ excitation mask.
+    std::uint64_t contention = 0;
+    for (const int gid : ckt_.topo_order()) {
+      const logic::GateInst& g = ckt_.gate(gid);
+      std::uint64_t in[3] = {0, 0, 0};
+      for (int i = 0; i < g.input_count(); ++i)
+        in[i] =
+            values[static_cast<std::size_t>(g.in[static_cast<std::size_t>(i)])];
+      std::uint64_t out;
+      if (gid == fault.gate) {
+        out = 0;
+        for (const gates::FaultRow& row : fa.rows) {
+          std::uint64_t minterm = ~0ull;
+          for (int i = 0; i < g.input_count(); ++i)
+            minterm &= ((row.input >> i) & 1u) != 0 ? in[i] : ~in[i];
+          if (fa.faulty_logic(row.input) == 1) out |= minterm;
+          if (row.faulty.contention) contention |= minterm;
+        }
+      } else {
+        out = logic::eval_cell_packed(g.kind, in[0], in[1], in[2]);
+      }
+      values[static_cast<std::size_t>(g.out)] = out;
+    }
+
+    std::uint64_t diff = 0;
+    for (const logic::NetId po : ckt_.primary_outputs())
+      diff |= (batch.net_words[static_cast<std::size_t>(po)] ^
+               values[static_cast<std::size_t>(po)]);
+    diff &= batch.active;
+    contention &= batch.active;
+
+    if (diff != 0) rec.detected_output = true;
+    const std::uint64_t iddq = options.observe_iddq ? contention : 0;
+    if (iddq != 0) rec.detected_iddq = true;
+    const std::uint64_t hit = diff | iddq;
+    if (hit != 0 && rec.first_pattern < 0)
+      rec.first_pattern =
+          static_cast<int>(batch.base) + __builtin_ctzll(hit);
   }
   return rec;
 }

@@ -1,11 +1,21 @@
-// Fault simulation: 64-pattern-parallel for line stuck-at faults, serial
-// dictionary-based for transistor faults (with floating-output retention
-// across pattern sequences, which is what two-pattern stuck-open tests
-// rely on), and IDDQ observation for the paper's polarity faults.
+// Fault simulation: 64-pattern-parallel for line stuck-at faults and for
+// transistor faults whose dictionaries are purely binary (no floating or
+// marginal rows), serial dictionary-based for the rest (with
+// floating-output retention across pattern sequences, which is what
+// two-pattern stuck-open tests rely on), and IDDQ observation for the
+// paper's polarity faults.
+//
+// All fault-independent work (pattern packing, the good machine, the
+// switch-level dictionaries) lives in a faults::EvalContext built once per
+// (circuit, pattern set) and shared across the whole fault universe — and,
+// in the campaign engine, across every shard of a job.  The context-free
+// run/run_range signatures are thin wrappers that build a local context,
+// so their behaviour is bit-identical to the historical serial path.
 #pragma once
 
 #include <vector>
 
+#include "faults/eval_context.hpp"
 #include "faults/fault.hpp"
 #include "faults/fault_list.hpp"
 #include "logic/logic_sim.hpp"
@@ -32,6 +42,11 @@ struct FaultSimOptions {
   /// Thread net state across consecutive patterns so floating outputs
   /// retain charge (enables two-pattern stuck-open detection).
   bool sequential_patterns = true;
+  /// Evaluate transistor faults with purely binary dictionaries (no
+  /// floating/marginal rows) 64 patterns at a time via their faulty-logic
+  /// tables.  Bit-identical to the serial path — the switch exists so the
+  /// golden-equivalence tests can compare both.
+  bool batch_transistor_faults = true;
 };
 
 /// Aggregate result over a fault list.
@@ -49,9 +64,15 @@ class FaultSimulator {
   /// @param ckt finalized circuit; must outlive the simulator
   explicit FaultSimulator(const logic::Circuit& ckt);
 
-  /// Simulates all faults against all patterns.
+  /// Simulates all faults against all patterns (builds a local context).
   [[nodiscard]] FaultSimReport run(const std::vector<Fault>& faults,
                                    const std::vector<logic::Pattern>& patterns,
+                                   const FaultSimOptions& options = {}) const;
+
+  /// Context-based variant: the good machine, packed words and
+  /// dictionaries come from `ctx` (built once, shared by every caller).
+  [[nodiscard]] FaultSimReport run(const EvalContext& ctx,
+                                   const std::vector<Fault>& faults,
                                    const FaultSimOptions& options = {}) const;
 
   /// Engine hook: simulates the contiguous sub-range [begin, end) of a
@@ -65,13 +86,34 @@ class FaultSimulator {
       const std::vector<logic::Pattern>& patterns,
       const FaultSimOptions& options = {}) const;
 
+  /// Context-based range hook: what campaign shards actually execute.  All
+  /// shards of a job share one EvalContext instead of re-packing patterns
+  /// and re-simulating the good machine per shard.
+  [[nodiscard]] std::vector<DetectionRecord> run_range(
+      const EvalContext& ctx, const std::vector<Fault>& faults,
+      std::size_t begin, std::size_t end,
+      const FaultSimOptions& options = {}) const;
+
   /// Single line-fault / single-pattern check (used by ATPG verification).
   [[nodiscard]] bool line_fault_detected(const Fault& fault,
                                          const logic::Pattern& pattern) const;
 
+  /// Context-based variant for ATPG verification loops: checks the fault
+  /// against pattern `pattern_index` of the context without re-packing or
+  /// re-simulating the good machine per call.
+  [[nodiscard]] bool line_fault_detected(const EvalContext& ctx,
+                                         const Fault& fault,
+                                         std::size_t pattern_index) const;
+
   /// Serial simulation of one transistor fault over a pattern sequence.
   [[nodiscard]] DetectionRecord simulate_transistor_fault(
       const Fault& fault, const std::vector<logic::Pattern>& patterns,
+      const FaultSimOptions& options = {}) const;
+
+  /// Context-based variant: shares the precomputed good machine; takes the
+  /// packed 64-pattern path when the fault's dictionary allows it.
+  [[nodiscard]] DetectionRecord simulate_transistor_fault(
+      const EvalContext& ctx, const Fault& fault,
       const FaultSimOptions& options = {}) const;
 
   /// Explicit two-pattern stuck-open check: `init` sets up the output,
@@ -86,6 +128,19 @@ class FaultSimulator {
   /// Packed faulty simulation with a line forced to a constant.
   [[nodiscard]] std::vector<std::uint64_t> simulate_packed_with_line_fault(
       const std::vector<std::uint64_t>& pi_words, const Fault& fault) const;
+
+  /// Serial retained-state transistor path over the context's patterns.
+  [[nodiscard]] DetectionRecord simulate_transistor_serial(
+      const EvalContext& ctx, const Fault& fault,
+      const gates::FaultAnalysis& fa, const FaultSimOptions& options) const;
+
+  /// Packed transistor path: valid only for dictionaries with all-binary,
+  /// non-floating rows (checked by the caller).
+  [[nodiscard]] DetectionRecord simulate_transistor_packed(
+      const EvalContext& ctx, const Fault& fault,
+      const gates::FaultAnalysis& fa, const FaultSimOptions& options) const;
+
+  void check_context(const EvalContext& ctx) const;
 
   const logic::Circuit& ckt_;
   logic::Simulator sim_;

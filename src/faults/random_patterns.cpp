@@ -2,7 +2,8 @@
 
 #include <stdexcept>
 
-#include "gates/fault_dictionary.hpp"
+#include "faults/eval_context.hpp"
+#include "gates/dictionary_cache.hpp"
 #include "util/rng.hpp"
 
 namespace cpsinw::faults {
@@ -28,7 +29,7 @@ RandomPatternResult run_random_patterns(const logic::Circuit& ckt,
   // two-pattern stuck-open detection).
   struct TransState {
     logic::GateFault gf;
-    gates::FaultAnalysis fa;
+    const gates::FaultAnalysis* fa = nullptr;
     std::vector<LogicV> state;
   };
   std::vector<TransState> trans(faults.size());
@@ -36,8 +37,8 @@ RandomPatternResult run_random_patterns(const logic::Circuit& ckt,
     const Fault& f = faults[fi];
     if (f.site != FaultSite::kGateTransistor) continue;
     trans[fi].gf = {f.gate, f.cell_fault};
-    trans[fi].fa =
-        gates::analyze_fault(ckt.gate(f.gate).kind, f.cell_fault);
+    trans[fi].fa = &gates::DictionaryCache::global().lookup(
+        ckt.gate(f.gate).kind, f.cell_fault);
   }
 
   RandomPatternResult result;
@@ -51,7 +52,10 @@ RandomPatternResult run_random_patterns(const logic::Circuit& ckt,
     for (auto& v : p)
       v = logic::from_bool(rng.chance(options.one_probability));
 
-    const logic::SimResult good = sim.simulate(p);
+    // One shared context per generated pattern: the good machine and the
+    // packed words are computed once here, not once per fault below.
+    const EvalContext ctx(ckt, {p});
+    const logic::SimResult& good = ctx.good(0);
 
     bool progress = false;
     for (std::size_t fi = 0; fi < faults.size(); ++fi) {
@@ -62,7 +66,7 @@ RandomPatternResult run_random_patterns(const logic::Circuit& ckt,
         const bool has_state =
             options.sim.sequential_patterns && !ts.state.empty();
         const logic::SimResult bad = sim.simulate_faulty_with(
-            p, ts.gf, ts.fa, has_state ? &ts.state : nullptr);
+            p, ts.gf, *ts.fa, has_state ? &ts.state : nullptr);
         if (options.sim.sequential_patterns) ts.state = bad.net_values;
         if (detected[fi]) continue;
         if (bad.iddq_flag && options.sim.observe_iddq) hit = true;
@@ -73,7 +77,7 @@ RandomPatternResult run_random_patterns(const logic::Circuit& ckt,
         }
       } else {
         if (detected[fi]) continue;
-        hit = fsim.line_fault_detected(f, p);
+        hit = fsim.line_fault_detected(ctx, f, 0);
       }
       if (hit && !detected[fi]) {
         detected[fi] = 1;

@@ -1,0 +1,32 @@
+#include "gates/dictionary_cache.hpp"
+
+namespace cpsinw::gates {
+
+const FaultAnalysis& DictionaryCache::lookup(CellKind kind,
+                                             const CellFault& fault) const {
+  const Key key{static_cast<int>(kind), fault.transistor,
+                static_cast<int>(fault.kind)};
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    it = entries_
+             .emplace(key,
+                      std::make_unique<FaultAnalysis>(analyze_fault(kind, fault)))
+             .first;
+  }
+  return *it->second;
+}
+
+std::size_t DictionaryCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+DictionaryCache& DictionaryCache::global() {
+  // Leaked intentionally: references handed out must outlive every static
+  // consumer, and there is no teardown ordering to get wrong.
+  static DictionaryCache* cache = new DictionaryCache();
+  return *cache;
+}
+
+}  // namespace cpsinw::gates

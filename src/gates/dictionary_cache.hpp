@@ -1,0 +1,49 @@
+// Memoized switch-level fault dictionaries.  analyze_fault() re-derives a
+// cell's faulty truth table from scratch (2^n switch-level evaluations);
+// every fault-simulation, ATPG and collapsing pass used to call it ad hoc,
+// re-paying that cost per fault or even per pattern.  DictionaryCache
+// derives each (CellKind, CellFault) dictionary exactly once and hands out
+// stable references, so a whole campaign — or several campaigns sharing
+// the global() instance — reuses one table per distinct fault.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+
+#include "gates/fault_dictionary.hpp"
+
+namespace cpsinw::gates {
+
+/// Thread-safe memoization of analyze_fault().  Lookups take one mutex
+/// acquisition; entries are heap-allocated so returned references stay
+/// valid for the cache's lifetime regardless of later insertions.
+class DictionaryCache {
+ public:
+  DictionaryCache() = default;
+  DictionaryCache(const DictionaryCache&) = delete;
+  DictionaryCache& operator=(const DictionaryCache&) = delete;
+
+  /// The dictionary of (kind, fault), derived on first use.  The returned
+  /// reference remains valid until the cache is destroyed.
+  [[nodiscard]] const FaultAnalysis& lookup(CellKind kind,
+                                            const CellFault& fault) const;
+
+  /// Number of distinct dictionaries derived so far.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Process-wide shared instance (never destroyed before exit).  All
+  /// library call sites that previously re-derived dictionaries ad hoc go
+  /// through this, so campaigns, ATPG and diagnosis share one table set.
+  [[nodiscard]] static DictionaryCache& global();
+
+ private:
+  using Key = std::tuple<int, int, int>;  ///< (kind, transistor, fault kind)
+
+  mutable std::mutex mutex_;
+  /// node-based map: value addresses are stable across insertions.
+  mutable std::map<Key, std::unique_ptr<FaultAnalysis>> entries_;
+};
+
+}  // namespace cpsinw::gates

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "gates/dictionary_cache.hpp"
+
 namespace cpsinw::logic {
 
 Simulator::Simulator(const Circuit& ckt) : ckt_(ckt) {
@@ -86,7 +88,7 @@ SimResult Simulator::simulate_faulty(
     const std::vector<LogicV>* previous_state) const {
   if (fault.gate < 0 || fault.gate >= ckt_.gate_count())
     throw std::invalid_argument("simulate_faulty: bad gate id");
-  const gates::FaultAnalysis fa = gates::analyze_fault(
+  const gates::FaultAnalysis& fa = gates::DictionaryCache::global().lookup(
       ckt_.gate(fault.gate).kind, fault.cell_fault);
   return simulate_faulty_with(pattern, fault, fa, previous_state);
 }

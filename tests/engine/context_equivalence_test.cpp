@@ -1,0 +1,126 @@
+// Campaign-level guarantees of the shared evaluation context: shards of a
+// job reading one context produce byte-identical reports at every thread
+// count for all five fault classes, the legacy per-shard (re-packing)
+// entry point agrees with the shared-context path, and shard failures
+// surface on the report's error slot instead of vanishing.
+#include <gtest/gtest.h>
+
+#include "engine/campaign.hpp"
+#include "faults/eval_context.hpp"
+#include "logic/benchmarks.hpp"
+
+namespace cpsinw::engine {
+namespace {
+
+CampaignSpec all_classes_spec() {
+  CampaignSpec spec;
+  spec.jobs.push_back({"c17", logic::c17()});
+  spec.jobs.push_back({"full_adder", logic::full_adder()});
+  spec.models.bridge = true;
+  spec.patterns.kind = PatternSourceSpec::Kind::kRandom;
+  spec.patterns.random_count = 96;  // crosses the 64-pattern batch boundary
+  spec.shard_size = 16;
+  return spec;
+}
+
+TEST(ContextEquivalence, AllFiveClassesByteIdenticalAcrossThreadCounts) {
+  CampaignSpec spec = all_classes_spec();
+  spec.threads = 1;
+  const CampaignReport r1 = run_campaign(spec);
+  spec.threads = 2;
+  const CampaignReport r2 = run_campaign(spec);
+  spec.threads = 8;
+  const CampaignReport r8 = run_campaign(spec);
+  EXPECT_EQ(r1.to_json(), r2.to_json());
+  EXPECT_EQ(r1.to_json(), r8.to_json());
+
+  // Every class of the paper is present and exercised (full_adder's XOR
+  // cells bring dynamic-polarity dictionaries into the packed batch path).
+  for (int c = 0; c < kFaultClassCount; ++c) {
+    int total = 0, detected = 0;
+    for (const JobReport& job : r1.jobs) {
+      total += job.by_class[static_cast<std::size_t>(c)].total;
+      detected += job.by_class[static_cast<std::size_t>(c)].detected;
+    }
+    EXPECT_GT(total, 0) << to_string(static_cast<FaultClass>(c));
+    EXPECT_GT(detected, 0) << to_string(static_cast<FaultClass>(c));
+  }
+  EXPECT_TRUE(r1.ok());
+}
+
+TEST(ContextEquivalence, SharedContextShardsMatchLegacyPerShardEntryPoint) {
+  const logic::Circuit ckt = logic::full_adder();
+  CampaignSpec spec = all_classes_spec();
+  const std::vector<CampaignFault> universe =
+      build_universe(ckt, spec.models);
+  const std::vector<logic::Pattern> patterns = build_patterns(
+      ckt, spec.patterns, util::SplitMix64(7));
+  const std::vector<Shard> shards =
+      make_shards(0, universe.size(), 16, util::SplitMix64(9));
+  ASSERT_GT(shards.size(), 1u);
+
+  const faults::EvalContext ctx(ckt, patterns);
+  ShardExecOptions exec;
+  for (const Shard& shard : shards) {
+    const ShardResult shared = run_shard(ctx, universe, shard, exec);
+    const ShardResult legacy =
+        run_shard(ckt, universe, patterns, shard, exec);
+    ASSERT_EQ(shared.results.size(), legacy.results.size());
+    for (std::size_t i = 0; i < shared.results.size(); ++i) {
+      const FaultResult& a = shared.results[i];
+      const FaultResult& b = legacy.results[i];
+      EXPECT_EQ(a.cls, b.cls);
+      EXPECT_EQ(a.sampled_out, b.sampled_out);
+      EXPECT_EQ(a.record.detected_output, b.record.detected_output);
+      EXPECT_EQ(a.record.detected_iddq, b.record.detected_iddq);
+      EXPECT_EQ(a.record.potential, b.record.potential);
+      EXPECT_EQ(a.record.first_pattern, b.record.first_pattern);
+    }
+  }
+}
+
+TEST(ContextEquivalence, ShardFailureSurfacesOnReportErrorSlot) {
+  // An X in an explicit pattern passes the up-front arity validation but
+  // makes the packed line-fault path refuse inside the shards.  The
+  // campaign must complete and carry the failure on the error slot.
+  CampaignSpec spec;
+  logic::Circuit ckt = logic::c17();
+  logic::Pattern p(ckt.primary_inputs().size(), logic::LogicV::k0);
+  p[0] = logic::LogicV::kX;
+  spec.patterns.kind = PatternSourceSpec::Kind::kExplicit;
+  spec.patterns.explicit_patterns.push_back(std::move(p));
+  spec.jobs.push_back({"c17", std::move(ckt)});
+  spec.threads = 2;
+
+  const CampaignReport report = run_campaign(spec);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.error.find("packable"), std::string::npos)
+      << report.error;
+  EXPECT_NE(report.to_json().find("\"error\""), std::string::npos);
+
+  // The failed shard's faults stay in the totals as undetected, keeping
+  // every count a lower bound rather than silently shrinking the universe.
+  const std::size_t universe_size =
+      build_universe(logic::c17(), FaultModelSelection{}).size();
+  ASSERT_EQ(report.jobs.size(), 1u);
+  EXPECT_EQ(report.jobs[0].totals().total,
+            static_cast<int>(universe_size));
+  EXPECT_EQ(report.jobs[0].totals().sampled,
+            static_cast<int>(universe_size));
+  const ClassStats& line = report.jobs[0].by_class[static_cast<std::size_t>(
+      FaultClass::kLineStuckAt)];
+  EXPECT_GT(line.total, 0);
+  EXPECT_EQ(line.detected, 0);  // its shards failed: lower bound is 0
+}
+
+TEST(ContextEquivalence, CleanReportHasNoErrorKey) {
+  CampaignSpec spec = all_classes_spec();
+  spec.threads = 2;
+  const CampaignReport report = run_campaign(spec);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.to_json().find("\"error\""), std::string::npos);
+  EXPECT_EQ(report.to_json(true).find("\"error\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cpsinw::engine

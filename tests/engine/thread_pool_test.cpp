@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <stdexcept>
 #include <thread>
 
 namespace cpsinw::engine {
@@ -78,6 +79,35 @@ TEST(ThreadPool, DestructorFinishesOutstandingWork) {
     // No wait_idle: teardown must drain before joining.
   }
   EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPool, FirstEscapedExceptionIsCapturedNotSwallowed) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.first_exception(), nullptr);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i)
+    pool.submit([&count, i] {
+      if (i == 25) throw std::runtime_error("task 25 failed");
+      ++count;
+    });
+  pool.wait_idle();
+  // The throwing task did not kill its worker or lose other tasks...
+  EXPECT_EQ(count.load(), 49);
+  // ...and its exception is retrievable instead of silently dropped.
+  const std::exception_ptr err = pool.first_exception();
+  ASSERT_NE(err, nullptr);
+  try {
+    std::rethrow_exception(err);
+    FAIL() << "expected a runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 25 failed");
+  }
+
+  // The pool stays usable and the captured exception stays sticky.
+  pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 50);
+  EXPECT_NE(pool.first_exception(), nullptr);
 }
 
 TEST(ThreadPool, ReusableAcrossWaves) {

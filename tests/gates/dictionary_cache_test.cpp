@@ -1,0 +1,74 @@
+#include "gates/dictionary_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace cpsinw::gates {
+namespace {
+
+TEST(DictionaryCache, LookupMatchesAnalyzeFault) {
+  DictionaryCache cache;
+  for (const CellKind kind : all_cell_kinds()) {
+    for (const CellFault& cf : enumerate_transistor_faults(kind)) {
+      const FaultAnalysis& cached = cache.lookup(kind, cf);
+      const FaultAnalysis fresh = analyze_fault(kind, cf);
+      ASSERT_EQ(cached.rows.size(), fresh.rows.size());
+      EXPECT_TRUE(cached.equivalent_to(fresh));
+      EXPECT_EQ(cached.output_detectable, fresh.output_detectable);
+      EXPECT_EQ(cached.marginal_detectable, fresh.marginal_detectable);
+      EXPECT_EQ(cached.iddq_detectable, fresh.iddq_detectable);
+      EXPECT_EQ(cached.needs_sequence, fresh.needs_sequence);
+      EXPECT_EQ(cached.first_output_vector, fresh.first_output_vector);
+      EXPECT_EQ(cached.first_iddq_vector, fresh.first_iddq_vector);
+      for (std::size_t r = 0; r < fresh.rows.size(); ++r)
+        EXPECT_EQ(cached.faulty_logic(static_cast<unsigned>(r)),
+                  fresh.faulty_logic(static_cast<unsigned>(r)));
+    }
+  }
+}
+
+TEST(DictionaryCache, MemoizesAndHandsOutStableReferences) {
+  DictionaryCache cache;
+  const CellFault cf{1, TransistorFault::kStuckAtNType};
+  const FaultAnalysis& first = cache.lookup(CellKind::kXor2, cf);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // Filling the cache with every other dictionary must not move `first`.
+  for (const CellKind kind : all_cell_kinds())
+    for (const CellFault& f : enumerate_transistor_faults(kind))
+      (void)cache.lookup(kind, f);
+  const std::size_t full = cache.size();
+  EXPECT_GT(full, 1u);
+
+  const FaultAnalysis& again = cache.lookup(CellKind::kXor2, cf);
+  EXPECT_EQ(&first, &again);
+  EXPECT_EQ(cache.size(), full);  // no re-derivation
+}
+
+TEST(DictionaryCache, ConcurrentLookupsAgree) {
+  DictionaryCache cache;
+  constexpr int kThreads = 8;
+  std::vector<std::vector<const FaultAnalysis*>> seen(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &seen, t] {
+      for (const CellKind kind : all_cell_kinds())
+        for (const CellFault& f : enumerate_transistor_faults(kind))
+          seen[static_cast<std::size_t>(t)].push_back(&cache.lookup(kind, f));
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[0], seen[static_cast<std::size_t>(t)]);
+}
+
+TEST(DictionaryCache, GlobalInstanceIsShared) {
+  EXPECT_EQ(&DictionaryCache::global(), &DictionaryCache::global());
+  const CellFault cf{0, TransistorFault::kStuckOpen};
+  EXPECT_EQ(&DictionaryCache::global().lookup(CellKind::kInv, cf),
+            &DictionaryCache::global().lookup(CellKind::kInv, cf));
+}
+
+}  // namespace
+}  // namespace cpsinw::gates
