@@ -1,93 +1,138 @@
-// Campaign-engine scaling: throughput (sampled faults x patterns per
-// second) of the same parity_tree(64) campaign at 1/2/4/8 threads.  The
-// deterministic JSON of every run is checked against the 1-thread
-// reference — a scaling number only counts if the answer is bit-identical.
-// The last line printed is a single JSON object for the bench trajectory.
+// Campaign-engine scaling across execution backends: throughput (sampled
+// faults x patterns per second) of the same parity_tree(64) campaign on
+// the inline reference, the thread pool at 1/2/4/8 threads, and the
+// subprocess worker backend.  The deterministic JSON of every run is
+// checked against the inline reference — a scaling number only counts if
+// the answer is bit-identical.  Results land in BENCH_engine_scaling.json
+// (also the last stdout line) so the bench trajectory captures executor
+// overhead per backend over time.
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "engine/campaign.hpp"
 #include "engine/thread_pool.hpp"
 #include "logic/benchmarks.hpp"
 #include "util/table.hpp"
 
+namespace {
+
+std::string worker_path() {
+#ifdef CPSINW_SHARD_WORKER_PATH
+  return CPSINW_SHARD_WORKER_PATH;
+#else
+  return {};
+#endif
+}
+
+struct RunConfig {
+  cpsinw::engine::ExecutorBackend backend;
+  int threads;
+};
+
+}  // namespace
+
 int main() {
   using namespace cpsinw;
 
-  const auto make_spec = [](int threads) {
+  const auto make_spec = [](const RunConfig& cfg) {
     engine::CampaignSpec spec;
     spec.jobs.push_back({"parity_tree_64", logic::parity_tree(64)});
     spec.patterns.kind = engine::PatternSourceSpec::Kind::kRandom;
     spec.patterns.random_count = 128;
     spec.shard_size = 32;
     spec.seed = 1;
-    spec.threads = threads;
+    spec.threads = cfg.threads;
+    spec.executor.backend = cfg.backend;
+    if (cfg.backend == engine::ExecutorBackend::kSubprocess)
+      spec.executor.worker_path = worker_path();
     return spec;
   };
 
   std::cout << "=== Campaign-engine scaling: parity_tree(64), full CP fault "
-               "universe, 128 random patterns ===\n";
+               "universe, 128 random patterns, per-backend ===\n";
   std::cout << "hardware threads: " << engine::ThreadPool::hardware_threads()
             << "\n\n";
 
-  // Warm-up run (page-faults, allocator) outside the measured set.
-  (void)engine::run_campaign(make_spec(1));
+  std::vector<RunConfig> configs = {
+      {engine::ExecutorBackend::kInline, 1},
+      {engine::ExecutorBackend::kThreadPool, 1},
+      {engine::ExecutorBackend::kThreadPool, 2},
+      {engine::ExecutorBackend::kThreadPool, 4},
+      {engine::ExecutorBackend::kThreadPool, 8},
+  };
+  if (!worker_path().empty())
+    configs.push_back({engine::ExecutorBackend::kSubprocess,
+                       engine::ThreadPool::hardware_threads()});
+  else
+    std::cout << "(no worker path compiled in: subprocess backend skipped)\n";
 
-  util::AsciiTable table({"threads", "shards", "wall [ms]",
-                          "faults x patterns / s", "speedup vs 1T",
+  // Warm-up run (page-faults, allocator) outside the measured set.
+  (void)engine::run_campaign(make_spec(configs[0]));
+
+  util::AsciiTable table({"backend", "threads", "shards", "wall [ms]",
+                          "faults x patterns / s", "speedup vs inline",
                           "identical JSON"});
   std::string json_line;
-  double wall_1t = 0.0;
+  double wall_inline = 0.0;
   std::string reference_json;
   bool all_identical = true;
 
-  for (const int threads : {1, 2, 4, 8}) {
+  for (const RunConfig& cfg : configs) {
     const engine::CampaignReport report =
-        engine::run_campaign(make_spec(threads));
+        engine::run_campaign(make_spec(cfg));
     const std::string stable = report.to_json(false);
-    if (threads == 1) {
+    if (reference_json.empty()) {
       reference_json = stable;
-      wall_1t = report.timing.wall_s;
+      wall_inline = report.timing.wall_s;
     }
     const bool identical = stable == reference_json;
     all_identical = all_identical && identical;
 
     const double speedup =
-        report.timing.wall_s > 0.0 ? wall_1t / report.timing.wall_s : 0.0;
-    table.add_row({std::to_string(threads),
+        report.timing.wall_s > 0.0 ? wall_inline / report.timing.wall_s : 0.0;
+    table.add_row({report.timing.backend, std::to_string(cfg.threads),
                    std::to_string(report.timing.shard_count),
                    std::to_string(report.timing.wall_s * 1e3),
                    std::to_string(report.timing.fault_patterns_per_s),
                    std::to_string(speedup), identical ? "yes" : "NO"});
 
     if (!json_line.empty()) json_line += ",";
-    json_line += "{\"threads\":" + std::to_string(threads) +
+    json_line += "{\"backend\":\"" + report.timing.backend +
+                 "\",\"threads\":" + std::to_string(cfg.threads) +
                  ",\"wall_s\":" + std::to_string(report.timing.wall_s) +
                  ",\"fault_patterns_per_s\":" +
                  std::to_string(report.timing.fault_patterns_per_s) +
-                 ",\"speedup\":" + std::to_string(speedup) +
+                 ",\"speedup_vs_inline\":" + std::to_string(speedup) +
                  ",\"identical\":" + (identical ? "true" : "false") + "}";
   }
   table.print(std::cout);
 
-  const engine::CampaignReport ref = engine::run_campaign(make_spec(1));
+  const engine::CampaignReport ref = engine::run_campaign(
+      make_spec({engine::ExecutorBackend::kInline, 1}));
   const engine::ClassStats totals = ref.totals();
   std::cout << "\nworkload: " << totals.total << " faults x "
             << ref.jobs[0].pattern_count << " patterns, coverage "
             << totals.coverage() << "\n";
   std::cout << "determinism: "
-            << (all_identical ? "all runs bit-identical"
-                              : "MISMATCH ACROSS THREAD COUNTS")
+            << (all_identical
+                    ? "all backends and thread counts bit-identical"
+                    : "MISMATCH ACROSS BACKENDS")
             << "\n\n";
 
-  // Single JSON line for the bench trajectory.
-  std::cout << "{\"bench\":\"engine_scaling\",\"circuit\":\"parity_tree_64\","
-               "\"faults\":"
-            << totals.total << ",\"patterns\":" << ref.jobs[0].pattern_count
-            << ",\"hardware_threads\":"
-            << engine::ThreadPool::hardware_threads()
-            << ",\"deterministic\":" << (all_identical ? "true" : "false")
-            << ",\"runs\":[" << json_line << "]}\n";
+  // Single JSON object for the bench trajectory, mirrored to a file.
+  const std::string json =
+      std::string("{\"bench\":\"engine_scaling\",") +
+      "\"circuit\":\"parity_tree_64\",\"faults\":" +
+      std::to_string(totals.total) +
+      ",\"patterns\":" + std::to_string(ref.jobs[0].pattern_count) +
+      ",\"hardware_threads\":" +
+      std::to_string(engine::ThreadPool::hardware_threads()) +
+      ",\"deterministic\":" + (all_identical ? "true" : "false") +
+      ",\"runs\":[" + json_line + "]}";
+  std::ofstream("BENCH_engine_scaling.json") << json << "\n";
+  std::cout << json << "\n";
 
   return all_identical ? 0 : 1;
 }

@@ -27,6 +27,7 @@ engine::CampaignReport run_benchmark_campaign(
   spec.seed = options.seed;
   spec.shard_size = options.shard_size;
   spec.threads = options.threads;
+  spec.executor = options.executor;
   return engine::run_campaign(spec);
 }
 

@@ -22,6 +22,9 @@ struct CampaignSweepOptions {
   bool include_bridges = false;
   engine::PatternSourceSpec::Kind pattern_source =
       engine::PatternSourceSpec::Kind::kRandom;
+  /// Shard-phase backend (inline / thread pool / subprocess workers).
+  /// Every backend produces byte-identical stable report JSON.
+  engine::ExecutorSpec executor;
 };
 
 /// The standard benchmark roster of the coverage experiments as campaign

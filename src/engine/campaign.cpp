@@ -1,9 +1,8 @@
 #include "engine/campaign.hpp"
 
 #include <chrono>
-#include <exception>
+#include <functional>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <utility>
 
@@ -104,9 +103,22 @@ struct JobData {
 }  // namespace
 
 CampaignReport run_campaign(const CampaignSpec& spec) {
+  // Spec validation happens up front, before any work runs: a malformed
+  // spec throws std::invalid_argument with the offending field named,
+  // never a downstream failure from deep inside a shard.
   if (spec.fault_sample_fraction <= 0.0 || spec.fault_sample_fraction > 1.0)
     throw std::invalid_argument(
         "run_campaign: fault_sample_fraction must be in (0, 1]");
+  if (spec.shard_size == 0)
+    throw std::invalid_argument("run_campaign: shard_size must be > 0");
+  if (spec.threads < 0)
+    throw std::invalid_argument(
+        "run_campaign: threads must be >= 0 (0 = hardware concurrency), got " +
+        std::to_string(spec.threads));
+  // Builds (and therefore validates) the selected backend before the
+  // setup phase spends any cycles.
+  std::unique_ptr<ShardExecutor> executor =
+      make_shard_executor(spec.executor, spec.threads);
 
   const util::SplitMix64 campaign_rng(spec.seed);
 
@@ -136,79 +148,51 @@ CampaignReport run_campaign(const CampaignSpec& spec) {
   exec.fault_sample_fraction = spec.fault_sample_fraction;
 
   const auto t0 = std::chrono::steady_clock::now();
-  int shard_count = 0;
-  std::exception_ptr first_error;
-  std::exception_ptr first_shard_error;
-  std::mutex error_mutex;
-  {
-    ThreadPool pool(spec.threads);
 
-    // ---- Setup phase, one task per job: universe, patterns (ATPG runs
-    // here, so an all-kAtpg campaign generates tests in parallel too) and
-    // shard decomposition.  Each job's RNG streams are forked from the
-    // campaign seed by job index, so scheduling cannot affect them. --------
-    for (std::size_t j = 0; j < jobs.size(); ++j) {
-      pool.submit([&jobs, j, &spec, &campaign_rng, &first_error,
-                   &error_mutex] {
-        try {
-          JobData& job = jobs[j];
-          job.universe = build_universe(job.spec->circuit, spec.models);
-          job.context = std::make_unique<faults::EvalContext>(
-              job.spec->circuit,
-              build_patterns(
-                  job.spec->circuit, spec.patterns,
-                  campaign_rng.fork(2 * static_cast<std::uint64_t>(j))));
-          job.shards = make_shards(
-              static_cast<int>(j), job.universe.size(), spec.shard_size,
-              campaign_rng.fork(2 * static_cast<std::uint64_t>(j) + 1));
-          job.results.resize(job.shards.size());
-        } catch (...) {
-          std::lock_guard<std::mutex> lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
-        }
-      });
-    }
-    pool.wait_idle();
-    if (first_error) std::rethrow_exception(first_error);
-
-    // ---- Shard phase: each shard fills its own pre-sized slot, reading
-    // the job's shared context.  A failing shard does not abort the
-    // campaign: the first failure is surfaced on the report's error slot
-    // and the remaining shards still contribute their records. -------------
-    for (JobData& job : jobs) {
-      for (std::size_t s = 0; s < job.shards.size(); ++s) {
-        ++shard_count;
-        pool.submit([&job, s, &exec, &first_shard_error, &error_mutex] {
-          try {
-            job.results[s] =
-                run_shard(*job.context, job.universe, job.shards[s], exec);
-          } catch (...) {
-            {
-              std::lock_guard<std::mutex> lock(error_mutex);
-              if (!first_shard_error)
-                first_shard_error = std::current_exception();
-            }
-            // Keep the merge honest: the failed shard's faults stay in
-            // the report as simulated-but-undetected, so every detection
-            // count and coverage is a lower bound (the contract
-            // CampaignReport::error documents).
-            const Shard& shard = job.shards[s];
-            ShardResult& slot = job.results[s];
-            slot.job = shard.job;
-            slot.index = shard.index;
-            slot.results.assign(shard.end - shard.begin, {});
-            for (std::size_t i = shard.begin; i < shard.end; ++i)
-              slot.results[i - shard.begin].cls = job.universe[i].cls;
-          }
-        });
-      }
-    }
-    pool.wait_idle();
-    // Belt and braces: anything that slipped past the per-task handlers
-    // (it cannot today, but the pool-level capture keeps this future-proof)
-    // is treated like a shard failure, not silently dropped.
-    if (!first_shard_error) first_shard_error = pool.first_exception();
+  // ---- Setup phase, one unit per job: universe, patterns (ATPG runs
+  // here, so an all-kAtpg campaign generates tests in parallel too) and
+  // shard decomposition.  Each job's RNG streams are forked from the
+  // campaign seed by job index, so scheduling cannot affect them.  Setup
+  // runs on the executor's compute resource (serial for kInline, the one
+  // shared pool otherwise); its errors are spec-level problems and still
+  // throw — only shard-phase failures degrade to the error slot. ---------
+  std::vector<std::function<void()>> setup_tasks;
+  setup_tasks.reserve(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    setup_tasks.push_back([&jobs, &spec, &campaign_rng, j] {
+      JobData& job = jobs[j];
+      job.universe = build_universe(job.spec->circuit, spec.models);
+      job.context = std::make_unique<faults::EvalContext>(
+          job.spec->circuit,
+          build_patterns(
+              job.spec->circuit, spec.patterns,
+              campaign_rng.fork(2 * static_cast<std::uint64_t>(j))));
+      job.shards = make_shards(
+          static_cast<int>(j), job.universe.size(), spec.shard_size,
+          campaign_rng.fork(2 * static_cast<std::uint64_t>(j) + 1));
+      job.results.resize(job.shards.size());
+    });
   }
+  executor->run_setup(setup_tasks);
+
+  // ---- Shard phase, delegated to the selected backend.  Tasks are
+  // handed over in canonical (job, shard) order and each fills its own
+  // pre-sized slot, so the merge below never depends on execution order.
+  // A failing shard does not abort the campaign: the backend fills the
+  // slot with simulated-but-undetected placeholders (totals stay
+  // complete, detections become lower bounds — the contract
+  // CampaignReport::error documents) and reports the first failure. ------
+  std::vector<ShardTask> tasks;
+  int shard_count = 0;
+  for (JobData& job : jobs) {
+    for (std::size_t s = 0; s < job.shards.size(); ++s) {
+      ++shard_count;
+      tasks.push_back({job.context.get(), &job.universe, &job.shards[s],
+                       &job.results[s]});
+    }
+  }
+  const std::string shard_error = executor->run(tasks, exec);
+
   const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -220,15 +204,7 @@ CampaignReport run_campaign(const CampaignSpec& spec) {
   report.pattern_source = to_string(spec.patterns.kind);
   report.fault_sample_fraction = spec.fault_sample_fraction;
   report.observe_iddq = spec.sim.observe_iddq;
-  if (first_shard_error) {
-    try {
-      std::rethrow_exception(first_shard_error);
-    } catch (const std::exception& e) {
-      report.error = e.what();
-    } catch (...) {
-      report.error = "unknown shard failure";
-    }
-  }
+  report.error = shard_error;
 
   double sampled_fault_patterns = 0.0;
   for (const JobData& job : jobs) {
@@ -244,8 +220,11 @@ CampaignReport run_campaign(const CampaignSpec& spec) {
     report.jobs.push_back(std::move(jr));
   }
 
+  report.timing.backend = executor->name();
   report.timing.threads =
-      spec.threads > 0 ? spec.threads : ThreadPool::hardware_threads();
+      spec.executor.backend == ExecutorBackend::kInline
+          ? 1
+          : (spec.threads > 0 ? spec.threads : ThreadPool::hardware_threads());
   report.timing.shard_count = shard_count;
   report.timing.wall_s = wall_s;
   for (const JobReport& jr : report.jobs)

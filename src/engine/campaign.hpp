@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/executor.hpp"
 #include "engine/report.hpp"
 #include "engine/shard.hpp"
 #include "logic/circuit.hpp"
@@ -65,9 +66,16 @@ struct CampaignSpec {
   PatternSourceSpec patterns;
   faults::FaultSimOptions sim;
   std::uint64_t seed = 1;
-  std::size_t shard_size = 64;  ///< faults per work unit
-  int threads = 1;              ///< 0 = hardware concurrency
+  std::size_t shard_size = 64;  ///< faults per work unit (must be > 0)
+  /// Worker threads (kThreadPool), or maximum concurrent child processes
+  /// (kSubprocess); 0 = hardware concurrency, ignored by kInline.  Must
+  /// not be negative.
+  int threads = 1;
   double fault_sample_fraction = 1.0;
+  /// How the shard phase executes.  Any backend and any thread count
+  /// produce byte-identical stable JSON — the executor only decides
+  /// where shards run, never what they compute.
+  ExecutorSpec executor;
 };
 
 /// Builds the classified fault universe of one circuit (deterministic
@@ -82,8 +90,14 @@ struct CampaignSpec {
     const logic::Circuit& ckt, const PatternSourceSpec& source,
     util::SplitMix64 job_rng);
 
-/// Runs the campaign.  Shards execute in arbitrary order on the pool; the
-/// report they merge into does not depend on that order.
+/// Runs the campaign on the backend selected by `spec.executor`.  Shards
+/// execute in arbitrary order; the report they merge into does not depend
+/// on that order (nor on the backend).
+/// @throws std::invalid_argument on a malformed spec (shard_size == 0,
+///   negative threads, fault_sample_fraction outside (0, 1], unfinalized
+///   circuits, explicit-pattern arity mismatches, or a subprocess backend
+///   without a worker_path); per-shard execution failures never throw —
+///   they surface on CampaignReport::error
 [[nodiscard]] CampaignReport run_campaign(const CampaignSpec& spec);
 
 }  // namespace cpsinw::engine

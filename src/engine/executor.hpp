@@ -1,0 +1,96 @@
+// Pluggable shard-executor backends.  A campaign's shard phase is "run
+// these shards, deliver every ShardResult into its canonical slot"; how
+// that happens — serially in-process, on the work-stealing pool, or
+// fanned out to worker processes — is a backend choice that must never
+// change the answer.  The campaign JSON is byte-identical across all
+// backends (and all thread counts): shards are pure functions of
+// (context, universe slice, shard seed), and the merge order is fixed
+// upstream of the executor.
+//
+// Failure contract (all backends): a failing shard never aborts the
+// campaign.  Its slot is filled with placeholder simulated-but-undetected
+// records (totals stay complete, detections become lower bounds) and the
+// first failure in canonical shard order is returned as the error text
+// that run_campaign surfaces on CampaignReport::error.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/shard.hpp"
+
+namespace cpsinw::engine {
+
+/// Available shard-phase execution strategies.
+enum class ExecutorBackend {
+  kInline,      ///< serial in-process loop (zero-dependency reference)
+  kThreadPool,  ///< work-stealing in-process pool
+  kSubprocess,  ///< fork/exec one cpsinw_shard_worker per shard
+};
+
+/// Readable backend name ("inline", "thread_pool", "subprocess").
+[[nodiscard]] const char* to_string(ExecutorBackend backend);
+
+/// Backend selection plus the knobs only some backends consume.
+struct ExecutorSpec {
+  ExecutorBackend backend = ExecutorBackend::kThreadPool;
+  /// kSubprocess: path to the cpsinw_shard_worker binary (required).
+  std::string worker_path;
+  /// kSubprocess: extra argv entries passed to every worker (the failure
+  /// injection tests use this; production campaigns leave it empty).
+  std::vector<std::string> worker_args;
+  /// kSubprocess: per-shard wall-clock budget; a worker that exceeds it is
+  /// killed and reported as a shard failure.
+  double worker_timeout_s = 120.0;
+};
+
+/// One unit of shard-phase work: where to read and where to deliver.  All
+/// pointers outlive the executor run (they live in the campaign's JobData).
+struct ShardTask {
+  const faults::EvalContext* context = nullptr;
+  const std::vector<CampaignFault>* universe = nullptr;
+  const Shard* shard = nullptr;
+  ShardResult* slot = nullptr;
+};
+
+/// Fills a failed shard's slot with placeholder undetected records so the
+/// merged report keeps complete totals (the CampaignReport::error
+/// lower-bound contract).
+void fill_failed_shard(const std::vector<CampaignFault>& universe,
+                       const Shard& shard, ShardResult& slot);
+
+/// Executes the shard phase of a campaign.
+class ShardExecutor {
+ public:
+  virtual ~ShardExecutor() = default;
+
+  /// Stable backend name (reported in the campaign's timing section).
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Runs the campaign's per-job setup tasks (universe, patterns, shard
+  /// decomposition) on the backend's compute resource: serially for
+  /// kInline, on the one shared pool otherwise (the subprocess backend
+  /// also sets up in-parent — workers only ever see finished shards).
+  /// Setup failures are spec-level problems, not shard failures: the
+  /// first exception is rethrown.
+  virtual void run_setup(const std::vector<std::function<void()>>& tasks) = 0;
+
+  /// Runs every task, filling `task.slot` in place.  Per-shard failures do
+  /// not throw: the failed slot is placeholder-filled and the first
+  /// failure message in canonical task order is returned (empty string on
+  /// full success).
+  [[nodiscard]] virtual std::string run(const std::vector<ShardTask>& tasks,
+                                        const ShardExecOptions& options) = 0;
+};
+
+/// Builds the backend selected by `spec`.  `threads` means: ignored by
+/// kInline, worker-thread count for kThreadPool, maximum concurrent child
+/// processes for kSubprocess (0 selects the hardware concurrency).
+/// @throws std::invalid_argument for kSubprocess without a worker_path or
+///   with a non-positive timeout
+[[nodiscard]] std::unique_ptr<ShardExecutor> make_shard_executor(
+    const ExecutorSpec& spec, int threads);
+
+}  // namespace cpsinw::engine

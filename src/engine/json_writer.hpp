@@ -1,0 +1,98 @@
+// Minimal append-only JSON writer with one canonical output form: stable
+// key order is the caller's responsibility, doubles always format via
+// "%.10g", strings escape per RFC 8259.  Shared by the campaign report
+// and the shard_io wire protocol so an escaping or float-format change
+// can never diverge the two.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace cpsinw::engine {
+
+class JsonWriter {
+ public:
+  void key(const std::string& k) {
+    comma();
+    append_quoted(k);
+    out_ += ':';
+    fresh_ = true;
+  }
+  void value(const std::string& v) {
+    comma();
+    append_quoted(v);
+  }
+  void value(const char* v) { value(std::string(v)); }
+  void value(std::uint64_t v) {
+    comma();
+    out_ += std::to_string(v);
+  }
+  void value(int v) {
+    comma();
+    out_ += std::to_string(v);
+  }
+  void value(double v) {
+    comma();
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+    out_ += buf;
+  }
+  void value(bool v) {
+    comma();
+    out_ += v ? "true" : "false";
+  }
+  void open_object() {
+    comma();
+    out_ += '{';
+    fresh_ = true;
+  }
+  void close_object() {
+    out_ += '}';
+    fresh_ = false;
+  }
+  void open_array() {
+    comma();
+    out_ += '[';
+    fresh_ = true;
+  }
+  void close_array() {
+    out_ += ']';
+    fresh_ = false;
+  }
+  [[nodiscard]] std::string str() && { return std::move(out_); }
+
+ private:
+  void comma() {
+    if (!fresh_) out_ += ',';
+    fresh_ = false;
+  }
+  /// Strings come from caller-chosen names — escape per RFC 8259.
+  void append_quoted(const std::string& s) {
+    out_ += '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\t': out_ += "\\t"; break;
+        case '\r': out_ += "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+  std::string out_;
+  bool fresh_ = true;
+};
+
+}  // namespace cpsinw::engine

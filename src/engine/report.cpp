@@ -1,6 +1,6 @@
 #include "engine/report.hpp"
 
-#include <cstdio>
+#include "engine/json_writer.hpp"
 
 namespace cpsinw::engine {
 
@@ -57,89 +57,7 @@ void accumulate_shard(JobReport& job, const ShardResult& shard,
 
 namespace {
 
-/// Minimal append-only JSON writer with stable formatting: doubles via
-/// "%.10g" so equal values always serialize to equal bytes.
-class Json {
- public:
-  void key(const std::string& k) {
-    comma();
-    append_quoted(k);
-    out_ += ':';
-    fresh_ = true;
-  }
-  void value(const std::string& v) {
-    comma();
-    append_quoted(v);
-  }
-  void value(std::uint64_t v) {
-    comma();
-    out_ += std::to_string(v);
-  }
-  void value(int v) {
-    comma();
-    out_ += std::to_string(v);
-  }
-  void value(double v) {
-    comma();
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%.10g", v);
-    out_ += buf;
-  }
-  void value(bool v) {
-    comma();
-    out_ += v ? "true" : "false";
-  }
-  void open_object() {
-    comma();
-    out_ += '{';
-    fresh_ = true;
-  }
-  void close_object() {
-    out_ += '}';
-    fresh_ = false;
-  }
-  void open_array() {
-    comma();
-    out_ += '[';
-    fresh_ = true;
-  }
-  void close_array() {
-    out_ += ']';
-    fresh_ = false;
-  }
-  [[nodiscard]] std::string str() && { return std::move(out_); }
-
- private:
-  void comma() {
-    if (!fresh_) out_ += ',';
-    fresh_ = false;
-  }
-  /// Strings come from caller-chosen job names — escape per RFC 8259.
-  void append_quoted(const std::string& s) {
-    out_ += '"';
-    for (const char c : s) {
-      switch (c) {
-        case '"': out_ += "\\\""; break;
-        case '\\': out_ += "\\\\"; break;
-        case '\n': out_ += "\\n"; break;
-        case '\t': out_ += "\\t"; break;
-        case '\r': out_ += "\\r"; break;
-        default:
-          if (static_cast<unsigned char>(c) < 0x20) {
-            char buf[8];
-            std::snprintf(buf, sizeof buf, "\\u%04x",
-                          static_cast<unsigned>(static_cast<unsigned char>(c)));
-            out_ += buf;
-          } else {
-            out_ += c;
-          }
-      }
-    }
-    out_ += '"';
-  }
-  std::string out_;
-  bool fresh_ = true;
-};
+using Json = JsonWriter;  // shared canonical-form writer (json_writer.hpp)
 
 void emit_class_stats(Json& j, const ClassStats& c) {
   j.open_object();
@@ -219,6 +137,8 @@ std::string CampaignReport::to_json(bool include_timing) const {
   if (include_timing) {
     j.key("timing");
     j.open_object();
+    j.key("backend");
+    j.value(timing.backend);
     j.key("threads");
     j.value(timing.threads);
     j.key("shard_count");

@@ -1,7 +1,8 @@
 // Campaign result aggregation and JSON emission.  Everything outside the
-// `timing` section is a pure function of the campaign spec — the JSON of a
-// 1-thread and a 64-thread run of the same spec is byte-identical (the
-// determinism guarantee the tests pin down).
+// `timing` section is a pure function of the campaign spec — the JSON of
+// the same spec is byte-identical at any thread count AND on any
+// execution backend (inline, thread pool, subprocess workers); the
+// cross-backend equivalence tests pin that guarantee down.
 #pragma once
 
 #include <array>
@@ -49,6 +50,7 @@ struct JobReport {
 
 /// Wall-clock statistics (never part of the deterministic JSON).
 struct CampaignTiming {
+  std::string backend;  ///< executor backend name ("inline", ...)
   int threads = 0;
   int shard_count = 0;
   double wall_s = 0.0;

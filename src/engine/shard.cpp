@@ -103,6 +103,10 @@ faults::DetectionRecord simulate_bridge_fault(
 ShardResult run_shard(const faults::EvalContext& ctx,
                       const std::vector<CampaignFault>& universe,
                       const Shard& shard, const ShardExecOptions& options) {
+  // Every backend funnels through here — the in-process executors against
+  // the job's shared context, the shard worker against a context rebuilt
+  // from the wire — so this body is the single definition of what a shard
+  // computes.
   if (shard.begin > shard.end || shard.end > universe.size())
     throw std::invalid_argument("run_shard: shard range out of bounds");
 

@@ -2,9 +2,11 @@
 // a contiguous slice of one job's fault universe plus a forked RNG stream;
 // executing it against the job's shared faults::EvalContext produces
 // records that depend only on (circuit, universe slice, patterns, shard
-// seed) — never on which thread ran it or when.  All shards of a job read
-// one immutable context: patterns are packed and the good machine is
-// simulated once per job, not once per shard.
+// seed) — never on which thread ran it, when, or even in which process
+// (the subprocess backend ships a shard through engine/shard_io and gets
+// the same bytes back).  All shards of a job read one immutable context:
+// patterns are packed and the good machine is simulated once per job, not
+// once per shard.
 #pragma once
 
 #include <cstddef>

@@ -1,0 +1,629 @@
+#include "engine/shard_io.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+
+#include "engine/json_writer.hpp"
+
+namespace cpsinw::engine {
+
+namespace {
+
+using Json = JsonWriter;  // shared canonical-form writer (json_writer.hpp)
+
+// --------------------------------------------------------------- parsing
+// Minimal recursive-descent JSON reader: just what the two protocol
+// documents need.  Every malformed input becomes a std::runtime_error with
+// a byte offset, never UB — worker output is untrusted by design (a
+// crashing or misbehaving worker may emit anything).
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    if (type != Type::kObject) return nullptr;
+    for (const auto& [k, v] : object)
+      if (k == key) return &v;
+    return nullptr;
+  }
+  [[nodiscard]] const JsonValue& at(const std::string& key) const {
+    const JsonValue* v = find(key);
+    if (v == nullptr)
+      throw std::runtime_error("shard_io: missing key '" + key + "'");
+    return *v;
+  }
+  [[nodiscard]] bool as_bool(const char* what) const {
+    if (type != Type::kBool)
+      throw std::runtime_error(std::string("shard_io: ") + what +
+                               " is not a bool");
+    return boolean;
+  }
+  [[nodiscard]] double as_double(const char* what) const {
+    if (type != Type::kNumber)
+      throw std::runtime_error(std::string("shard_io: ") + what +
+                               " is not a number");
+    return number;
+  }
+  [[nodiscard]] int as_int(const char* what) const {
+    // Worker output is untrusted: range-check before the cast (a
+    // double->int conversion of an out-of-range value is UB).
+    const double d = as_double(what);
+    if (!(d >= -2147483648.0 && d <= 2147483647.0))
+      throw std::runtime_error(std::string("shard_io: ") + what +
+                               " is out of int range");
+    const int i = static_cast<int>(d);
+    if (static_cast<double>(i) != d)
+      throw std::runtime_error(std::string("shard_io: ") + what +
+                               " is not an integer");
+    return i;
+  }
+  [[nodiscard]] const std::string& as_string(const char* what) const {
+    if (type != Type::kString)
+      throw std::runtime_error(std::string("shard_io: ") + what +
+                               " is not a string");
+    return string;
+  }
+  /// 64-bit values travel as decimal strings: a double cannot carry a full
+  /// uint64_t.
+  [[nodiscard]] std::uint64_t as_u64(const char* what) const {
+    const std::string& s = as_string(what);
+    if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos)
+      throw std::runtime_error(std::string("shard_io: ") + what +
+                               " is not a decimal u64 string");
+    return std::strtoull(s.c_str(), nullptr, 10);
+  }
+  [[nodiscard]] const std::vector<JsonValue>& as_array(
+      const char* what) const {
+    if (type != Type::kArray)
+      throw std::runtime_error(std::string("shard_io: ") + what +
+                               " is not an array");
+    return array;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  [[nodiscard]] JsonValue parse() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("shard_io: malformed JSON at byte " +
+                             std::to_string(pos_) + ": " + why);
+  }
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+        ++pos_;
+      else
+        break;
+    }
+  }
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+  JsonValue parse_value() {
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return parse_string();
+      case 't': return parse_literal("true", JsonValue::Type::kBool, true);
+      case 'f': return parse_literal("false", JsonValue::Type::kBool, false);
+      case 'n': return parse_literal("null", JsonValue::Type::kNull, false);
+      default: return parse_number();
+    }
+  }
+  JsonValue parse_literal(const char* word, JsonValue::Type type, bool b) {
+    for (const char* p = word; *p != '\0'; ++p, ++pos_)
+      if (pos_ >= text_.size() || text_[pos_] != *p) fail("bad literal");
+    JsonValue v;
+    v.type = type;
+    v.boolean = b;
+    return v;
+  }
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' ||
+          c == 'e' || c == 'E')
+        ++pos_;
+      else
+        break;
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string slice = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double d = std::strtod(slice.c_str(), &end);
+    if (end == nullptr || *end != '\0') fail("bad number '" + slice + "'");
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    v.number = d;
+    return v;
+  }
+  JsonValue parse_string() {
+    expect('"');
+    JsonValue v;
+    v.type = JsonValue::Type::kString;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') break;
+      if (c != '\\') {
+        v.string += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': v.string += '"'; break;
+        case '\\': v.string += '\\'; break;
+        case '/': v.string += '/'; break;
+        case 'n': v.string += '\n'; break;
+        case 't': v.string += '\t'; break;
+        case 'r': v.string += '\r'; break;
+        case 'b': v.string += '\b'; break;
+        case 'f': v.string += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9')
+              code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              fail("bad \\u escape");
+          }
+          // The protocol only ever escapes control characters; reject the
+          // rest instead of mis-decoding UTF-16 surrogates.
+          if (code > 0xff) fail("unsupported \\u escape");
+          v.string += static_cast<char>(code);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+    return v;
+  }
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+    return v;
+  }
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      JsonValue key = parse_string();
+      expect(':');
+      v.object.emplace_back(std::move(key.string), parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// ------------------------------------------------------------ enum names
+// Protocol-owned tables (not the display to_string helpers) so a renamed
+// diagnostic string can never silently change the wire format.
+
+const char* site_name(faults::FaultSite site) {
+  switch (site) {
+    case faults::FaultSite::kNet: return "net";
+    case faults::FaultSite::kGateInput: return "input";
+    case faults::FaultSite::kGateTransistor: return "transistor";
+  }
+  return "?";
+}
+
+faults::FaultSite parse_site(const std::string& s) {
+  if (s == "net") return faults::FaultSite::kNet;
+  if (s == "input") return faults::FaultSite::kGateInput;
+  if (s == "transistor") return faults::FaultSite::kGateTransistor;
+  throw std::runtime_error("shard_io: unknown fault site '" + s + "'");
+}
+
+const char* transistor_fault_name(gates::TransistorFault kind) {
+  switch (kind) {
+    case gates::TransistorFault::kNone: return "none";
+    case gates::TransistorFault::kStuckOpen: return "open";
+    case gates::TransistorFault::kStuckOn: return "on";
+    case gates::TransistorFault::kStuckAtNType: return "ntype";
+    case gates::TransistorFault::kStuckAtPType: return "ptype";
+  }
+  return "?";
+}
+
+gates::TransistorFault parse_transistor_fault(const std::string& s) {
+  if (s == "none") return gates::TransistorFault::kNone;
+  if (s == "open") return gates::TransistorFault::kStuckOpen;
+  if (s == "on") return gates::TransistorFault::kStuckOn;
+  if (s == "ntype") return gates::TransistorFault::kStuckAtNType;
+  if (s == "ptype") return gates::TransistorFault::kStuckAtPType;
+  throw std::runtime_error("shard_io: unknown transistor fault '" + s + "'");
+}
+
+const char* behavior_name(faults::BridgeBehavior behavior) {
+  switch (behavior) {
+    case faults::BridgeBehavior::kWiredAnd: return "wired_and";
+    case faults::BridgeBehavior::kWiredOr: return "wired_or";
+    case faults::BridgeBehavior::kDominantA: return "dominant_a";
+    case faults::BridgeBehavior::kDominantB: return "dominant_b";
+  }
+  return "?";
+}
+
+faults::BridgeBehavior parse_behavior(const std::string& s) {
+  if (s == "wired_and") return faults::BridgeBehavior::kWiredAnd;
+  if (s == "wired_or") return faults::BridgeBehavior::kWiredOr;
+  if (s == "dominant_a") return faults::BridgeBehavior::kDominantA;
+  if (s == "dominant_b") return faults::BridgeBehavior::kDominantB;
+  throw std::runtime_error("shard_io: unknown bridge behavior '" + s + "'");
+}
+
+FaultClass parse_fault_class(const std::string& s) {
+  for (int c = 0; c < kFaultClassCount; ++c)
+    if (s == to_string(static_cast<FaultClass>(c)))
+      return static_cast<FaultClass>(c);
+  throw std::runtime_error("shard_io: unknown fault class '" + s + "'");
+}
+
+gates::CellKind parse_cell_kind(const std::string& s) {
+  for (const gates::CellKind kind : gates::all_cell_kinds())
+    if (s == gates::to_string(kind)) return kind;
+  throw std::runtime_error("shard_io: unknown cell '" + s + "'");
+}
+
+logic::LogicV parse_logic_char(char c) {
+  switch (c) {
+    case '0': return logic::LogicV::k0;
+    case '1': return logic::LogicV::k1;
+    case 'X': return logic::LogicV::kX;
+    case 'Z': return logic::LogicV::kZ;
+    default:
+      throw std::runtime_error(std::string("shard_io: bad pattern char '") +
+                               c + "'");
+  }
+}
+
+// ----------------------------------------------------------- sub-objects
+
+/// Nets in id order tagged with their driver kind, gates in id order —
+/// reconstruction re-issues the same add_* calls and therefore the same
+/// ids, which every shipped fault depends on.
+void emit_circuit(Json& j, const logic::Circuit& ckt) {
+  j.open_object();
+  j.key("nets");
+  j.open_array();
+  for (logic::NetId n = 0; n < ckt.net_count(); ++n) {
+    j.open_object();
+    j.key("name");
+    j.value(ckt.net_name(n));
+    j.key("kind");
+    if (ckt.is_primary_input(n))
+      j.value("pi");
+    else if (ckt.constant_of(n) == logic::LogicV::k0)
+      j.value("c0");
+    else if (ckt.constant_of(n) == logic::LogicV::k1)
+      j.value("c1");
+    else
+      j.value("net");
+    j.close_object();
+  }
+  j.close_array();
+  j.key("gates");
+  j.open_array();
+  for (const logic::GateInst& g : ckt.gates()) {
+    j.open_object();
+    j.key("cell");
+    j.value(gates::to_string(g.kind));
+    j.key("out");
+    j.value(static_cast<int>(g.out));
+    j.key("in");
+    j.open_array();
+    for (int i = 0; i < g.input_count(); ++i)
+      j.value(static_cast<int>(g.in[static_cast<std::size_t>(i)]));
+    j.close_array();
+    j.key("name");
+    j.value(g.name);
+    j.close_object();
+  }
+  j.close_array();
+  j.key("outputs");
+  j.open_array();
+  for (const logic::NetId n : ckt.primary_outputs())
+    j.value(static_cast<int>(n));
+  j.close_array();
+  j.close_object();
+}
+
+logic::Circuit parse_circuit(const JsonValue& v) {
+  logic::Circuit ckt;
+  const std::vector<JsonValue>& nets = v.at("nets").as_array("nets");
+  for (std::size_t n = 0; n < nets.size(); ++n) {
+    const std::string& name = nets[n].at("name").as_string("net name");
+    const std::string& kind = nets[n].at("kind").as_string("net kind");
+    logic::NetId id = -1;
+    if (kind == "pi")
+      id = ckt.add_primary_input(name);
+    else if (kind == "c0")
+      id = ckt.add_constant(logic::LogicV::k0, name);
+    else if (kind == "c1")
+      id = ckt.add_constant(logic::LogicV::k1, name);
+    else if (kind == "net")
+      id = ckt.add_net(name);
+    else
+      throw std::runtime_error("shard_io: unknown net kind '" + kind + "'");
+    if (id != static_cast<logic::NetId>(n))
+      throw std::runtime_error("shard_io: net id not preserved");
+  }
+  for (const JsonValue& gv : v.at("gates").as_array("gates")) {
+    std::vector<logic::NetId> ins;
+    for (const JsonValue& iv : gv.at("in").as_array("gate inputs"))
+      ins.push_back(iv.as_int("gate input"));
+    ckt.add_gate(parse_cell_kind(gv.at("cell").as_string("cell")), ins,
+                 gv.at("out").as_int("gate out"),
+                 gv.at("name").as_string("gate name"));
+  }
+  for (const JsonValue& ov : v.at("outputs").as_array("outputs"))
+    ckt.mark_primary_output(ov.as_int("output"));
+  ckt.finalize();
+  return ckt;
+}
+
+void emit_fault(Json& j, const CampaignFault& cf) {
+  j.open_object();
+  j.key("cls");
+  j.value(to_string(cf.cls));
+  if (cf.cls == FaultClass::kBridge) {
+    j.key("a");
+    j.value(static_cast<int>(cf.bridge.a));
+    j.key("b");
+    j.value(static_cast<int>(cf.bridge.b));
+    j.key("behavior");
+    j.value(behavior_name(cf.bridge.behavior));
+  } else {
+    j.key("site");
+    j.value(site_name(cf.fault.site));
+    j.key("net");
+    j.value(static_cast<int>(cf.fault.net));
+    j.key("gate");
+    j.value(cf.fault.gate);
+    j.key("pin");
+    j.value(cf.fault.pin);
+    j.key("sa1");
+    j.value(cf.fault.stuck_at_one);
+    j.key("t");
+    j.value(cf.fault.cell_fault.transistor);
+    j.key("kind");
+    j.value(transistor_fault_name(cf.fault.cell_fault.kind));
+  }
+  j.close_object();
+}
+
+CampaignFault parse_fault(const JsonValue& v) {
+  CampaignFault cf;
+  cf.cls = parse_fault_class(v.at("cls").as_string("cls"));
+  if (cf.cls == FaultClass::kBridge) {
+    cf.bridge.a = v.at("a").as_int("bridge a");
+    cf.bridge.b = v.at("b").as_int("bridge b");
+    cf.bridge.behavior = parse_behavior(v.at("behavior").as_string("behavior"));
+  } else {
+    cf.fault.site = parse_site(v.at("site").as_string("site"));
+    cf.fault.net = v.at("net").as_int("net");
+    cf.fault.gate = v.at("gate").as_int("gate");
+    cf.fault.pin = v.at("pin").as_int("pin");
+    cf.fault.stuck_at_one = v.at("sa1").as_bool("sa1");
+    cf.fault.cell_fault.transistor = v.at("t").as_int("t");
+    cf.fault.cell_fault.kind =
+        parse_transistor_fault(v.at("kind").as_string("kind"));
+  }
+  return cf;
+}
+
+int checked_version(const JsonValue& doc) {
+  const int version = doc.at("version").as_int("version");
+  if (version != kShardIoVersion)
+    throw std::runtime_error("shard_io: protocol version " +
+                             std::to_string(version) + " (expected " +
+                             std::to_string(kShardIoVersion) + ")");
+  return version;
+}
+
+}  // namespace
+
+std::string serialize_shard_input(const logic::Circuit& ckt,
+                                  const std::vector<logic::Pattern>& patterns,
+                                  const std::vector<CampaignFault>& universe,
+                                  const Shard& shard,
+                                  const ShardExecOptions& options) {
+  if (shard.begin > shard.end || shard.end > universe.size())
+    throw std::invalid_argument(
+        "serialize_shard_input: shard range out of bounds");
+  Json j;
+  j.open_object();
+  j.key("version");
+  j.value(kShardIoVersion);
+  j.key("shard");
+  j.open_object();
+  j.key("job");
+  j.value(shard.job);
+  j.key("index");
+  j.value(shard.index);
+  j.key("rng_state");
+  j.value(std::to_string(shard.rng.state()));
+  j.close_object();
+  j.key("options");
+  j.open_object();
+  j.key("observe_iddq");
+  j.value(options.sim.observe_iddq);
+  j.key("sequential_patterns");
+  j.value(options.sim.sequential_patterns);
+  j.key("batch_transistor_faults");
+  j.value(options.sim.batch_transistor_faults);
+  j.key("fault_sample_fraction");
+  j.value(options.fault_sample_fraction);
+  j.close_object();
+  j.key("circuit");
+  emit_circuit(j, ckt);
+  j.key("patterns");
+  j.open_array();
+  for (const logic::Pattern& p : patterns) {
+    std::string s;
+    s.reserve(p.size());
+    for (const logic::LogicV v : p) s += logic::to_string(v);
+    j.value(s);
+  }
+  j.close_array();
+  j.key("faults");
+  j.open_array();
+  for (std::size_t i = shard.begin; i < shard.end; ++i)
+    emit_fault(j, universe[i]);
+  j.close_array();
+  j.close_object();
+  return std::move(j).str();
+}
+
+ShardWorkInput parse_shard_input(const std::string& text) {
+  const JsonValue doc = JsonParser(text).parse();
+  checked_version(doc);
+
+  ShardWorkInput input;
+  input.circuit = parse_circuit(doc.at("circuit"));
+
+  for (const JsonValue& pv : doc.at("patterns").as_array("patterns")) {
+    const std::string& s = pv.as_string("pattern");
+    logic::Pattern p;
+    p.reserve(s.size());
+    for (const char c : s) p.push_back(parse_logic_char(c));
+    input.patterns.push_back(std::move(p));
+  }
+
+  for (const JsonValue& fv : doc.at("faults").as_array("faults"))
+    input.faults.push_back(parse_fault(fv));
+
+  const JsonValue& sv = doc.at("shard");
+  input.shard.job = sv.at("job").as_int("job");
+  input.shard.index = sv.at("index").as_int("index");
+  input.shard.begin = 0;
+  input.shard.end = input.faults.size();
+  input.shard.rng = util::SplitMix64(sv.at("rng_state").as_u64("rng_state"));
+
+  const JsonValue& ov = doc.at("options");
+  input.options.sim.observe_iddq =
+      ov.at("observe_iddq").as_bool("observe_iddq");
+  input.options.sim.sequential_patterns =
+      ov.at("sequential_patterns").as_bool("sequential_patterns");
+  input.options.sim.batch_transistor_faults =
+      ov.at("batch_transistor_faults").as_bool("batch_transistor_faults");
+  input.options.fault_sample_fraction =
+      ov.at("fault_sample_fraction").as_double("fault_sample_fraction");
+  return input;
+}
+
+std::string serialize_shard_result(const ShardResult& result) {
+  Json j;
+  j.open_object();
+  j.key("version");
+  j.value(kShardIoVersion);
+  j.key("job");
+  j.value(result.job);
+  j.key("index");
+  j.value(result.index);
+  j.key("elapsed_s");
+  j.value(result.elapsed_s);
+  j.key("results");
+  j.open_array();
+  for (const FaultResult& r : result.results) {
+    j.open_object();
+    j.key("cls");
+    j.value(to_string(r.cls));
+    j.key("sampled_out");
+    j.value(r.sampled_out);
+    j.key("detected_output");
+    j.value(r.record.detected_output);
+    j.key("detected_iddq");
+    j.value(r.record.detected_iddq);
+    j.key("potential");
+    j.value(r.record.potential);
+    j.key("first_pattern");
+    j.value(r.record.first_pattern);
+    j.close_object();
+  }
+  j.close_array();
+  j.close_object();
+  return std::move(j).str();
+}
+
+ShardResult parse_shard_result(const std::string& text) {
+  const JsonValue doc = JsonParser(text).parse();
+  checked_version(doc);
+
+  ShardResult result;
+  result.job = doc.at("job").as_int("job");
+  result.index = doc.at("index").as_int("index");
+  result.elapsed_s = doc.at("elapsed_s").as_double("elapsed_s");
+  for (const JsonValue& rv : doc.at("results").as_array("results")) {
+    FaultResult r;
+    r.cls = parse_fault_class(rv.at("cls").as_string("cls"));
+    r.sampled_out = rv.at("sampled_out").as_bool("sampled_out");
+    r.record.detected_output =
+        rv.at("detected_output").as_bool("detected_output");
+    r.record.detected_iddq = rv.at("detected_iddq").as_bool("detected_iddq");
+    r.record.potential = rv.at("potential").as_bool("potential");
+    r.record.first_pattern = rv.at("first_pattern").as_int("first_pattern");
+    result.results.push_back(r);
+  }
+  return result;
+}
+
+}  // namespace cpsinw::engine

@@ -1,0 +1,55 @@
+// Shard/result serialization for the subprocess execution backend.  A
+// parent campaign ships one shard of work to a `cpsinw_shard_worker`
+// process as a versioned JSON document on stdin and reads a versioned
+// `ShardResult` JSON back on stdout.
+//
+// The circuit encoding preserves net and gate ids exactly (nets in id
+// order tagged pi/const/plain, gates in id order) — unlike the .cpn
+// exchange format, which renumbers both on read.  Identical ids are what
+// make the worker's records bit-identical to an in-process `run_shard`:
+// every fault in the shipped universe slice references nets and gates by
+// index.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "engine/shard.hpp"
+#include "logic/circuit.hpp"
+
+namespace cpsinw::engine {
+
+/// Protocol version stamped into (and checked on) both documents.
+inline constexpr int kShardIoVersion = 1;
+
+/// Everything a worker process needs to execute one shard.  The fault
+/// slice is shipped re-based: `faults` holds exactly the universe slice
+/// [shard.begin, shard.end), and the reconstructed shard spans
+/// [0, faults.size()) while keeping the original job/index identity.
+struct ShardWorkInput {
+  logic::Circuit circuit;                ///< finalized, ids preserved
+  std::vector<logic::Pattern> patterns;  ///< the job's full pattern set
+  std::vector<CampaignFault> faults;     ///< the shard's universe slice
+  Shard shard;                           ///< begin = 0, end = faults.size()
+  ShardExecOptions options;
+};
+
+/// Serializes one shard of an in-process campaign for a worker.
+[[nodiscard]] std::string serialize_shard_input(
+    const logic::Circuit& ckt, const std::vector<logic::Pattern>& patterns,
+    const std::vector<CampaignFault>& universe, const Shard& shard,
+    const ShardExecOptions& options);
+
+/// Parses a worker's stdin document.
+/// @throws std::runtime_error on malformed JSON, an unknown version, or a
+///   document that fails circuit finalization
+[[nodiscard]] ShardWorkInput parse_shard_input(const std::string& text);
+
+/// Serializes a worker's result for stdout.
+[[nodiscard]] std::string serialize_shard_result(const ShardResult& result);
+
+/// Parses a worker's stdout document.
+/// @throws std::runtime_error on malformed JSON or an unknown version
+[[nodiscard]] ShardResult parse_shard_result(const std::string& text);
+
+}  // namespace cpsinw::engine

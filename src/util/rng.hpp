@@ -53,6 +53,10 @@ class SplitMix64 {
     return SplitMix64(z ^ (z >> 33));
   }
 
+  /// Raw generator state (for serializing a stream across a process
+  /// boundary; `SplitMix64(state())` reconstructs an identical stream).
+  [[nodiscard]] constexpr std::uint64_t state() const { return state_; }
+
   /// Gaussian sample via Box-Muller (one fresh pair per call).
   double normal(double mean, double sigma) {
     double u1 = next_double();

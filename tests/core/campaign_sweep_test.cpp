@@ -1,0 +1,105 @@
+// Coverage for the core::run_benchmark_campaign roster driver: the roster
+// itself, per-circuit report sanity, stable JSON ordering, and backend
+// passthrough.
+#include "core/campaign_sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace cpsinw::core {
+namespace {
+
+const std::vector<std::string>& expected_roster() {
+  static const std::vector<std::string> names = {
+      "c17",            "full_adder", "ripple_adder_4", "parity_tree_8",
+      "multiplier_2x2", "alu_slice",  "tmr_voter_3",    "xor3_chain_9"};
+  return names;
+}
+
+CampaignSweepOptions small_options() {
+  CampaignSweepOptions opt;
+  opt.random_patterns = 16;
+  opt.threads = 2;
+  return opt;
+}
+
+TEST(CampaignSweep, RosterMatchesTheCoverageExperimentCircuits) {
+  const std::vector<engine::CircuitJobSpec> jobs = benchmark_campaign_jobs();
+  ASSERT_EQ(jobs.size(), expected_roster().size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    EXPECT_EQ(jobs[j].name, expected_roster()[j]) << "job " << j;
+    EXPECT_TRUE(jobs[j].circuit.finalized()) << jobs[j].name;
+    EXPECT_GT(jobs[j].circuit.gate_count(), 0) << jobs[j].name;
+    EXPECT_GT(jobs[j].circuit.transistor_count(), 0) << jobs[j].name;
+    EXPECT_FALSE(jobs[j].circuit.primary_outputs().empty()) << jobs[j].name;
+  }
+}
+
+TEST(CampaignSweep, PerCircuitReportsAreSane) {
+  const engine::CampaignReport report =
+      run_benchmark_campaign(small_options());
+  ASSERT_TRUE(report.ok()) << report.error;
+  ASSERT_EQ(report.jobs.size(), expected_roster().size());
+
+  const std::vector<engine::CircuitJobSpec> jobs = benchmark_campaign_jobs();
+  for (std::size_t j = 0; j < report.jobs.size(); ++j) {
+    const engine::JobReport& jr = report.jobs[j];
+    EXPECT_EQ(jr.circuit, expected_roster()[j]);
+    EXPECT_EQ(jr.gate_count, jobs[j].circuit.gate_count());
+    EXPECT_EQ(jr.transistor_count, jobs[j].circuit.transistor_count());
+    EXPECT_EQ(jr.pattern_count, 16);
+    EXPECT_GT(jr.shard_count, 0);
+    const engine::ClassStats totals = jr.totals();
+    EXPECT_GT(totals.total, 0) << jr.circuit;
+    EXPECT_EQ(totals.sampled, totals.total) << jr.circuit;
+    EXPECT_GT(totals.detected, 0) << jr.circuit;
+    EXPECT_GE(totals.coverage(), 0.0);
+    EXPECT_LE(totals.coverage(), 1.0);
+    // The roster runs all of the paper's non-bridge fault classes.
+    EXPECT_GT(jr.by_class[static_cast<std::size_t>(
+                              engine::FaultClass::kLineStuckAt)]
+                  .total,
+              0)
+        << jr.circuit;
+    EXPECT_GT(
+        jr.by_class[static_cast<std::size_t>(engine::FaultClass::kPolarity)]
+            .total,
+        0)
+        << jr.circuit;
+  }
+}
+
+TEST(CampaignSweep, StableJsonIsReproducibleAndOrdered) {
+  const engine::CampaignReport a = run_benchmark_campaign(small_options());
+  const engine::CampaignReport b = run_benchmark_campaign(small_options());
+  const std::string json = a.to_json();
+  EXPECT_EQ(json, b.to_json());
+
+  // Jobs appear in roster order, and top-level keys in their fixed order.
+  std::size_t last = 0;
+  for (const std::string& name : expected_roster()) {
+    const std::size_t at = json.find("\"" + name + "\"");
+    ASSERT_NE(at, std::string::npos) << name;
+    EXPECT_GT(at, last) << name << " out of roster order";
+    last = at;
+  }
+  EXPECT_EQ(json.rfind("{\"seed\":", 0), 0u);
+  EXPECT_LT(json.find("\"pattern_source\":\"random\""), json.find("\"jobs\""));
+  EXPECT_LT(json.find("\"jobs\""), json.rfind("\"totals\""));
+}
+
+TEST(CampaignSweep, ExecutorBackendPassesThroughWithIdenticalJson) {
+  const engine::CampaignReport pooled =
+      run_benchmark_campaign(small_options());
+  CampaignSweepOptions inline_opt = small_options();
+  inline_opt.executor.backend = engine::ExecutorBackend::kInline;
+  const engine::CampaignReport serial = run_benchmark_campaign(inline_opt);
+  EXPECT_EQ(serial.timing.backend, "inline");
+  EXPECT_EQ(pooled.timing.backend, "thread_pool");
+  EXPECT_EQ(pooled.to_json(), serial.to_json());
+}
+
+}  // namespace
+}  // namespace cpsinw::core

@@ -192,12 +192,40 @@ TEST(Campaign, RejectsBadSpecs) {
   }
 }
 
+TEST(Campaign, RejectsZeroShardSize) {
+  CampaignSpec spec = two_circuit_spec();
+  spec.shard_size = 0;
+  try {
+    (void)run_campaign(spec);
+    FAIL() << "shard_size == 0 not rejected";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("shard_size"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Campaign, RejectsNegativeThreads) {
+  CampaignSpec spec = two_circuit_spec();
+  spec.threads = -1;
+  try {
+    (void)run_campaign(spec);
+    FAIL() << "negative threads not rejected";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("threads"), std::string::npos)
+        << e.what();
+  }
+  // Zero stays valid: it selects the hardware concurrency.
+  spec.threads = 0;
+  EXPECT_NO_THROW((void)run_campaign(spec));
+}
+
 TEST(Campaign, TimingIsReportedButExcludedFromStableJson) {
   CampaignSpec spec = two_circuit_spec();
   spec.threads = 2;
   const CampaignReport report = run_campaign(spec);
   EXPECT_GT(report.timing.wall_s, 0.0);
   EXPECT_EQ(report.timing.threads, 2);
+  EXPECT_EQ(report.timing.backend, "thread_pool");
   EXPECT_GT(report.timing.shard_count, 0);
   EXPECT_EQ(report.to_json(false).find("timing"), std::string::npos);
   EXPECT_NE(report.to_json(true).find("timing"), std::string::npos);

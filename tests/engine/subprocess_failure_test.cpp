@@ -1,0 +1,114 @@
+// Failure injection for the subprocess backend: workers that crash, hang
+// past the timeout, emit garbage, or exit nonzero must each surface on
+// CampaignReport::error while every healthy shard still contributes its
+// records (the lower-bound merge contract).  The worker's --fail-mode /
+// --fail-index flags misbehave on purpose after consuming stdin.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "engine/campaign.hpp"
+#include "logic/benchmarks.hpp"
+
+namespace cpsinw::engine {
+namespace {
+
+std::string worker_path() {
+#ifdef CPSINW_SHARD_WORKER_PATH
+  return CPSINW_SHARD_WORKER_PATH;
+#else
+  return {};
+#endif
+}
+
+/// One job with several shards, so exactly one shard failing still leaves
+/// healthy shards to merge.
+CampaignSpec base_spec() {
+  CampaignSpec spec;
+  spec.jobs.push_back({"parity_tree_8", logic::parity_tree(8)});
+  spec.patterns.kind = PatternSourceSpec::Kind::kRandom;
+  spec.patterns.random_count = 32;
+  spec.shard_size = 16;
+  spec.threads = 2;
+  spec.executor.backend = ExecutorBackend::kSubprocess;
+  spec.executor.worker_path = worker_path();
+  return spec;
+}
+
+/// Injects `mode` into the shard with index 0 of job 0 and checks the
+/// shared contract; returns the report error text for mode-specific
+/// assertions.
+std::string run_with_failure(const std::string& mode, double timeout_s) {
+  CampaignSpec clean = base_spec();
+  const CampaignReport healthy = run_campaign(clean);
+  EXPECT_TRUE(healthy.ok()) << healthy.error;
+  EXPECT_GT(healthy.timing.shard_count, 1)
+      << "fixture must decompose into several shards";
+
+  CampaignSpec spec = base_spec();
+  spec.executor.worker_args = {"--fail-mode", mode, "--fail-index", "0"};
+  spec.executor.worker_timeout_s = timeout_s;
+  const CampaignReport report = run_campaign(spec);
+
+  EXPECT_FALSE(report.ok()) << "mode '" << mode << "' did not surface";
+  EXPECT_NE(report.error.find("job 0, shard 0"), std::string::npos)
+      << report.error;
+
+  // Lower-bound merge: the failed shard's faults stay in the totals as
+  // simulated-but-undetected, every healthy shard is still counted.
+  EXPECT_EQ(report.totals().total, healthy.totals().total);
+  EXPECT_EQ(report.totals().sampled, healthy.totals().sampled);
+  EXPECT_GT(report.totals().detected, 0)
+      << "healthy shards must still contribute detections";
+  EXPECT_LT(report.totals().detected, healthy.totals().detected)
+      << "the failed shard's detections must be absent";
+
+  // The error is serialized into the stable JSON (and only then).
+  EXPECT_NE(report.to_json().find("\"error\""), std::string::npos);
+  EXPECT_EQ(healthy.to_json().find("\"error\""), std::string::npos);
+  return report.error;
+}
+
+TEST(SubprocessFailure, CrashingWorkerSurfacesAsSignal) {
+  const std::string error = run_with_failure("crash", 60.0);
+  EXPECT_NE(error.find("killed by signal"), std::string::npos) << error;
+}
+
+TEST(SubprocessFailure, HangingWorkerIsKilledAtTheTimeout) {
+  const std::string error = run_with_failure("hang", 1.0);
+  EXPECT_NE(error.find("timed out"), std::string::npos) << error;
+}
+
+TEST(SubprocessFailure, MalformedOutputIsRejected) {
+  const std::string error = run_with_failure("garbage", 60.0);
+  EXPECT_NE(error.find("malformed result"), std::string::npos) << error;
+}
+
+TEST(SubprocessFailure, NonzeroExitCodeIsReported) {
+  const std::string error = run_with_failure("exit", 60.0);
+  EXPECT_NE(error.find("exited with code 3"), std::string::npos) << error;
+}
+
+TEST(SubprocessFailure, MissingWorkerBinaryFailsEveryShardButStillMerges) {
+  CampaignSpec spec = base_spec();
+  spec.executor.worker_path = "/nonexistent/cpsinw_shard_worker";
+  const CampaignReport report = run_campaign(spec);
+  EXPECT_FALSE(report.ok());
+  // exec failure is reported through the reserved exit code 127.
+  EXPECT_NE(report.error.find("127"), std::string::npos) << report.error;
+  EXPECT_GT(report.totals().total, 0);
+  EXPECT_EQ(report.totals().detected, 0);
+}
+
+TEST(SubprocessFailure, EmptyWorkerPathIsASpecError) {
+  CampaignSpec spec = base_spec();
+  spec.executor.worker_path.clear();
+  EXPECT_THROW((void)run_campaign(spec), std::invalid_argument);
+
+  CampaignSpec bad_timeout = base_spec();
+  bad_timeout.executor.worker_timeout_s = 0.0;
+  EXPECT_THROW((void)run_campaign(bad_timeout), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cpsinw::engine

@@ -1,0 +1,95 @@
+// cpsinw_shard_worker: executes one campaign shard per invocation.
+//
+// Protocol (shard_io version 1): a serialized shard work document arrives
+// on stdin (circuit with preserved ids, the job's pattern set, the shard's
+// universe slice, the shard's forked RNG state, execution options); the
+// versioned ShardResult JSON leaves on stdout.  Exit codes: 0 success,
+// 2 malformed input, 127 reserved (exec failure, reported by the parent).
+//
+// The --fail-mode flags deliberately misbehave *after* consuming stdin so
+// the parent's failure paths (crash, timeout, malformed output, nonzero
+// exit) can be exercised by tests without a second binary.
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <utility>
+
+#include "engine/shard.hpp"
+#include "engine/shard_io.hpp"
+#include "faults/eval_context.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: cpsinw_shard_worker [--fail-mode crash|hang|garbage|exit]\n"
+    "                           [--fail-index N]\n"
+    "Reads a shard_io v1 work document on stdin, writes the ShardResult\n"
+    "JSON on stdout.  --fail-mode misbehaves on purpose (test hook);\n"
+    "--fail-index restricts it to the shard with that index (default:\n"
+    "every shard).\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string fail_mode;
+  int fail_index = -1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      return 0;
+    }
+    if (arg == "--fail-mode" && i + 1 < argc) {
+      fail_mode = argv[++i];
+    } else if (arg == "--fail-index" && i + 1 < argc) {
+      fail_index = std::atoi(argv[++i]);
+    } else {
+      std::cerr << "cpsinw_shard_worker: unknown argument '" << arg << "'\n"
+                << kUsage;
+      return 2;
+    }
+  }
+
+  std::string text;
+  {
+    char buf[1 << 16];
+    std::streamsize n = 0;
+    while ((std::cin.read(buf, sizeof buf), n = std::cin.gcount()) > 0)
+      text.append(buf, static_cast<std::size_t>(n));
+  }
+
+  using namespace cpsinw;
+  try {
+    engine::ShardWorkInput input = engine::parse_shard_input(text);
+
+    if (!fail_mode.empty() &&
+        (fail_index < 0 || fail_index == input.shard.index)) {
+      if (fail_mode == "crash") {
+        (void)raise(SIGKILL);  // simulate a hard crash, no cleanup
+      } else if (fail_mode == "hang") {
+        for (;;) sleep(1000);  // simulate a wedged worker (parent kills us)
+      } else if (fail_mode == "garbage") {
+        std::cout << "this is not a shard result {{{" << std::endl;
+        return 0;
+      } else if (fail_mode == "exit") {
+        return 3;
+      } else {
+        std::cerr << "cpsinw_shard_worker: unknown --fail-mode '" << fail_mode
+                  << "'\n";
+        return 2;
+      }
+    }
+
+    const faults::EvalContext ctx(input.circuit, std::move(input.patterns));
+    const engine::ShardResult result =
+        engine::run_shard(ctx, input.faults, input.shard, input.options);
+    std::cout << engine::serialize_shard_result(result) << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "cpsinw_shard_worker: " << e.what() << "\n";
+    return 2;
+  }
+}
