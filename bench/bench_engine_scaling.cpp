@@ -1,17 +1,19 @@
 // Campaign-engine scaling across execution backends: throughput (sampled
 // faults x patterns per second) of the same parity_tree(64) campaign on
-// the inline reference, the thread pool at 1/2/4/8 threads, and the
-// subprocess worker backend.  The deterministic JSON of every run is
-// checked against the inline reference — a scaling number only counts if
-// the answer is bit-identical.  Results land in BENCH_engine_scaling.json
-// (also the last stdout line) so the bench trajectory captures executor
-// overhead per backend over time.
+// the inline reference, the thread pool at 1/2/4/8 threads, the
+// subprocess worker backend, and a loopback remote shard server.  The
+// deterministic JSON of every run is checked against the inline reference
+// — a scaling number only counts if the answer is bit-identical.  Results
+// land in BENCH_engine_scaling.json (also the last stdout line) so the
+// bench trajectory captures executor overhead per backend over time.
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "engine/campaign.hpp"
+#include "engine/net.hpp"
 #include "engine/thread_pool.hpp"
 #include "logic/benchmarks.hpp"
 #include "util/table.hpp"
@@ -21,6 +23,14 @@ namespace {
 std::string worker_path() {
 #ifdef CPSINW_SHARD_WORKER_PATH
   return CPSINW_SHARD_WORKER_PATH;
+#else
+  return {};
+#endif
+}
+
+std::string server_path() {
+#ifdef CPSINW_SHARD_SERVER_PATH
+  return CPSINW_SHARD_SERVER_PATH;
 #else
   return {};
 #endif
@@ -36,7 +46,19 @@ struct RunConfig {
 int main() {
   using namespace cpsinw;
 
-  const auto make_spec = [](const RunConfig& cfg) {
+  // One loopback shard server stands in for a remote host; the RAII
+  // handle kills it at exit.
+  std::unique_ptr<engine::net::LocalServerProcess> server;
+  if (!server_path().empty()) {
+    server = std::make_unique<engine::net::LocalServerProcess>(server_path());
+    if (!server->ok()) {
+      std::cout << "(shard server failed to start: " << server->error()
+                << "; remote backend skipped)\n";
+      server.reset();
+    }
+  }
+
+  const auto make_spec = [&server](const RunConfig& cfg) {
     engine::CampaignSpec spec;
     spec.jobs.push_back({"parity_tree_64", logic::parity_tree(64)});
     spec.patterns.kind = engine::PatternSourceSpec::Kind::kRandom;
@@ -47,6 +69,13 @@ int main() {
     spec.executor.backend = cfg.backend;
     if (cfg.backend == engine::ExecutorBackend::kSubprocess)
       spec.executor.worker_path = worker_path();
+    if (cfg.backend == engine::ExecutorBackend::kRemote) {
+      spec.executor.endpoints = {server->endpoint()};
+      // The reported thread count must be the real concurrency: lift the
+      // per-endpoint cap so the single loopback endpoint can actually
+      // serve cfg.threads shards at once.
+      spec.executor.remote_max_in_flight = cfg.threads;
+    }
     return spec;
   };
 
@@ -67,6 +96,9 @@ int main() {
                        engine::ThreadPool::hardware_threads()});
   else
     std::cout << "(no worker path compiled in: subprocess backend skipped)\n";
+  if (server != nullptr)
+    configs.push_back({engine::ExecutorBackend::kRemote,
+                       engine::ThreadPool::hardware_threads()});
 
   // Warm-up run (page-faults, allocator) outside the measured set.
   (void)engine::run_campaign(make_spec(configs[0]));

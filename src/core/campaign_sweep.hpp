@@ -22,7 +22,8 @@ struct CampaignSweepOptions {
   bool include_bridges = false;
   engine::PatternSourceSpec::Kind pattern_source =
       engine::PatternSourceSpec::Kind::kRandom;
-  /// Shard-phase backend (inline / thread pool / subprocess workers).
+  /// Shard-phase backend (inline / thread pool / subprocess workers /
+  /// remote shard servers — kRemote endpoints ride along in this spec).
   /// Every backend produces byte-identical stable report JSON.
   engine::ExecutorSpec executor;
 };

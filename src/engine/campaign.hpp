@@ -95,9 +95,10 @@ struct CampaignSpec {
 /// on that order (nor on the backend).
 /// @throws std::invalid_argument on a malformed spec (shard_size == 0,
 ///   negative threads, fault_sample_fraction outside (0, 1], unfinalized
-///   circuits, explicit-pattern arity mismatches, or a subprocess backend
-///   without a worker_path); per-shard execution failures never throw —
-///   they surface on CampaignReport::error
+///   circuits, explicit-pattern arity mismatches, a subprocess backend
+///   without a worker_path, or a remote backend with an empty endpoint
+///   list or a malformed "host:port" entry); per-shard execution failures
+///   never throw — they surface on CampaignReport::error
 [[nodiscard]] CampaignReport run_campaign(const CampaignSpec& spec);
 
 }  // namespace cpsinw::engine

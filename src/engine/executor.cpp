@@ -15,6 +15,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "engine/remote_executor.hpp"
 #include "engine/shard_io.hpp"
 #include "engine/thread_pool.hpp"
 
@@ -25,8 +26,27 @@ const char* to_string(ExecutorBackend backend) {
     case ExecutorBackend::kInline: return "inline";
     case ExecutorBackend::kThreadPool: return "thread_pool";
     case ExecutorBackend::kSubprocess: return "subprocess";
+    case ExecutorBackend::kRemote: return "remote";
   }
   return "?";
+}
+
+void PooledExecutorBase::run_setup(
+    const std::vector<std::function<void()>>& tasks) {
+  std::exception_ptr first;
+  std::mutex mutex;
+  for (const std::function<void()>& task : tasks) {
+    pool_.submit([&task, &first, &mutex] {
+      try {
+        task();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!first) first = std::current_exception();
+      }
+    });
+  }
+  pool_.wait_idle();
+  if (first) std::rethrow_exception(first);
 }
 
 void fill_failed_shard(const std::vector<CampaignFault>& universe,
@@ -91,37 +111,9 @@ class InlineExecutor final : public ShardExecutor {
 
 // ----------------------------------------------------------- thread pool
 
-/// Common base of the pool-backed backends: one ThreadPool serves both
-/// the setup phase and the shard phase (the pre-executor engine reused a
-/// single pool the same way — no thread churn between phases).
-class PooledExecutor : public ShardExecutor {
+class ThreadPoolExecutor final : public PooledExecutorBase {
  public:
-  explicit PooledExecutor(int threads) : pool_(threads) {}
-
-  void run_setup(const std::vector<std::function<void()>>& tasks) override {
-    std::exception_ptr first;
-    std::mutex mutex;
-    for (const std::function<void()>& task : tasks) {
-      pool_.submit([&task, &first, &mutex] {
-        try {
-          task();
-        } catch (...) {
-          std::lock_guard<std::mutex> lock(mutex);
-          if (!first) first = std::current_exception();
-        }
-      });
-    }
-    pool_.wait_idle();
-    if (first) std::rethrow_exception(first);
-  }
-
- protected:
-  ThreadPool pool_;
-};
-
-class ThreadPoolExecutor final : public PooledExecutor {
- public:
-  using PooledExecutor::PooledExecutor;
+  using PooledExecutorBase::PooledExecutorBase;
 
   [[nodiscard]] const char* name() const override { return "thread_pool"; }
 
@@ -157,10 +149,10 @@ class ThreadPoolExecutor final : public PooledExecutor {
 /// over two pipes with a single poll loop (write stdin while draining
 /// stdout — a worker that misbehaves and writes early can never deadlock
 /// the campaign) and a hard wall-clock deadline per shard.
-class SubprocessExecutor final : public PooledExecutor {
+class SubprocessExecutor final : public PooledExecutorBase {
  public:
   SubprocessExecutor(ExecutorSpec spec, int threads)
-      : PooledExecutor(threads), spec_(std::move(spec)) {}
+      : PooledExecutorBase(threads), spec_(std::move(spec)) {}
 
   [[nodiscard]] const char* name() const override { return "subprocess"; }
 
@@ -356,15 +348,8 @@ class SubprocessExecutor final : public PooledExecutor {
     } catch (const std::exception& e) {
       return std::string("malformed result: ") + e.what();
     }
-    if (result.job != task.shard->job || result.index != task.shard->index)
-      return "result identifies shard (job " + std::to_string(result.job) +
-             ", shard " + std::to_string(result.index) + "), expected (job " +
-             std::to_string(task.shard->job) + ", shard " +
-             std::to_string(task.shard->index) + ")";
-    const std::size_t expected = task.shard->end - task.shard->begin;
-    if (result.results.size() != expected)
-      return "result carries " + std::to_string(result.results.size()) +
-             " records for " + std::to_string(expected) + " faults";
+    const std::string mismatch = check_shard_result(result, *task.shard);
+    if (!mismatch.empty()) return mismatch;
     *task.slot = std::move(result);
     return {};
   }
@@ -389,6 +374,8 @@ std::unique_ptr<ShardExecutor> make_shard_executor(const ExecutorSpec& spec,
         throw std::invalid_argument(
             "make_shard_executor: worker_timeout_s must be > 0");
       return std::make_unique<SubprocessExecutor>(spec, threads);
+    case ExecutorBackend::kRemote:
+      return make_remote_executor(spec, threads);
   }
   throw std::invalid_argument("make_shard_executor: unknown backend");
 }

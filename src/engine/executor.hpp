@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "engine/shard.hpp"
+#include "engine/thread_pool.hpp"
 
 namespace cpsinw::engine {
 
@@ -28,9 +29,11 @@ enum class ExecutorBackend {
   kInline,      ///< serial in-process loop (zero-dependency reference)
   kThreadPool,  ///< work-stealing in-process pool
   kSubprocess,  ///< fork/exec one cpsinw_shard_worker per shard
+  kRemote,      ///< cpsinw_shard_server endpoints over TCP (multi-host)
 };
 
-/// Readable backend name ("inline", "thread_pool", "subprocess").
+/// Readable backend name ("inline", "thread_pool", "subprocess",
+/// "remote").
 [[nodiscard]] const char* to_string(ExecutorBackend backend);
 
 /// Backend selection plus the knobs only some backends consume.
@@ -41,9 +44,19 @@ struct ExecutorSpec {
   /// kSubprocess: extra argv entries passed to every worker (the failure
   /// injection tests use this; production campaigns leave it empty).
   std::vector<std::string> worker_args;
-  /// kSubprocess: per-shard wall-clock budget; a worker that exceeds it is
-  /// killed and reported as a shard failure.
+  /// kSubprocess + kRemote: per-shard wall-clock budget.  A worker that
+  /// exceeds it is killed; a remote attempt that exceeds it (connect +
+  /// send + receive) is abandoned and failed over.
   double worker_timeout_s = 120.0;
+  /// kRemote: cpsinw_shard_server addresses as "host:port" strings
+  /// (required, non-empty; each entry must parse).
+  std::vector<std::string> endpoints;
+  /// kRemote: maximum shards in flight on one endpoint at a time.
+  int remote_max_in_flight = 2;
+  /// kRemote: consecutive failures after which an endpoint is quarantined
+  /// for the rest of the campaign (a downed host costs a few timeouts,
+  /// not one per shard).
+  int remote_quarantine_failures = 3;
 };
 
 /// One unit of shard-phase work: where to read and where to deliver.  All
@@ -85,11 +98,28 @@ class ShardExecutor {
                                         const ShardExecOptions& options) = 0;
 };
 
+/// Common base of the concurrent backends: one ThreadPool serves both the
+/// setup phase and the shard phase (no thread churn between phases; the
+/// subprocess and remote backends use the pool's threads to pump their
+/// per-shard I/O while setup always runs in-parent).
+class PooledExecutorBase : public ShardExecutor {
+ public:
+  explicit PooledExecutorBase(int threads) : pool_(threads) {}
+
+  void run_setup(const std::vector<std::function<void()>>& tasks) override;
+
+ protected:
+  ThreadPool pool_;
+};
+
 /// Builds the backend selected by `spec`.  `threads` means: ignored by
 /// kInline, worker-thread count for kThreadPool, maximum concurrent child
-/// processes for kSubprocess (0 selects the hardware concurrency).
+/// processes for kSubprocess, maximum concurrent shard exchanges for
+/// kRemote (0 selects the hardware concurrency).
 /// @throws std::invalid_argument for kSubprocess without a worker_path or
-///   with a non-positive timeout
+///   with a non-positive timeout, and for kRemote with an empty endpoint
+///   list, a malformed "host:port" entry, or non-positive
+///   timeout/in-flight/quarantine knobs
 [[nodiscard]] std::unique_ptr<ShardExecutor> make_shard_executor(
     const ExecutorSpec& spec, int threads);
 

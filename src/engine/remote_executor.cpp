@@ -1,0 +1,223 @@
+#include "engine/remote_executor.hpp"
+
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <unistd.h>
+
+#include "engine/net.hpp"
+#include "engine/shard_io.hpp"
+
+namespace cpsinw::engine {
+
+namespace {
+
+std::string first_error(const std::vector<std::string>& errors) {
+  for (const std::string& e : errors)
+    if (!e.empty()) return e;
+  return {};
+}
+
+/// Shared endpoint state for one campaign run: in-flight bookkeeping,
+/// consecutive-failure counts, and the quarantine flag.  acquire/release
+/// only decide *where* a shard attempt runs — results land in canonical
+/// slots regardless, so none of this scheduling can change the report.
+class EndpointRoster {
+ public:
+  EndpointRoster(const std::vector<net::Endpoint>& endpoints,
+                 int max_in_flight, int quarantine_failures)
+      : max_in_flight_(max_in_flight),
+        quarantine_failures_(quarantine_failures) {
+    states_.reserve(endpoints.size());
+    for (const net::Endpoint& ep : endpoints) states_.push_back({ep});
+  }
+
+  /// Blocks until some endpoint not in `tried` is live with a free slot,
+  /// then claims it (least-loaded first, index as the tie-break).
+  /// Returns -1 once every untried endpoint is quarantined — the caller
+  /// is out of failover options.
+  [[nodiscard]] int acquire(const std::vector<char>& tried) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (true) {
+      int best = -1;
+      bool any_candidate = false;
+      for (std::size_t i = 0; i < states_.size(); ++i) {
+        if (states_[i].dead || tried[i] != 0) continue;
+        any_candidate = true;
+        if (states_[i].in_flight >= max_in_flight_) continue;
+        if (best < 0 ||
+            states_[i].in_flight <
+                states_[static_cast<std::size_t>(best)].in_flight)
+          best = static_cast<int>(i);
+      }
+      if (best >= 0) {
+        ++states_[static_cast<std::size_t>(best)].in_flight;
+        return best;
+      }
+      if (!any_candidate) return -1;
+      cv_.wait(lock);  // candidates exist but are all at capacity
+    }
+  }
+
+  void release(int index, bool success) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      State& s = states_[static_cast<std::size_t>(index)];
+      --s.in_flight;
+      if (success) {
+        s.consecutive_failures = 0;
+      } else if (!s.dead &&
+                 ++s.consecutive_failures >= quarantine_failures_) {
+        s.dead = true;  // retired for the rest of the campaign
+      }
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] const net::Endpoint& endpoint(int index) const {
+    return states_[static_cast<std::size_t>(index)].ep;
+  }
+
+ private:
+  struct State {
+    net::Endpoint ep;
+    int in_flight = 0;
+    int consecutive_failures = 0;
+    bool dead = false;
+  };
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<State> states_;
+  const int max_in_flight_;
+  const int quarantine_failures_;
+};
+
+/// Closes a socket on every exit path of an exchange.
+struct FdCloser {
+  int fd;
+  ~FdCloser() { close(fd); }
+};
+
+class RemoteExecutor final : public PooledExecutorBase {
+ public:
+  RemoteExecutor(ExecutorSpec spec, std::vector<net::Endpoint> endpoints,
+                 int threads)
+      : PooledExecutorBase(threads),
+        spec_(std::move(spec)),
+        endpoints_(std::move(endpoints)) {}
+
+  [[nodiscard]] const char* name() const override { return "remote"; }
+
+  [[nodiscard]] std::string run(const std::vector<ShardTask>& tasks,
+                                const ShardExecOptions& options) override {
+    EndpointRoster roster(endpoints_, spec_.remote_max_in_flight,
+                          spec_.remote_quarantine_failures);
+    std::vector<std::string> errors(tasks.size());
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      const ShardTask& task = tasks[t];
+      pool_.submit([this, &task, &options, &roster, &errors, t] {
+        errors[t] = run_one(task, options, roster);
+      });
+    }
+    pool_.wait_idle();
+    return first_error(errors);
+  }
+
+ private:
+  /// Runs one shard with failover: each endpoint is attempted at most
+  /// once, in roster order of availability, until one answers.  On total
+  /// failure the slot is placeholder-filled and the last endpoint's
+  /// failure is reported (tagged with the canonical shard identity).
+  [[nodiscard]] std::string run_one(const ShardTask& task,
+                                    const ShardExecOptions& options,
+                                    EndpointRoster& roster) {
+    const std::string input = serialize_shard_input(
+        task.context->circuit(), task.context->patterns(), *task.universe,
+        *task.shard, options);
+
+    std::vector<char> tried(endpoints_.size(), 0);
+    std::string last_error;
+    for (int ep = roster.acquire(tried); ep >= 0;
+         ep = roster.acquire(tried)) {
+      tried[static_cast<std::size_t>(ep)] = 1;
+      const std::string error = exchange(roster.endpoint(ep), input, task);
+      roster.release(ep, error.empty());
+      if (error.empty()) return {};
+      last_error = roster.endpoint(ep).host + ":" +
+                   std::to_string(roster.endpoint(ep).port) + ": " + error;
+    }
+
+    fill_failed_shard(*task.universe, *task.shard, *task.slot);
+    if (last_error.empty())
+      last_error = "no live endpoints (all quarantined)";
+    return "remote shard (job " + std::to_string(task.shard->job) +
+           ", shard " + std::to_string(task.shard->index) + "): " +
+           last_error;
+  }
+
+  /// One framed request/response attempt against one endpoint, the whole
+  /// conversation under one wall-clock deadline.  Returns "" on success
+  /// (the slot is filled) or the failure text.
+  [[nodiscard]] std::string exchange(const net::Endpoint& ep,
+                                     const std::string& input,
+                                     const ShardTask& task) {
+    const net::Deadline deadline =
+        net::deadline_after(spec_.worker_timeout_s);
+    std::string error;
+    const int fd = net::connect_endpoint(ep, deadline, &error);
+    if (fd < 0) return error;
+    FdCloser closer{fd};
+
+    if (!net::send_frame(fd, input, deadline, &error))
+      return "send: " + error;
+    std::string output;
+    if (!net::recv_frame(fd, &output, deadline, net::kMaxFrameBytes, &error))
+      return error.empty() ? "connection closed before a result arrived"
+                           : error;
+
+    ShardResult result;
+    try {
+      result = parse_shard_result(output);
+    } catch (const std::exception& e) {
+      return std::string("malformed result: ") + e.what();
+    }
+    const std::string mismatch = check_shard_result(result, *task.shard);
+    if (!mismatch.empty()) return mismatch;
+    *task.slot = std::move(result);
+    return {};
+  }
+
+  ExecutorSpec spec_;
+  std::vector<net::Endpoint> endpoints_;
+};
+
+}  // namespace
+
+std::unique_ptr<ShardExecutor> make_remote_executor(const ExecutorSpec& spec,
+                                                    int threads) {
+  std::vector<net::Endpoint> endpoints;
+  try {
+    endpoints = net::parse_endpoints(spec.endpoints);
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(std::string("make_shard_executor: ") +
+                                e.what());
+  }
+  if (!(spec.worker_timeout_s > 0.0))
+    throw std::invalid_argument(
+        "make_shard_executor: worker_timeout_s must be > 0");
+  if (spec.remote_max_in_flight < 1)
+    throw std::invalid_argument(
+        "make_shard_executor: remote_max_in_flight must be >= 1");
+  if (spec.remote_quarantine_failures < 1)
+    throw std::invalid_argument(
+        "make_shard_executor: remote_quarantine_failures must be >= 1");
+  return std::make_unique<RemoteExecutor>(spec, std::move(endpoints),
+                                          threads);
+}
+
+}  // namespace cpsinw::engine

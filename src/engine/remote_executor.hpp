@@ -1,0 +1,34 @@
+// The distributed (kRemote) shard-executor backend: dispatches a
+// campaign's universe slices across a configured list of
+// cpsinw_shard_server endpoints over TCP, speaking the same shard_io v1
+// JSON documents the subprocess backend pipes to a forked worker — one
+// net-framed request/response per shard.
+//
+// Scheduling policy (none of it can affect the answer — slots are filled
+// in canonical order upstream):
+//   * bounded in-flight shards per endpoint (`remote_max_in_flight`),
+//     least-loaded endpoint first;
+//   * per-shard wall-clock timeout (`worker_timeout_s`) covering connect,
+//     send, and receive of one attempt;
+//   * retry-on-another-endpoint failover: a shard that fails on one
+//     endpoint is retried on each remaining endpoint before its slot is
+//     placeholder-filled;
+//   * dead-endpoint quarantine: `remote_quarantine_failures` consecutive
+//     failures retire an endpoint for the rest of the campaign, so a
+//     downed host costs a few timeouts, not one per shard.
+#pragma once
+
+#include <memory>
+
+#include "engine/executor.hpp"
+
+namespace cpsinw::engine {
+
+/// Builds the kRemote backend (called by make_shard_executor).
+/// @throws std::invalid_argument on an empty endpoint list, a malformed
+///   `host:port` entry, a non-positive worker_timeout_s, or a
+///   non-positive remote_max_in_flight / remote_quarantine_failures
+[[nodiscard]] std::unique_ptr<ShardExecutor> make_remote_executor(
+    const ExecutorSpec& spec, int threads);
+
+}  // namespace cpsinw::engine

@@ -626,4 +626,18 @@ ShardResult parse_shard_result(const std::string& text) {
   return result;
 }
 
+std::string check_shard_result(const ShardResult& result,
+                               const Shard& shard) {
+  if (result.job != shard.job || result.index != shard.index)
+    return "result identifies shard (job " + std::to_string(result.job) +
+           ", shard " + std::to_string(result.index) + "), expected (job " +
+           std::to_string(shard.job) + ", shard " +
+           std::to_string(shard.index) + ")";
+  const std::size_t expected = shard.end - shard.begin;
+  if (result.results.size() != expected)
+    return "result carries " + std::to_string(result.results.size()) +
+           " records for " + std::to_string(expected) + " faults";
+  return {};
+}
+
 }  // namespace cpsinw::engine

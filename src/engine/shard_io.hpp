@@ -52,4 +52,12 @@ struct ShardWorkInput {
 /// @throws std::runtime_error on malformed JSON or an unknown version
 [[nodiscard]] ShardResult parse_shard_result(const std::string& text);
 
+/// Cross-checks a parsed result against the shard it should answer for:
+/// identity (job, index) and record count.  Returns "" on a match or the
+/// mismatch description — shared by every backend that receives results
+/// from another process (a confused worker must never fill the wrong
+/// slot or a short slot).
+[[nodiscard]] std::string check_shard_result(const ShardResult& result,
+                                             const Shard& shard);
+
 }  // namespace cpsinw::engine

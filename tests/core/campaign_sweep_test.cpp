@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -88,6 +89,19 @@ TEST(CampaignSweep, StableJsonIsReproducibleAndOrdered) {
   EXPECT_EQ(json.rfind("{\"seed\":", 0), 0u);
   EXPECT_LT(json.find("\"pattern_source\":\"random\""), json.find("\"jobs\""));
   EXPECT_LT(json.find("\"jobs\""), json.rfind("\"totals\""));
+}
+
+TEST(CampaignSweep, RemoteExecutorSpecPassesThroughToValidation) {
+  // The sweep options carry the whole ExecutorSpec — including the kRemote
+  // endpoint list — straight into run_campaign, so a malformed remote
+  // config fails spec validation before any roster work runs.
+  CampaignSweepOptions opt = small_options();
+  opt.executor.backend = engine::ExecutorBackend::kRemote;
+  EXPECT_THROW((void)run_benchmark_campaign(opt), std::invalid_argument)
+      << "an empty endpoint list must be rejected";
+  opt.executor.endpoints = {"not-an-endpoint"};
+  EXPECT_THROW((void)run_benchmark_campaign(opt), std::invalid_argument)
+      << "a malformed host:port must be rejected";
 }
 
 TEST(CampaignSweep, ExecutorBackendPassesThroughWithIdenticalJson) {

@@ -1,8 +1,10 @@
 // Cross-backend determinism: the stable campaign JSON must be
 // byte-identical whether shards run inline, on the thread pool (at any
-// thread count), or in forked cpsinw_shard_worker processes.  This is the
-// guarantee that lets large fault-mode sweeps fan out without their
-// statistics depending on where the work happened to execute.
+// thread count), in forked cpsinw_shard_worker processes, or on remote
+// cpsinw_shard_server endpoints (1 or 2 of them).  This is the guarantee
+// that lets large fault-mode sweeps fan out — across threads, processes,
+// and hosts — without their statistics depending on where the work
+// happened to execute.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -10,6 +12,7 @@
 
 #include "engine/campaign.hpp"
 #include "logic/benchmarks.hpp"
+#include "remote_test_util.hpp"
 
 namespace cpsinw::engine {
 namespace {
@@ -52,6 +55,26 @@ std::string assert_all_backends_identical(const CampaignSpec& spec,
   EXPECT_TRUE(sub.ok()) << label << ": " << sub.error;
   EXPECT_EQ(reference, sub.to_json())
       << label << ": subprocess diverged from inline";
+
+  // Remote loopback: the determinism guarantee widens from "any backend
+  // on one host" to "any set of hosts" — one endpoint, then the work
+  // spread over two.
+  const std::vector<std::string>& endpoints =
+      test_util::loopback_endpoints();
+  EXPECT_GE(endpoints.size(), 2u) << "loopback shard servers failed to start";
+  for (std::size_t count : {std::size_t{1}, std::size_t{2}}) {
+    if (endpoints.size() < count) continue;
+    CampaignSpec remote = spec;
+    remote.executor.backend = ExecutorBackend::kRemote;
+    remote.executor.endpoints.assign(endpoints.begin(),
+                                     endpoints.begin() +
+                                         static_cast<std::ptrdiff_t>(count));
+    remote.threads = 2;
+    const CampaignReport r = run_campaign(remote);
+    EXPECT_TRUE(r.ok()) << label << ": " << r.error;
+    EXPECT_EQ(reference, r.to_json())
+        << label << ": remote(" << count << " endpoints) diverged from inline";
+  }
   return reference;
 }
 

@@ -1,0 +1,69 @@
+// Shared fixture plumbing for the kRemote backend tests: healthy loopback
+// cpsinw_shard_server endpoints, spawned once per test binary — or taken
+// from the CPSINW_REMOTE_ENDPOINTS environment variable (comma-separated
+// host:port list) when CI manages the servers itself (the remote-loopback
+// job starts two instances and points the suite at them).
+#pragma once
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/net.hpp"
+
+namespace cpsinw::engine::test_util {
+
+inline std::string server_path() {
+#ifdef CPSINW_SHARD_SERVER_PATH
+  return CPSINW_SHARD_SERVER_PATH;
+#else
+  return {};
+#endif
+}
+
+/// Two healthy shard-server endpoints, shared by every test in the
+/// binary.  Spawned servers live until process exit (their
+/// LocalServerProcess destructors kill them).
+inline const std::vector<std::string>& loopback_endpoints() {
+  static const std::vector<std::string> endpoints = [] {
+    std::vector<std::string> out;
+    if (const char* env = std::getenv("CPSINW_REMOTE_ENDPOINTS")) {
+      const std::string text = env;
+      std::size_t start = 0;
+      while (start <= text.size()) {
+        const std::size_t comma = text.find(',', start);
+        const std::string item =
+            text.substr(start, comma == std::string::npos ? std::string::npos
+                                                          : comma - start);
+        if (!item.empty()) out.push_back(item);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+      return out;
+    }
+    static std::vector<std::unique_ptr<net::LocalServerProcess>> servers;
+    for (int i = 0; i < 2; ++i) {
+      servers.push_back(
+          std::make_unique<net::LocalServerProcess>(server_path()));
+      if (servers.back()->ok()) out.push_back(servers.back()->endpoint());
+    }
+    return out;
+  }();
+  return endpoints;
+}
+
+/// A loopback port with nothing listening on it (bind an ephemeral
+/// listener, note its port, close it): connections there are refused.
+inline std::string refused_endpoint() {
+  std::string error;
+  const int fd = net::listen_on_loopback(0, &error);
+  if (fd < 0) return "127.0.0.1:1";  // port 1: virtually always refused too
+  const std::uint16_t port = net::local_port(fd);
+  ::close(fd);
+  return "127.0.0.1:" + std::to_string(port);
+}
+
+}  // namespace cpsinw::engine::test_util

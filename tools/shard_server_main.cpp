@@ -1,0 +1,196 @@
+// cpsinw_shard_server: serves campaign shards to remote campaigns over
+// TCP.  One listening socket, one thread per accepted connection; each
+// connection carries any number of framed shard_io v1 exchanges — the
+// client sends a shard work document in a net frame, the server answers
+// with the framed ShardResult JSON.  The documents are byte-identical to
+// the subprocess worker's stdin/stdout, so a shard produces the same
+// bytes whether it runs inline, in a forked worker, or on another host.
+//
+// stdout carries exactly one line ("... listening on <port>") so a
+// spawner using --port 0 can discover the kernel-assigned port; all
+// diagnostics go to stderr.
+//
+// The --fail-mode flags misbehave on purpose *after* parsing the request
+// so tests can exercise every client failure path: disconnect (close with
+// no reply), garbage (a well-framed non-result payload), oversized (a
+// header declaring a payload past the frame limit), hang (never reply —
+// the client's per-shard deadline fires), exit (the whole server dies —
+// later connections are refused).
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "engine/net.hpp"
+#include "engine/shard.hpp"
+#include "engine/shard_io.hpp"
+#include "faults/eval_context.hpp"
+
+namespace {
+
+namespace net = cpsinw::engine::net;
+
+constexpr const char* kUsage =
+    "usage: cpsinw_shard_server [--port N]\n"
+    "                           [--fail-mode disconnect|garbage|oversized|"
+    "hang|exit]\n"
+    "                           [--fail-index N]\n"
+    "Serves framed shard_io v1 work documents over loopback TCP (port 0 =\n"
+    "kernel-assigned, advertised on stdout).  --fail-mode misbehaves on\n"
+    "purpose (test hook); --fail-index restricts it to the shard with that\n"
+    "index (default: every shard).\n";
+
+struct ServerConfig {
+  std::string fail_mode;
+  int fail_index = -1;
+};
+
+/// An idle client connection is held open this long before the server
+/// gives up on it (clients open one connection per shard and close it).
+constexpr double kIdleTimeoutS = 3600.0;
+
+void serve_connection(int fd, const ServerConfig& config) {
+  using namespace cpsinw;
+  while (true) {
+    std::string request;
+    std::string error;
+    if (!net::recv_frame(fd, &request, net::deadline_after(kIdleTimeoutS),
+                         net::kMaxFrameBytes, &error)) {
+      // Empty error = the client closed between frames: a normal goodbye.
+      if (!error.empty())
+        std::cerr << "cpsinw_shard_server: recv: " << error << "\n";
+      break;
+    }
+
+    engine::ShardWorkInput input;
+    try {
+      input = engine::parse_shard_input(request);
+    } catch (const std::exception& e) {
+      std::cerr << "cpsinw_shard_server: bad request: " << e.what() << "\n";
+      break;
+    }
+
+    if (!config.fail_mode.empty() &&
+        (config.fail_index < 0 || config.fail_index == input.shard.index)) {
+      if (config.fail_mode == "disconnect") break;
+      if (config.fail_mode == "garbage") {
+        (void)net::send_frame(fd, "this is not a shard result {{{",
+                              net::deadline_after(kIdleTimeoutS), &error);
+        continue;
+      }
+      if (config.fail_mode == "oversized") {
+        // A frame header declaring more than any client will accept; the
+        // client must reject it before reading a single payload byte.
+        const std::string header =
+            std::string(net::kFrameMagic) + " " +
+            std::to_string(net::kMaxFrameBytes * 4) + "\n";
+        const ssize_t n = write(fd, header.data(), header.size());
+        (void)n;  // header only: the declared payload never comes
+        break;
+      }
+      if (config.fail_mode == "hang") {
+        for (;;) sleep(1000);  // wedged endpoint; the client deadline fires
+      }
+      if (config.fail_mode == "exit") {
+        std::cerr << "cpsinw_shard_server: --fail-mode exit\n";
+        _exit(3);
+      }
+      std::cerr << "cpsinw_shard_server: unknown --fail-mode '"
+                << config.fail_mode << "'\n";
+      break;
+    }
+
+    // Everything downstream of the parse can still throw (a semantically
+    // inconsistent fault list, an unbuildable context, bad_alloc on a
+    // huge document); an escape here would std::terminate the whole
+    // server from a detached thread.  One bad request costs one
+    // connection, never the endpoint.
+    try {
+      const faults::EvalContext ctx(input.circuit,
+                                    std::move(input.patterns));
+      const engine::ShardResult result =
+          engine::run_shard(ctx, input.faults, input.shard, input.options);
+      if (!net::send_frame(fd, engine::serialize_shard_result(result),
+                           net::deadline_after(kIdleTimeoutS), &error)) {
+        std::cerr << "cpsinw_shard_server: send: " << error << "\n";
+        break;
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "cpsinw_shard_server: shard failed: " << e.what() << "\n";
+      break;  // close with no reply; the client fails over
+    }
+  }
+  close(fd);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cpsinw;
+
+  // A client that hits its deadline closes mid-reply; the resulting EPIPE
+  // must not take the whole server (and every other campaign) down.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  long port = 0;
+  ServerConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      return 0;
+    }
+    if (arg == "--port" && i + 1 < argc) {
+      const std::string text = argv[++i];
+      // Digits only: a typo must be a usage error, not a silent fallback
+      // to port 0 (kernel-assigned) that nothing points at.
+      if (text.empty() ||
+          text.find_first_not_of("0123456789") != std::string::npos) {
+        std::cerr << "cpsinw_shard_server: bad --port '" << text << "'\n";
+        return 2;
+      }
+      port = std::strtol(text.c_str(), nullptr, 10);
+      if (port > 65535) {
+        std::cerr << "cpsinw_shard_server: bad --port '" << text << "'\n";
+        return 2;
+      }
+    } else if (arg == "--fail-mode" && i + 1 < argc) {
+      config.fail_mode = argv[++i];
+    } else if (arg == "--fail-index" && i + 1 < argc) {
+      config.fail_index = std::atoi(argv[++i]);
+    } else {
+      std::cerr << "cpsinw_shard_server: unknown argument '" << arg << "'\n"
+                << kUsage;
+      return 2;
+    }
+  }
+
+  std::string error;
+  const int listen_fd =
+      net::listen_on_loopback(static_cast<std::uint16_t>(port), &error);
+  if (listen_fd < 0) {
+    std::cerr << "cpsinw_shard_server: " << error << "\n";
+    return 1;
+  }
+
+  std::cout << "cpsinw_shard_server listening on " << net::local_port(listen_fd)
+            << std::endl;  // the only stdout line; spawners parse it
+
+  while (true) {
+    const int fd = net::accept_connection(listen_fd, &error);
+    if (fd < 0) {
+      // Transient accept failures (EMFILE/ENFILE when connection threads
+      // hold many fds, resource pressure) must not down the endpoint for
+      // every campaign pointed at it: log, back off, keep serving.
+      std::cerr << "cpsinw_shard_server: " << error << "\n";
+      usleep(100 * 1000);
+      continue;
+    }
+    std::thread(serve_connection, fd, config).detach();
+  }
+}
