@@ -1,12 +1,23 @@
-// Shared-evaluation-context speedup on the transistor-fault hot loop:
-// "before" replays the seed algorithm (good machine re-simulated and the
-// switch-level dictionary re-derived for every fault), "after" is the
-// context path (good machine once per pattern set, memoized dictionaries,
-// packed 64-pattern batches for purely binary dictionaries).  Detection
-// records are cross-checked fault by fault — a speedup only counts when
-// the answer is bit-identical.  The last line printed is a single JSON
-// object for the bench trajectory; the same object is written to
-// BENCH_context.json.
+// Two benchmark legs over the evaluation spine, each cross-checked fault
+// by fault — a speedup only counts when the answer is bit-identical:
+//
+//  1. "context" (BENCH_context.json): the PR-2 shared-evaluation-context
+//     win on the transistor-fault hot loop.  "before" replays the seed
+//     algorithm verbatim — interpreted scalar simulation, good machine
+//     re-simulated and the switch-level dictionary re-derived for every
+//     fault; "after" is the library context path.  Gate: >= 2x.
+//
+//  2. "compiled" (BENCH_compiled.json): the compiled-core win on top of
+//     the context/packing layer.  "before" replays the PR-2-era engine —
+//     packed batches and dictionary substitution, but interpreted: every
+//     gate re-walks GateInst records through topo_order() with per-gate
+//     fault checks and a fresh values vector per fault per batch.
+//     "after" is the library path (logic::CompiledCircuit underneath).
+//     Same fault universe (line + transistor), same records required
+//     bit-identically.  Gate: >= 1.5x at 1 thread on the roster.
+//
+// The last line printed is the concatenation marker-free JSON object of
+// the *compiled* leg; both objects are written to their BENCH_*.json.
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -28,34 +39,201 @@ double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
-/// The seed's serial transistor-fault loop, verbatim: per fault, an ad-hoc
-/// analyze_fault plus a fresh good-machine simulation per pattern.
-faults::DetectionRecord seed_style_transistor(
-    const logic::Circuit& ckt, const logic::Simulator& sim,
-    const faults::Fault& fault, const std::vector<logic::Pattern>& patterns,
-    const faults::FaultSimOptions& options) {
-  const logic::GateFault gf{fault.gate, fault.cell_fault};
-  const gates::FaultAnalysis fa =
-      gates::analyze_fault(ckt.gate(fault.gate).kind, fault.cell_fault);
+std::vector<logic::Pattern> random_patterns(const logic::Circuit& ckt,
+                                            int count, std::uint64_t seed) {
+  util::SplitMix64 rng(seed);
+  std::vector<logic::Pattern> out;
+  for (int k = 0; k < count; ++k) {
+    logic::Pattern p(ckt.primary_inputs().size());
+    for (logic::LogicV& v : p) v = logic::from_bool(rng.chance(0.5));
+    out.push_back(std::move(p));
+  }
+  return out;
+}
 
+bool records_identical(const faults::DetectionRecord& a,
+                       const faults::DetectionRecord& b) {
+  return a.detected_output == b.detected_output &&
+         a.detected_iddq == b.detected_iddq && a.potential == b.potential &&
+         a.first_pattern == b.first_pattern;
+}
+
+// ---------------------------------------------------------------------------
+// Interpreted reference evaluators: the pre-compiled-core library
+// algorithms, frozen (the library itself now runs the table-driven
+// kernels, so the interpreted walk lives here).
+namespace interp {
+
+using logic::Circuit;
+using logic::GateInst;
+using logic::LogicV;
+using logic::NetId;
+using logic::Pattern;
+using logic::SimResult;
+
+std::vector<LogicV> seed_values(const Circuit& ckt, const Pattern& pattern) {
+  std::vector<LogicV> values(static_cast<std::size_t>(ckt.net_count()),
+                             LogicV::kX);
+  for (NetId n = 0; n < ckt.net_count(); ++n) {
+    const LogicV c = ckt.constant_of(n);
+    if (is_binary(c)) values[static_cast<std::size_t>(n)] = c;
+  }
+  for (std::size_t i = 0; i < pattern.size(); ++i)
+    values[static_cast<std::size_t>(ckt.primary_inputs()[i])] = pattern[i];
+  return values;
+}
+
+LogicV eval_gate(const GateInst& g, const std::vector<LogicV>& values) {
+  const auto bits = logic::Simulator::local_input(g, values);
+  if (!bits) {
+    const auto in_at = [&](int i) {
+      return g.in[static_cast<std::size_t>(i)] >= 0
+                 ? values[static_cast<std::size_t>(
+                       g.in[static_cast<std::size_t>(i)])]
+                 : LogicV::kX;
+    };
+    return logic::eval_cell_x(g.kind, in_at(0), in_at(1), in_at(2));
+  }
+  return logic::from_bool(gates::good_output(g.kind, *bits) != 0);
+}
+
+SimResult simulate(const Circuit& ckt, const Pattern& pattern) {
+  SimResult r;
+  r.net_values = seed_values(ckt, pattern);
+  for (const int gid : ckt.topo_order()) {
+    const GateInst& g = ckt.gate(gid);
+    r.net_values[static_cast<std::size_t>(g.out)] = eval_gate(g, r.net_values);
+  }
+  return r;
+}
+
+SimResult simulate_faulty(const Circuit& ckt, const Pattern& pattern,
+                          int fault_gate, const gates::FaultAnalysis& fa,
+                          const std::vector<LogicV>* previous_state) {
+  SimResult r;
+  r.net_values = seed_values(ckt, pattern);
+  for (const int gid : ckt.topo_order()) {
+    const GateInst& g = ckt.gate(gid);
+    if (gid != fault_gate) {
+      r.net_values[static_cast<std::size_t>(g.out)] =
+          eval_gate(g, r.net_values);
+      continue;
+    }
+    const auto bits = logic::Simulator::local_input(g, r.net_values);
+    if (!bits) {
+      r.net_values[static_cast<std::size_t>(g.out)] = LogicV::kX;
+      continue;
+    }
+    const gates::FaultRow& row = fa.rows[*bits];
+    if (row.faulty.contention) r.iddq_flag = true;
+    const int fv =
+        row.faulty.floating ? -2 : gates::logic_value(row.faulty.out);
+    LogicV out = LogicV::kX;
+    if (fv == 0) {
+      out = LogicV::k0;
+    } else if (fv == 1) {
+      out = LogicV::k1;
+    } else if (fv == -2) {
+      out = previous_state != nullptr
+                ? (*previous_state)[static_cast<std::size_t>(g.out)]
+                : LogicV::kX;
+      if (out == LogicV::kZ) out = LogicV::kX;
+    }
+    r.net_values[static_cast<std::size_t>(g.out)] = out;
+  }
+  return r;
+}
+
+std::vector<std::uint64_t> packed_line(const Circuit& ckt,
+                                       const std::vector<std::uint64_t>& pi,
+                                       const faults::Fault& fault) {
+  std::vector<std::uint64_t> values(
+      static_cast<std::size_t>(ckt.net_count()), 0);
+  for (NetId n = 0; n < ckt.net_count(); ++n)
+    if (ckt.constant_of(n) == LogicV::k1)
+      values[static_cast<std::size_t>(n)] = ~0ull;
+  for (std::size_t i = 0; i < pi.size(); ++i)
+    values[static_cast<std::size_t>(ckt.primary_inputs()[i])] = pi[i];
+
+  const std::uint64_t forced = fault.stuck_at_one ? ~0ull : 0ull;
+  if (fault.site == faults::FaultSite::kNet)
+    values[static_cast<std::size_t>(fault.net)] = forced;
+
+  for (const int gid : ckt.topo_order()) {
+    const GateInst& g = ckt.gate(gid);
+    std::uint64_t in[3] = {0, 0, 0};
+    for (int i = 0; i < g.input_count(); ++i) {
+      in[i] =
+          values[static_cast<std::size_t>(g.in[static_cast<std::size_t>(i)])];
+      if (fault.site == faults::FaultSite::kGateInput && fault.gate == gid &&
+          fault.pin == i)
+        in[i] = forced;
+    }
+    std::uint64_t out = logic::eval_cell_packed(g.kind, in[0], in[1], in[2]);
+    if (fault.site == faults::FaultSite::kNet && g.out == fault.net)
+      out = forced;
+    values[static_cast<std::size_t>(g.out)] = out;
+  }
+  return values;
+}
+
+/// Interpreted replica of the PR-2 context: packed batches built by the
+/// interpreted simulate_packed, scalar goods by the interpreted simulator,
+/// memoized-enough dictionaries (derived once per fault here; the
+/// interesting cost is the per-gate walk, not the 2^n rows).
+struct Context {
+  std::vector<Pattern> patterns;
+  std::vector<SimResult> good;
+  struct Batch {
+    std::size_t base = 0;
+    std::uint64_t active = 0;
+    std::vector<std::uint64_t> pi_words;
+    std::vector<std::uint64_t> net_words;
+  };
+  std::vector<Batch> batches;
+};
+
+Context build_context(const Circuit& ckt, const std::vector<Pattern>& ps) {
+  Context ctx;
+  ctx.patterns = ps;
+  for (const Pattern& p : ps) ctx.good.push_back(simulate(ckt, p));
+  for (std::size_t base = 0; base < ps.size(); base += 64) {
+    const std::size_t count = std::min<std::size_t>(64, ps.size() - base);
+    Context::Batch b;
+    b.base = base;
+    b.active = count == 64 ? ~0ull : ((1ull << count) - 1ull);
+    const std::vector<Pattern> slice(ps.begin() + static_cast<long>(base),
+                                     ps.begin() +
+                                         static_cast<long>(base + count));
+    b.pi_words = logic::pack_patterns(ckt, slice);
+    b.net_words = logic::simulate_packed(ckt, b.pi_words);
+    ctx.batches.push_back(std::move(b));
+  }
+  return ctx;
+}
+
+faults::DetectionRecord transistor_serial(const Circuit& ckt,
+                                          const Context& ctx,
+                                          const faults::Fault& fault,
+                                          const gates::FaultAnalysis& fa,
+                                          const faults::FaultSimOptions& opt) {
   faults::DetectionRecord rec;
-  std::vector<logic::LogicV> state;
-  for (std::size_t pi = 0; pi < patterns.size(); ++pi) {
-    const logic::Pattern& p = patterns[pi];
-    const logic::SimResult good = sim.simulate(p);
-    const logic::SimResult bad = sim.simulate_faulty_with(
-        p, gf, fa, options.sequential_patterns && !state.empty() ? &state
-                                                                 : nullptr);
-    if (options.sequential_patterns) state = bad.net_values;
+  std::vector<LogicV> state;
+  for (std::size_t pi = 0; pi < ctx.patterns.size(); ++pi) {
+    const SimResult& good = ctx.good[pi];
+    const SimResult bad = simulate_faulty(
+        ckt, ctx.patterns[pi], fault.gate, fa,
+        opt.sequential_patterns && !state.empty() ? &state : nullptr);
+    if (opt.sequential_patterns) state = bad.net_values;
 
     bool hit = false;
-    if (bad.iddq_flag && options.observe_iddq) {
+    if (bad.iddq_flag && opt.observe_iddq) {
       rec.detected_iddq = true;
       hit = true;
     }
-    for (const logic::NetId po : ckt.primary_outputs()) {
-      const logic::LogicV g = good.value(po);
-      const logic::LogicV b = bad.value(po);
+    for (const NetId po : ckt.primary_outputs()) {
+      const LogicV g = good.net_values[static_cast<std::size_t>(po)];
+      const LogicV b = bad.net_values[static_cast<std::size_t>(po)];
       if (is_binary(g) && is_binary(b) && g != b) {
         rec.detected_output = true;
         hit = true;
@@ -63,29 +241,122 @@ faults::DetectionRecord seed_style_transistor(
         rec.potential = true;
       }
     }
-    if (hit && rec.first_pattern < 0)
-      rec.first_pattern = static_cast<int>(pi);
+    if (hit && rec.first_pattern < 0) rec.first_pattern = static_cast<int>(pi);
   }
   return rec;
 }
 
-}  // namespace
+faults::DetectionRecord transistor_packed(const Circuit& ckt,
+                                          const Context& ctx,
+                                          const faults::Fault& fault,
+                                          const gates::FaultAnalysis& fa,
+                                          const faults::FaultSimOptions& opt) {
+  faults::DetectionRecord rec;
+  std::vector<std::uint64_t> values(
+      static_cast<std::size_t>(ckt.net_count()), 0);
+  for (const Context::Batch& batch : ctx.batches) {
+    for (NetId n = 0; n < ckt.net_count(); ++n)
+      values[static_cast<std::size_t>(n)] =
+          ckt.constant_of(n) == LogicV::k1 ? ~0ull : 0ull;
+    for (std::size_t i = 0; i < batch.pi_words.size(); ++i)
+      values[static_cast<std::size_t>(ckt.primary_inputs()[i])] =
+          batch.pi_words[i];
 
-int main() {
+    std::uint64_t contention = 0;
+    for (const int gid : ckt.topo_order()) {
+      const GateInst& g = ckt.gate(gid);
+      std::uint64_t in[3] = {0, 0, 0};
+      for (int i = 0; i < g.input_count(); ++i)
+        in[i] = values[static_cast<std::size_t>(
+            g.in[static_cast<std::size_t>(i)])];
+      std::uint64_t out;
+      if (gid == fault.gate) {
+        out = 0;
+        for (const gates::FaultRow& row : fa.rows) {
+          std::uint64_t minterm = ~0ull;
+          for (int i = 0; i < g.input_count(); ++i)
+            minterm &= ((row.input >> i) & 1u) != 0 ? in[i] : ~in[i];
+          if (fa.faulty_logic(row.input) == 1) out |= minterm;
+          if (row.faulty.contention) contention |= minterm;
+        }
+      } else {
+        out = logic::eval_cell_packed(g.kind, in[0], in[1], in[2]);
+      }
+      values[static_cast<std::size_t>(g.out)] = out;
+    }
+
+    std::uint64_t diff = 0;
+    for (const NetId po : ckt.primary_outputs())
+      diff |= (batch.net_words[static_cast<std::size_t>(po)] ^
+               values[static_cast<std::size_t>(po)]);
+    diff &= batch.active;
+    contention &= batch.active;
+
+    if (diff != 0) rec.detected_output = true;
+    const std::uint64_t iddq = opt.observe_iddq ? contention : 0;
+    if (iddq != 0) rec.detected_iddq = true;
+    const std::uint64_t hit = diff | iddq;
+    if (hit != 0 && rec.first_pattern < 0)
+      rec.first_pattern = static_cast<int>(batch.base) + __builtin_ctzll(hit);
+  }
+  return rec;
+}
+
+/// The PR-2-era run_range, interpreted: packed line batches with fault
+/// dropping and a fresh values vector per fault per batch, packed
+/// transistor substitution for binary dictionaries, retained-state serial
+/// for the rest.
+std::vector<faults::DetectionRecord> run_range(
+    const Circuit& ckt, const Context& ctx,
+    const std::vector<faults::Fault>& fault_list,
+    const faults::FaultSimOptions& opt) {
+  std::vector<faults::DetectionRecord> records(fault_list.size());
+
+  for (const Context::Batch& batch : ctx.batches) {
+    for (std::size_t fi = 0; fi < fault_list.size(); ++fi) {
+      const faults::Fault& f = fault_list[fi];
+      if (f.site == faults::FaultSite::kGateTransistor) continue;
+      faults::DetectionRecord& rec = records[fi];
+      if (rec.detected_output) continue;  // fault dropping
+      const auto faulty = packed_line(ckt, batch.pi_words, f);
+      std::uint64_t diff = 0;
+      for (const NetId po : ckt.primary_outputs())
+        diff |= (batch.net_words[static_cast<std::size_t>(po)] ^
+                 faulty[static_cast<std::size_t>(po)]);
+      diff &= batch.active;
+      if (diff != 0) {
+        rec.detected_output = true;
+        rec.first_pattern =
+            static_cast<int>(batch.base) + __builtin_ctzll(diff);
+      }
+    }
+  }
+
+  for (std::size_t fi = 0; fi < fault_list.size(); ++fi) {
+    const faults::Fault& f = fault_list[fi];
+    if (f.site != faults::FaultSite::kGateTransistor) continue;
+    const gates::FaultAnalysis& fa = gates::DictionaryCache::global().lookup(
+        ckt.gate(f.gate).kind, f.cell_fault);
+    records[fi] = !fa.needs_sequence && !fa.marginal_detectable
+                      ? transistor_packed(ckt, ctx, f, fa, opt)
+                      : transistor_serial(ckt, ctx, f, fa, opt);
+  }
+  return records;
+}
+
+}  // namespace interp
+
+// ---------------------------------------------------------------------------
+// Leg 1: shared-context speedup on the transistor hot loop (seed "before").
+
+int run_context_leg() {
   const logic::Circuit ckt = logic::parity_tree(64);
 
   faults::FaultListOptions flo;
   flo.include_line_stuck_at = false;
   flo.include_transistor_faults = true;
-  const std::vector<faults::Fault> universe = generate_fault_list(ckt, flo);
-
-  util::SplitMix64 rng(1);
-  std::vector<logic::Pattern> patterns;
-  for (int k = 0; k < 128; ++k) {
-    logic::Pattern p(ckt.primary_inputs().size());
-    for (logic::LogicV& v : p) v = logic::from_bool(rng.chance(0.5));
-    patterns.push_back(std::move(p));
-  }
+  const std::vector<faults::Fault> universe = faults::generate_fault_list(ckt, flo);
+  const std::vector<logic::Pattern> patterns = random_patterns(ckt, 128, 1);
 
   const faults::FaultSimOptions options;
   const double work = static_cast<double>(universe.size()) *
@@ -95,13 +366,42 @@ int main() {
             << "parity_tree(64), " << universe.size() << " faults x "
             << patterns.size() << " patterns, 1 thread ===\n";
 
-  // ---- Before: seed algorithm, O(faults x patterns) good-machine work.
-  const logic::Simulator sim(ckt);
+  // ---- Before: seed algorithm, O(faults x patterns) interpreted
+  // good-machine work plus an ad-hoc analyze_fault per fault.
   std::vector<faults::DetectionRecord> before_records;
   const auto t_before = Clock::now();
-  for (const faults::Fault& f : universe)
-    before_records.push_back(
-        seed_style_transistor(ckt, sim, f, patterns, options));
+  for (const faults::Fault& f : universe) {
+    const gates::FaultAnalysis fa =
+        gates::analyze_fault(ckt.gate(f.gate).kind, f.cell_fault);
+    faults::DetectionRecord rec;
+    std::vector<logic::LogicV> state;
+    for (std::size_t pi = 0; pi < patterns.size(); ++pi) {
+      const logic::SimResult good = interp::simulate(ckt, patterns[pi]);
+      const logic::SimResult bad = interp::simulate_faulty(
+          ckt, patterns[pi], f.gate, fa,
+          options.sequential_patterns && !state.empty() ? &state : nullptr);
+      if (options.sequential_patterns) state = bad.net_values;
+      bool hit = false;
+      if (bad.iddq_flag && options.observe_iddq) {
+        rec.detected_iddq = true;
+        hit = true;
+      }
+      for (const logic::NetId po : ckt.primary_outputs()) {
+        const logic::LogicV g =
+            good.net_values[static_cast<std::size_t>(po)];
+        const logic::LogicV b = bad.net_values[static_cast<std::size_t>(po)];
+        if (is_binary(g) && is_binary(b) && g != b) {
+          rec.detected_output = true;
+          hit = true;
+        } else if (is_binary(g) && !is_binary(b)) {
+          rec.potential = true;
+        }
+      }
+      if (hit && rec.first_pattern < 0)
+        rec.first_pattern = static_cast<int>(pi);
+    }
+    before_records.push_back(rec);
+  }
   const double before_s = seconds_since(t_before);
 
   // ---- After: one context (includes its build cost), context run.
@@ -112,14 +412,8 @@ int main() {
   const double after_s = seconds_since(t_after);
 
   bool identical = after.records.size() == before_records.size();
-  for (std::size_t i = 0; identical && i < before_records.size(); ++i) {
-    const faults::DetectionRecord& a = before_records[i];
-    const faults::DetectionRecord& b = after.records[i];
-    identical = a.detected_output == b.detected_output &&
-                a.detected_iddq == b.detected_iddq &&
-                a.potential == b.potential &&
-                a.first_pattern == b.first_pattern;
-  }
+  for (std::size_t i = 0; identical && i < before_records.size(); ++i)
+    identical = records_identical(before_records[i], after.records[i]);
 
   const double before_rate = before_s > 0.0 ? work / before_s : 0.0;
   const double after_rate = after_s > 0.0 ? work / after_s : 0.0;
@@ -143,7 +437,106 @@ int main() {
       ",\"speedup\":" + std::to_string(speedup) +
       ",\"identical\":" + (identical ? "true" : "false") + "}";
   std::ofstream("BENCH_context.json") << json << "\n";
-  std::cout << json << "\n";
+  std::cout << json << "\n\n";
 
   return identical && speedup >= 2.0 ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// Leg 2: compiled core vs the interpreted PR-2 engine, full fault classes.
+
+int run_compiled_leg() {
+  struct Entry {
+    std::string name;
+    logic::Circuit ckt;
+  };
+  std::vector<Entry> roster;
+  roster.push_back({"parity_tree_48", logic::parity_tree(48)});
+  roster.push_back({"ripple_adder_8", logic::ripple_adder(8)});
+  roster.push_back({"alu_slice", logic::alu_slice()});
+  roster.push_back({"tmr_voter_5", logic::tmr_voter(5)});
+  roster.push_back({"c17", logic::c17()});
+
+  const faults::FaultSimOptions options;
+  double before_total = 0.0;
+  double after_total = 0.0;
+  bool identical = true;
+  std::size_t total_faults = 0;
+  std::string per_circuit_json = "[";
+
+  std::cout << "=== Compiled-core fault simulation vs interpreted engine "
+            << "(line + transistor, 128 patterns, 1 thread) ===\n";
+
+  for (std::size_t ci = 0; ci < roster.size(); ++ci) {
+    const Entry& e = roster[ci];
+    const std::vector<faults::Fault> universe =
+        faults::generate_fault_list(e.ckt, {});
+    const std::vector<logic::Pattern> patterns =
+        random_patterns(e.ckt, 128, 17 + ci);
+    total_faults += universe.size();
+
+    // ---- Before: interpreted engine (context build + run, all walking
+    // GateInst records).
+    const auto t_before = Clock::now();
+    const interp::Context ictx = interp::build_context(e.ckt, patterns);
+    const std::vector<faults::DetectionRecord> before =
+        interp::run_range(e.ckt, ictx, universe, options);
+    const double before_s = seconds_since(t_before);
+
+    // ---- After: the library path (compiled core), context build
+    // included.
+    const faults::FaultSimulator fsim(e.ckt);
+    const auto t_after = Clock::now();
+    const faults::EvalContext ctx(e.ckt, patterns);
+    const faults::FaultSimReport after = fsim.run(ctx, universe, options);
+    const double after_s = seconds_since(t_after);
+
+    bool circuit_identical = after.records.size() == before.size();
+    for (std::size_t i = 0; circuit_identical && i < before.size(); ++i)
+      circuit_identical = records_identical(before[i], after.records[i]);
+    identical = identical && circuit_identical;
+
+    const double speedup = after_s > 0.0 ? before_s / after_s : 0.0;
+    std::cout << e.name << ": " << universe.size() << " faults, "
+              << before_s * 1e3 << " ms -> " << after_s * 1e3 << " ms ("
+              << speedup << "x, "
+              << (circuit_identical ? "bit-identical" : "MISMATCH") << ")\n";
+
+    if (ci != 0) per_circuit_json += ",";
+    per_circuit_json += "{\"circuit\":\"" + e.name +
+                        "\",\"faults\":" + std::to_string(universe.size()) +
+                        ",\"before_s\":" + std::to_string(before_s) +
+                        ",\"after_s\":" + std::to_string(after_s) +
+                        ",\"speedup\":" + std::to_string(speedup) + "}";
+    before_total += before_s;
+    after_total += after_s;
+  }
+  per_circuit_json += "]";
+
+  const double speedup =
+      after_total > 0.0 ? before_total / after_total : 0.0;
+  std::cout << "roster: " << before_total * 1e3 << " ms -> "
+            << after_total * 1e3 << " ms, speedup " << speedup
+            << "x, records "
+            << (identical ? "bit-identical" : "MISMATCH") << "\n\n";
+
+  const std::string json =
+      "{\"bench\":\"compiled\",\"faults\":" + std::to_string(total_faults) +
+      ",\"patterns\":128,\"before_s\":" + std::to_string(before_total) +
+      ",\"after_s\":" + std::to_string(after_total) +
+      ",\"speedup\":" + std::to_string(speedup) +
+      ",\"identical\":" + (identical ? "true" : "false") +
+      ",\"threshold\":1.5,\"circuits\":" + per_circuit_json + "}";
+  std::ofstream("BENCH_compiled.json") << json << "\n";
+  std::cout << json << "\n";
+
+  return identical && speedup >= 1.5 ? 0 : 1;
+}
+
+}  // namespace
+
+int main() {
+  const int context_rc = run_context_leg();
+  const int compiled_rc = run_compiled_leg();
+  return context_rc != 0 ? context_rc : compiled_rc;
 }

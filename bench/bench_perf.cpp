@@ -126,6 +126,51 @@ void BM_ContextTransistorSim(benchmark::State& state) {
 }
 BENCHMARK(BM_ContextTransistorSim);
 
+void BM_CompiledScalarSim(benchmark::State& state) {
+  // Scalar good-machine throughput of the compiled table-driven kernel
+  // (the layer under every ATPG verification loop and serial fault pass).
+  const logic::Circuit ckt = logic::alu_slice();
+  const logic::Simulator sim(ckt);
+  std::vector<logic::Pattern> patterns;
+  util::SplitMix64 rng(11);
+  for (int k = 0; k < 32; ++k) {
+    logic::Pattern p;
+    for (std::size_t i = 0; i < ckt.primary_inputs().size(); ++i)
+      p.push_back(logic::from_bool(rng.chance(0.5)));
+    patterns.push_back(std::move(p));
+  }
+  std::size_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.simulate(patterns[k]));
+    k = (k + 1) % patterns.size();
+  }
+}
+BENCHMARK(BM_CompiledScalarSim);
+
+void BM_CompiledLineFaultSim(benchmark::State& state) {
+  // Full line-stuck-at campaign through the compiled packed kernels
+  // (scratch-buffer reuse, driver-skip stem faults).
+  const logic::Circuit ckt = logic::parity_tree(32);
+  const faults::FaultSimulator fsim(ckt);
+  faults::FaultListOptions flo;
+  flo.include_transistor_faults = false;
+  const auto faults = generate_fault_list(ckt, flo);
+  std::vector<logic::Pattern> patterns;
+  util::SplitMix64 rng(13);
+  for (int k = 0; k < 128; ++k) {
+    logic::Pattern p;
+    for (std::size_t i = 0; i < ckt.primary_inputs().size(); ++i)
+      p.push_back(logic::from_bool(rng.chance(0.5)));
+    patterns.push_back(std::move(p));
+  }
+  const faults::EvalContext ctx(ckt, patterns);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fsim.run(ctx, faults));
+  }
+  state.counters["faults"] = static_cast<double>(faults.size());
+}
+BENCHMARK(BM_CompiledLineFaultSim);
+
 void BM_PodemLineFault(benchmark::State& state) {
   const logic::Circuit ckt = logic::multiplier_2x2();
   const atpg::PodemEngine engine(ckt);

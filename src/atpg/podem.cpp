@@ -65,11 +65,19 @@ struct Target {
 
 class Solver {
  public:
-  Solver(const logic::Circuit& ckt, Target target, const PodemOptions& opt,
+  Solver(const logic::Circuit& ckt, const logic::CompiledCircuit& cc,
+         Target target, const PodemOptions& opt,
          const std::vector<Testability>* scoap)
-      : ckt_(ckt), target_(target), opt_(opt), scoap_(scoap) {
+      : ckt_(ckt), cc_(cc), target_(target), opt_(opt), scoap_(scoap) {
     pi_assign_.assign(ckt.primary_inputs().size(), LogicV::kX);
     values_.assign(static_cast<std::size_t>(ckt.net_count()), V5::x());
+    // Constant nets never change across implications: seed them once and
+    // copy the baseline per imply() instead of re-reading the circuit.
+    base_.assign(static_cast<std::size_t>(ckt.net_count()), V5::x());
+    for (NetId n = 0; n < ckt.net_count(); ++n) {
+      const LogicV c = ckt.constant_of(n);
+      if (is_binary(c)) base_[static_cast<std::size_t>(n)] = V5::both(c);
+    }
   }
 
   AtpgResult run() {
@@ -134,11 +142,8 @@ class Solver {
   }
 
   void imply() {
-    for (NetId n = 0; n < ckt_.net_count(); ++n) {
-      const LogicV c = ckt_.constant_of(n);
-      values_[static_cast<std::size_t>(n)] =
-          is_binary(c) ? V5::both(c) : V5::x();
-    }
+    using logic::CompiledCircuit;
+    values_ = base_;
     const auto& pis = ckt_.primary_inputs();
     for (std::size_t i = 0; i < pis.size(); ++i)
       values_[static_cast<std::size_t>(pis[i])] = V5::both(pi_assign_[i]);
@@ -148,23 +153,27 @@ class Solver {
       values_[static_cast<std::size_t>(target_.line_net)].faulty =
           target_.stuck;
 
-    for (const int gid : ckt_.topo_order()) {
-      const logic::GateInst& g = ckt_.gate(gid);
-      V5 in_v[3] = {V5::x(), V5::x(), V5::x()};
-      for (int i = 0; i < g.input_count(); ++i)
-        in_v[i] = net_value(g.in[static_cast<std::size_t>(i)]);
+    // Forward implication off the compiled records: both the good and the
+    // faulty component come from the levelized 4-valued tables (unused
+    // pins alias slot 0, whose code the tables ignore).
+    for (const CompiledCircuit::GateRec& g : cc_.gates()) {
+      V5 in_v[3] = {values_[static_cast<std::size_t>(g.in[0])],
+                    values_[static_cast<std::size_t>(g.in[1])],
+                    values_[static_cast<std::size_t>(g.in[2])]};
       // Branch fault: only this gate's pin sees the forced value.
-      if (target_.line && target_.line_gate == gid)
+      if (target_.line && target_.line_gate == g.id)
         in_v[target_.line_pin].faulty = target_.stuck;
 
       V5 out;
-      out.good = logic::eval_cell_x(g.kind, in_v[0].good, in_v[1].good,
-                                    in_v[2].good);
-      if (target_.functional && target_.func_gate == gid) {
-        out.faulty = faulty_gate_output(in_v);
+      out.good = g.table[CompiledCircuit::code(in_v[0].good) |
+                         (CompiledCircuit::code(in_v[1].good) << 2) |
+                         (CompiledCircuit::code(in_v[2].good) << 4)];
+      if (target_.functional && target_.func_gate == g.id) {
+        out.faulty = faulty_gate_output(in_v, g.n_in);
       } else {
-        out.faulty = logic::eval_cell_x(g.kind, in_v[0].faulty,
-                                        in_v[1].faulty, in_v[2].faulty);
+        out.faulty = g.table[CompiledCircuit::code(in_v[0].faulty) |
+                             (CompiledCircuit::code(in_v[1].faulty) << 2) |
+                             (CompiledCircuit::code(in_v[2].faulty) << 4)];
       }
       values_[static_cast<std::size_t>(g.out)] = out;
       if (target_.line && target_.line_gate < 0 &&
@@ -175,10 +184,10 @@ class Solver {
 
   /// Faulty output of the functional-faulted gate from its dictionary;
   /// needs binary faulty-side local inputs.
-  [[nodiscard]] LogicV faulty_gate_output(const V5 in_v[3]) const {
-    const logic::GateInst& g = ckt_.gate(target_.func_gate);
+  [[nodiscard]] LogicV faulty_gate_output(const V5 in_v[3],
+                                          unsigned n_in) const {
     unsigned bits = 0;
-    for (int i = 0; i < g.input_count(); ++i) {
+    for (unsigned i = 0; i < n_in; ++i) {
       if (!is_binary(in_v[i].faulty)) return LogicV::kX;
       if (in_v[i].faulty == LogicV::k1) bits |= 1u << i;
     }
@@ -438,19 +447,30 @@ class Solver {
   }
 
   const logic::Circuit& ckt_;
+  const logic::CompiledCircuit& cc_;
   Target target_;
   PodemOptions opt_;
   const std::vector<Testability>* scoap_ = nullptr;
   std::vector<LogicV> pi_assign_;
   std::vector<V5> values_;
+  std::vector<V5> base_;  ///< constants seeded, everything else X
   int backtracks_ = 0;
 };
 
 }  // namespace
 
-PodemEngine::PodemEngine(const logic::Circuit& ckt) : ckt_(ckt) {
+namespace {
+
+const logic::Circuit& require_finalized(const logic::Circuit& ckt) {
   if (!ckt.finalized())
     throw std::invalid_argument("PodemEngine: circuit not finalized");
+  return ckt;
+}
+
+}  // namespace
+
+PodemEngine::PodemEngine(const logic::Circuit& ckt)
+    : ckt_(ckt), cc_(require_finalized(ckt)) {
   scoap_ = compute_scoap(ckt);
 }
 
@@ -469,7 +489,7 @@ AtpgResult PodemEngine::generate_line(const Fault& fault,
     t.line_net = ckt_.gate(fault.gate)
                      .in[static_cast<std::size_t>(fault.pin)];
   }
-  return Solver(ckt_, t, opt, &scoap_).run();
+  return Solver(ckt_, cc_, t, opt, &scoap_).run();
 }
 
 AtpgResult PodemEngine::generate_functional(const Fault& fault,
@@ -489,7 +509,7 @@ AtpgResult PodemEngine::generate_functional(const Fault& fault,
     t.dictionary = &fa;
     t.cube_gate = fault.gate;
     t.cube = row.input;
-    last = Solver(ckt_, t, opt, &scoap_).run();
+    last = Solver(ckt_, cc_, t, opt, &scoap_).run();
     if (last.status == AtpgStatus::kDetected) return last;
     if (last.status == AtpgStatus::kAborted) any_aborted = true;
   }
@@ -536,7 +556,7 @@ AtpgResult PodemEngine::generate_functional_retained(
   t.cube_gate = fault.gate;
   t.cube = cube;
   t.retained = good_is_one ? LogicV::k0 : LogicV::k1;
-  return Solver(ckt_, t, opt, &scoap_).run();
+  return Solver(ckt_, cc_, t, opt, &scoap_).run();
 }
 
 AtpgResult PodemEngine::justify_net_value(logic::NetId net,
@@ -559,7 +579,7 @@ AtpgResult PodemEngine::justify_net_values(
   Target t;
   t.justify_only = true;
   t.justify_nets = goals;
-  return Solver(ckt_, t, opt, &scoap_).run();
+  return Solver(ckt_, cc_, t, opt, &scoap_).run();
 }
 
 AtpgResult PodemEngine::justify_gate_cube(int gate, unsigned cube,
@@ -570,7 +590,7 @@ AtpgResult PodemEngine::justify_gate_cube(int gate, unsigned cube,
   t.justify_only = true;
   t.cube_gate = gate;
   t.cube = cube;
-  return Solver(ckt_, t, opt, &scoap_).run();
+  return Solver(ckt_, cc_, t, opt, &scoap_).run();
 }
 
 }  // namespace cpsinw::atpg

@@ -48,7 +48,10 @@ struct PodemOptions {
 /// PODEM engine bound to a finalized circuit.  SCOAP testability measures
 /// are computed once at construction and guide the backtrace (cheapest
 /// controllable input first) and D-frontier selection (most observable
-/// gate first).
+/// gate first).  The circuit is also compiled once
+/// (logic::CompiledCircuit): every forward-implication pass of the search
+/// runs both the good and faulty component off the levelized 4-valued
+/// tables instead of re-interpreting the gate list.
 class PodemEngine {
  public:
   explicit PodemEngine(const logic::Circuit& ckt);
@@ -98,6 +101,7 @@ class PodemEngine {
 
  private:
   const logic::Circuit& ckt_;
+  logic::CompiledCircuit cc_;
   std::vector<Testability> scoap_;
 };
 

@@ -23,6 +23,8 @@ std::vector<TransitionFault> enumerate_transition_faults(
 bool transition_detected(const logic::Circuit& ckt,
                          const TransitionFault& fault,
                          const Pattern& launch, const Pattern& capture) {
+  if (fault.net < 0 || fault.net >= ckt.net_count())
+    throw std::invalid_argument("transition_detected: bad net");
   const LogicV old_v = fault.old_value();
 
   // One context serves the launch/capture good values and the packed
@@ -44,9 +46,16 @@ bool transition_detected(const logic::Circuit& ckt,
 TransitionResult generate_transition_test(const logic::Circuit& ckt,
                                           const TransitionFault& fault,
                                           const PodemOptions& opt) {
+  const PodemEngine engine(ckt);
+  return generate_transition_test(engine, fault, opt);
+}
+
+TransitionResult generate_transition_test(const PodemEngine& engine,
+                                          const TransitionFault& fault,
+                                          const PodemOptions& opt) {
+  const logic::Circuit& ckt = engine.circuit();
   if (fault.net < 0 || fault.net >= ckt.net_count())
     throw std::invalid_argument("generate_transition_test: bad net");
-  const PodemEngine engine(ckt);
   TransitionResult result;
 
   // Capture: a stuck-at-(old value) test — it drives the net to the new
@@ -77,9 +86,12 @@ TransitionResult generate_transition_test(const logic::Circuit& ckt,
 TransitionCoverage generate_all_transition_tests(const logic::Circuit& ckt,
                                                  const PodemOptions& opt) {
   TransitionCoverage cov;
+  // One engine for the whole sweep: the circuit is compiled and SCOAP
+  // computed once, not once per transition fault.
+  const PodemEngine engine(ckt);
   for (const TransitionFault& f : enumerate_transition_faults(ckt)) {
     ++cov.total;
-    TransitionResult r = generate_transition_test(ckt, f, opt);
+    TransitionResult r = generate_transition_test(engine, f, opt);
     switch (r.status) {
       case AtpgStatus::kDetected:
         ++cov.detected;

@@ -59,6 +59,12 @@ struct TransitionResult {
     const logic::Circuit& ckt, const TransitionFault& fault,
     const PodemOptions& opt = {});
 
+/// As above, against a caller-owned engine: the whole-netlist sweep
+/// compiles the circuit and computes SCOAP once instead of per fault.
+[[nodiscard]] TransitionResult generate_transition_test(
+    const PodemEngine& engine, const TransitionFault& fault,
+    const PodemOptions& opt = {});
+
 /// Transition-fault summary over a circuit.
 struct TransitionCoverage {
   int total = 0;

@@ -12,16 +12,24 @@ using faults::FaultSite;
 TwoPatternResult generate_two_pattern(const logic::Circuit& ckt,
                                       const Fault& fault,
                                       const PodemOptions& opt) {
+  const PodemEngine engine(ckt);
+  const faults::FaultSimulator fsim(ckt);
+  return generate_two_pattern(engine, fsim, fault, opt);
+}
+
+TwoPatternResult generate_two_pattern(const PodemEngine& engine,
+                                      const faults::FaultSimulator& fsim,
+                                      const Fault& fault,
+                                      const PodemOptions& opt) {
   if (fault.site != FaultSite::kGateTransistor ||
       fault.cell_fault.kind != gates::TransistorFault::kStuckOpen)
     throw std::invalid_argument(
         "generate_two_pattern: needs a transistor stuck-open fault");
 
+  const logic::Circuit& ckt = engine.circuit();
   const logic::GateInst& g = ckt.gate(fault.gate);
   const gates::FaultAnalysis& fa =
       gates::DictionaryCache::global().lookup(g.kind, fault.cell_fault);
-  const PodemEngine engine(ckt);
-  const faults::FaultSimulator fsim(ckt);
 
   TwoPatternResult result;
   bool any_aborted = false;
@@ -73,11 +81,15 @@ TwoPatternResult generate_two_pattern(const logic::Circuit& ckt,
 std::vector<TwoPatternResult> generate_all_stuck_open_tests(
     const logic::Circuit& ckt, const PodemOptions& opt) {
   std::vector<TwoPatternResult> out;
+  // One engine + fault simulator for the whole sweep: the circuit is
+  // compiled and SCOAP computed once, not once per stuck-open fault.
+  const PodemEngine engine(ckt);
+  const faults::FaultSimulator fsim(ckt);
   for (const logic::GateInst& g : ckt.gates()) {
     const int nt = static_cast<int>(gates::cell(g.kind).transistors.size());
     for (int t = 0; t < nt; ++t) {
       out.push_back(generate_two_pattern(
-          ckt,
+          engine, fsim,
           Fault::transistor(g.id, t, gates::TransistorFault::kStuckOpen),
           opt));
     }

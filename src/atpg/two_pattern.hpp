@@ -38,6 +38,13 @@ struct TwoPatternResult {
     const logic::Circuit& ckt, const faults::Fault& fault,
     const PodemOptions& opt = {});
 
+/// As above, against caller-owned engines: the whole-circuit sweep
+/// compiles the circuit and computes SCOAP once instead of per fault.
+/// Both must be bound to the same circuit.
+[[nodiscard]] TwoPatternResult generate_two_pattern(
+    const PodemEngine& engine, const faults::FaultSimulator& fsim,
+    const faults::Fault& fault, const PodemOptions& opt = {});
+
 /// Generates two-pattern tests for every stuck-open fault of the circuit;
 /// returns one entry per fault in enumeration order.
 [[nodiscard]] std::vector<TwoPatternResult> generate_all_stuck_open_tests(

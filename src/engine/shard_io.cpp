@@ -481,6 +481,34 @@ int checked_version(const JsonValue& doc) {
 
 }  // namespace
 
+std::string context_fingerprint(const logic::Circuit& ckt,
+                                const std::vector<logic::Pattern>& patterns) {
+  Json j;
+  j.open_object();
+  j.key("circuit");
+  emit_circuit(j, ckt);
+  j.key("patterns");
+  j.open_array();
+  for (const logic::Pattern& p : patterns) {
+    std::string s;
+    s.reserve(p.size());
+    for (const logic::LogicV v : p) s += logic::to_string(v);
+    j.value(s);
+  }
+  j.close_array();
+  j.close_object();
+  return std::move(j).str();
+}
+
+std::uint64_t fingerprint_hash(const std::string& fingerprint) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a 64
+  for (const char c : fingerprint) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
 std::string serialize_shard_input(const logic::Circuit& ckt,
                                   const std::vector<logic::Pattern>& patterns,
                                   const std::vector<CampaignFault>& universe,

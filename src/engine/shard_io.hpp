@@ -52,6 +52,19 @@ struct ShardWorkInput {
 /// @throws std::runtime_error on malformed JSON or an unknown version
 [[nodiscard]] ShardResult parse_shard_result(const std::string& text);
 
+/// Stable content fingerprint of a (circuit, pattern set) pair — the
+/// memoization key for endpoint-side context caching: two shard work
+/// documents share one compiled faults::EvalContext iff their fingerprints
+/// are byte-equal.  Uses the exact v1 circuit/pattern encodings, so it
+/// covers everything that affects evaluation (net kinds and ids, gate
+/// kinds/pins/outputs, PO marks, every pattern value).
+[[nodiscard]] std::string context_fingerprint(
+    const logic::Circuit& ckt, const std::vector<logic::Pattern>& patterns);
+
+/// 64-bit FNV-1a of a fingerprint (compact form for log lines; the cache
+/// itself compares full fingerprints, never hashes).
+[[nodiscard]] std::uint64_t fingerprint_hash(const std::string& fingerprint);
+
 /// Cross-checks a parsed result against the shard it should answer for:
 /// identity (job, index) and record count.  Returns "" on a match or the
 /// mismatch description — shared by every backend that receives results

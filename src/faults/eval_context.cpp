@@ -4,19 +4,27 @@
 
 namespace cpsinw::faults {
 
+namespace {
+
+const logic::Circuit& require_finalized(const logic::Circuit& ckt) {
+  if (!ckt.finalized())
+    throw std::invalid_argument("EvalContext: circuit not finalized");
+  return ckt;
+}
+
+}  // namespace
+
 EvalContext::EvalContext(const logic::Circuit& ckt,
                          std::vector<logic::Pattern> patterns,
                          gates::DictionaryCache* cache)
     : ckt_(&ckt),
       cache_(cache != nullptr ? cache : &gates::DictionaryCache::global()),
-      patterns_(std::move(patterns)) {
-  if (!ckt.finalized())
-    throw std::invalid_argument("EvalContext: circuit not finalized");
-
-  // Scalar good machine, once per pattern (this also validates arity).
-  const logic::Simulator sim(ckt);
+      patterns_(std::move(patterns)),
+      sim_(require_finalized(ckt)) {
+  // Scalar good machine, once per pattern (this also validates arity);
+  // the compilation behind sim_ is shared by every pass below.
   good_.reserve(patterns_.size());
-  for (const logic::Pattern& p : patterns_) good_.push_back(sim.simulate(p));
+  for (const logic::Pattern& p : patterns_) good_.push_back(sim_.simulate(p));
 
   // Packed batches need fully-specified patterns; an X anywhere keeps the
   // context scalar-only (the serial transistor paths still work).
@@ -42,7 +50,8 @@ EvalContext::EvalContext(const logic::Circuit& ckt,
         patterns_.begin() + static_cast<long>(base),
         patterns_.begin() + static_cast<long>(base + count));
     b.pi_words = logic::pack_patterns(ckt, slice);
-    b.net_words = logic::simulate_packed(ckt, b.pi_words);
+    sim_.compiled().init_packed(b.pi_words, b.net_words);
+    sim_.compiled().eval_packed(b.net_words);
     batches_.push_back(std::move(b));
   }
 }

@@ -18,6 +18,7 @@
 //     gates::DictionaryCache::global()) and must outlive the context.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -59,7 +60,8 @@ class EvalContext {
 
   /// Fault-free scalar simulation of pattern `index` (precomputed).
   [[nodiscard]] const logic::SimResult& good(std::size_t index) const {
-    return good_.at(index);
+    assert(index < good_.size());
+    return good_[index];
   }
 
   /// Memoized switch-level dictionary of (kind, fault).
@@ -70,10 +72,17 @@ class EvalContext {
 
   [[nodiscard]] gates::DictionaryCache& cache() const { return *cache_; }
 
+  /// The circuit compilation the context's good machine was produced by
+  /// (one compile per context; shared by every shard of a job).
+  [[nodiscard]] const logic::CompiledCircuit& compiled() const {
+    return sim_.compiled();
+  }
+
  private:
   const logic::Circuit* ckt_;
   gates::DictionaryCache* cache_;
   std::vector<logic::Pattern> patterns_;
+  logic::Simulator sim_;
   std::vector<logic::SimResult> good_;
   std::vector<Batch> batches_;
   bool packed_ = false;

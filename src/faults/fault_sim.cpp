@@ -31,34 +31,33 @@ void FaultSimulator::check_context(const EvalContext& ctx) const {
         "FaultSimulator: context built for a different circuit");
 }
 
-std::vector<std::uint64_t> FaultSimulator::simulate_packed_with_line_fault(
-    const std::vector<std::uint64_t>& pi_words, const Fault& fault) const {
-  std::vector<std::uint64_t> values(
-      static_cast<std::size_t>(ckt_.net_count()), 0);
-  for (logic::NetId n = 0; n < ckt_.net_count(); ++n)
-    if (ckt_.constant_of(n) == LogicV::k1)
-      values[static_cast<std::size_t>(n)] = ~0ull;
-  for (std::size_t i = 0; i < pi_words.size(); ++i)
-    values[static_cast<std::size_t>(ckt_.primary_inputs()[i])] = pi_words[i];
-
-  const std::uint64_t forced = fault.stuck_at_one ? ~0ull : 0ull;
-  if (fault.site == FaultSite::kNet)
-    values[static_cast<std::size_t>(fault.net)] = forced;
-
-  for (const int gid : ckt_.topo_order()) {
-    const logic::GateInst& g = ckt_.gate(gid);
-    std::uint64_t in[3] = {0, 0, 0};
-    for (int i = 0; i < g.input_count(); ++i) {
-      in[i] = values[static_cast<std::size_t>(g.in[static_cast<std::size_t>(i)])];
-      if (fault.site == FaultSite::kGateInput && fault.gate == gid &&
-          fault.pin == i)
-        in[i] = forced;
-    }
-    std::uint64_t out = logic::eval_cell_packed(g.kind, in[0], in[1], in[2]);
-    if (fault.site == FaultSite::kNet && g.out == fault.net) out = forced;
-    values[static_cast<std::size_t>(g.out)] = out;
+logic::CompiledCircuit::LineFault checked_line_fault(
+    const logic::Circuit& ckt, const Fault& fault) {
+  logic::CompiledCircuit::LineFault lf;
+  lf.stuck_one = fault.stuck_at_one;
+  if (fault.site == FaultSite::kNet) {
+    if (fault.net < 0 || fault.net >= ckt.net_count())
+      throw std::invalid_argument("line fault: net id out of range");
+    lf.net = fault.net;
+    return lf;
   }
-  return values;
+  if (fault.site != FaultSite::kGateInput)
+    throw std::invalid_argument("line fault: transistor fault");
+  if (fault.gate < 0 || fault.gate >= ckt.gate_count())
+    throw std::invalid_argument("line fault: gate id out of range");
+  if (fault.pin < 0 || fault.pin >= ckt.gate(fault.gate).input_count())
+    throw std::invalid_argument("line fault: pin out of range");
+  lf.gate = fault.gate;
+  lf.pin = fault.pin;
+  return lf;
+}
+
+void FaultSimulator::packed_line_fault(
+    const std::vector<std::uint64_t>& pi_words, const Fault& fault,
+    std::vector<std::uint64_t>& values) const {
+  const logic::CompiledCircuit& cc = sim_.compiled();
+  cc.init_packed(pi_words, values);
+  cc.eval_packed_line(values, checked_line_fault(ckt_, fault));
 }
 
 FaultSimReport FaultSimulator::run(const std::vector<Fault>& faults,
@@ -102,7 +101,9 @@ std::vector<DetectionRecord> FaultSimulator::run_range(
 
   // --- Line faults: 64-pattern-parallel batches against the context's
   // precomputed good-machine words (simulated once per pattern set, not
-  // once per shard or per fault). ------------------------------------------
+  // once per shard or per fault).  One scratch buffer serves every fault
+  // and batch of this call. ------------------------------------------------
+  std::vector<std::uint64_t> scratch;
   for (std::size_t bi = 0; any_line_fault && bi < ctx.batches().size(); ++bi) {
     const EvalContext::Batch& batch = ctx.batches()[bi];
     for (std::size_t fi = begin; fi < end; ++fi) {
@@ -110,11 +111,11 @@ std::vector<DetectionRecord> FaultSimulator::run_range(
       if (f.site == FaultSite::kGateTransistor) continue;
       DetectionRecord& rec = records[fi - begin];
       if (rec.detected_output) continue;  // fault dropping
-      const auto faulty = simulate_packed_with_line_fault(batch.pi_words, f);
+      packed_line_fault(batch.pi_words, f, scratch);
       std::uint64_t diff = 0;
       for (const logic::NetId po : ckt_.primary_outputs())
         diff |= (batch.net_words[static_cast<std::size_t>(po)] ^
-                 faulty[static_cast<std::size_t>(po)]);
+                 scratch[static_cast<std::size_t>(po)]);
       diff &= batch.active;
       if (diff != 0) {
         rec.detected_output = true;
@@ -138,9 +139,13 @@ bool FaultSimulator::line_fault_detected(const Fault& fault,
                                          const Pattern& pattern) const {
   if (fault.site == FaultSite::kGateTransistor)
     throw std::invalid_argument("line_fault_detected: transistor fault");
+  const logic::CompiledCircuit& cc = sim_.compiled();
   const auto pi_words = logic::pack_patterns(ckt_, {pattern});
-  const auto good = logic::simulate_packed(ckt_, pi_words);
-  const auto faulty = simulate_packed_with_line_fault(pi_words, fault);
+  std::vector<std::uint64_t> good;
+  cc.init_packed(pi_words, good);
+  cc.eval_packed(good);
+  std::vector<std::uint64_t> faulty;
+  packed_line_fault(pi_words, fault, faulty);
   for (const logic::NetId po : ckt_.primary_outputs())
     if (((good[static_cast<std::size_t>(po)] ^
           faulty[static_cast<std::size_t>(po)]) &
@@ -161,7 +166,8 @@ bool FaultSimulator::line_fault_detected(const EvalContext& ctx,
     return line_fault_detected(fault, ctx.patterns()[pattern_index]);
   const EvalContext::Batch& batch = ctx.batches()[pattern_index / 64];
   const std::uint64_t bit = 1ull << (pattern_index % 64);
-  const auto faulty = simulate_packed_with_line_fault(batch.pi_words, fault);
+  std::vector<std::uint64_t> faulty;
+  packed_line_fault(batch.pi_words, fault, faulty);
   for (const logic::NetId po : ckt_.primary_outputs())
     if (((batch.net_words[static_cast<std::size_t>(po)] ^
           faulty[static_cast<std::size_t>(po)]) &
@@ -225,8 +231,7 @@ DetectionRecord FaultSimulator::simulate_transistor_fault(
   // propagate) behave as a combinational table substitution: 64 patterns
   // per pass.  Floating/marginal faults keep the retained-state serial
   // path that two-pattern stuck-open detection relies on.
-  if (options.batch_transistor_faults && ctx.packed() &&
-      !fa.needs_sequence && !fa.marginal_detectable)
+  if (options.batch_transistor_faults && ctx.packed() && fa.compiled_binary)
     return simulate_transistor_packed(ctx, fault, fa, options);
   return simulate_transistor_serial(ctx, fault, fa, options);
 }
@@ -270,44 +275,14 @@ DetectionRecord FaultSimulator::simulate_transistor_packed(
     const EvalContext& ctx, const Fault& fault,
     const gates::FaultAnalysis& fa, const FaultSimOptions& options) const {
   DetectionRecord rec;
-  std::vector<std::uint64_t> values(
-      static_cast<std::size_t>(ckt_.net_count()), 0);
+  const logic::CompiledCircuit& cc = sim_.compiled();
+  std::vector<std::uint64_t> values;
 
   for (const EvalContext::Batch& batch : ctx.batches()) {
-    for (logic::NetId n = 0; n < ckt_.net_count(); ++n)
-      values[static_cast<std::size_t>(n)] =
-          ckt_.constant_of(n) == LogicV::k1 ? ~0ull : 0ull;
-    for (std::size_t i = 0; i < batch.pi_words.size(); ++i)
-      values[static_cast<std::size_t>(ckt_.primary_inputs()[i])] =
-          batch.pi_words[i];
-
     // Faulty machine: every gate evaluates normally except the faulted
-    // one, whose output word comes from its dictionary's faulty-logic
-    // table.  Its local inputs equal the good machine's (the circuit is
-    // acyclic and this is the only faulted gate), so the contention word
-    // doubles as the per-pattern IDDQ excitation mask.
-    std::uint64_t contention = 0;
-    for (const int gid : ckt_.topo_order()) {
-      const logic::GateInst& g = ckt_.gate(gid);
-      std::uint64_t in[3] = {0, 0, 0};
-      for (int i = 0; i < g.input_count(); ++i)
-        in[i] =
-            values[static_cast<std::size_t>(g.in[static_cast<std::size_t>(i)])];
-      std::uint64_t out;
-      if (gid == fault.gate) {
-        out = 0;
-        for (const gates::FaultRow& row : fa.rows) {
-          std::uint64_t minterm = ~0ull;
-          for (int i = 0; i < g.input_count(); ++i)
-            minterm &= ((row.input >> i) & 1u) != 0 ? in[i] : ~in[i];
-          if (fa.faulty_logic(row.input) == 1) out |= minterm;
-          if (row.faulty.contention) contention |= minterm;
-        }
-      } else {
-        out = logic::eval_cell_packed(g.kind, in[0], in[1], in[2]);
-      }
-      values[static_cast<std::size_t>(g.out)] = out;
-    }
+    // one, whose output word comes from its compiled faulty table.
+    cc.init_packed(batch.pi_words, values);
+    std::uint64_t contention = cc.eval_packed_faulty(values, fault.gate, fa);
 
     std::uint64_t diff = 0;
     for (const logic::NetId po : ckt_.primary_outputs())

@@ -58,6 +58,16 @@ struct FaultSimReport {
   [[nodiscard]] double coverage() const;  ///< detected / total
 };
 
+/// Validates a line stuck-at fault against the circuit and converts it to
+/// the compiled-kernel descriptor.  The compiled kernels index with the
+/// fault's fields unchecked (asserts in debug), so every path into them
+/// funnels through this check — including faults parsed from untrusted
+/// shard_io documents.
+/// @throws std::invalid_argument on a transistor fault or out-of-range
+///   net/gate/pin fields
+[[nodiscard]] logic::CompiledCircuit::LineFault checked_line_fault(
+    const logic::Circuit& ckt, const Fault& fault);
+
 /// Fault simulator bound to one circuit.
 class FaultSimulator {
  public:
@@ -125,9 +135,13 @@ class FaultSimulator {
   [[nodiscard]] const logic::Circuit& circuit() const { return ckt_; }
 
  private:
-  /// Packed faulty simulation with a line forced to a constant.
-  [[nodiscard]] std::vector<std::uint64_t> simulate_packed_with_line_fault(
-      const std::vector<std::uint64_t>& pi_words, const Fault& fault) const;
+  /// Packed faulty simulation with a line forced to a constant, written
+  /// into `values` — a scratch buffer the callers reuse across faults and
+  /// batches (the interpreted predecessor allocated a fresh vector per
+  /// fault per batch).
+  void packed_line_fault(const std::vector<std::uint64_t>& pi_words,
+                         const Fault& fault,
+                         std::vector<std::uint64_t>& values) const;
 
   /// Serial retained-state transistor path over the context's patterns.
   [[nodiscard]] DetectionRecord simulate_transistor_serial(

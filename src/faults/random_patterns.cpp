@@ -1,8 +1,8 @@
 #include "faults/random_patterns.hpp"
 
+#include <cstdint>
 #include <stdexcept>
 
-#include "faults/eval_context.hpp"
 #include "gates/dictionary_cache.hpp"
 #include "util/rng.hpp"
 
@@ -20,22 +20,30 @@ RandomPatternResult run_random_patterns(const logic::Circuit& ckt,
     throw std::invalid_argument(
         "run_random_patterns: one_probability must be in (0,1)");
 
-  const FaultSimulator fsim(ckt);
   const logic::Simulator sim(ckt);
+  // One compilation for the whole run (also backing `sim`); building an
+  // EvalContext per generated pattern would recompile the circuit each
+  // time.
+  const logic::CompiledCircuit& cc = sim.compiled();
   util::SplitMix64 rng(options.seed);
 
   // Per-transistor-fault cached dictionary and retained net state, so that
   // floating outputs carry charge across the random sequence (chance
-  // two-pattern stuck-open detection).
+  // two-pattern stuck-open detection); per-line-fault validated compiled
+  // descriptors.
   struct TransState {
     logic::GateFault gf;
     const gates::FaultAnalysis* fa = nullptr;
     std::vector<LogicV> state;
   };
   std::vector<TransState> trans(faults.size());
+  std::vector<logic::CompiledCircuit::LineFault> line(faults.size());
   for (std::size_t fi = 0; fi < faults.size(); ++fi) {
     const Fault& f = faults[fi];
-    if (f.site != FaultSite::kGateTransistor) continue;
+    if (f.site != FaultSite::kGateTransistor) {
+      line[fi] = checked_line_fault(ckt, f);
+      continue;
+    }
     trans[fi].gf = {f.gate, f.cell_fault};
     trans[fi].fa = &gates::DictionaryCache::global().lookup(
         ckt.gate(f.gate).kind, f.cell_fault);
@@ -47,15 +55,19 @@ RandomPatternResult run_random_patterns(const logic::Circuit& ckt,
   int detected_count = 0;
   int stale = 0;
 
+  std::vector<std::uint64_t> good_words;
+  std::vector<std::uint64_t> faulty_words;
   for (int k = 0; k < options.max_patterns; ++k) {
     Pattern p(ckt.primary_inputs().size());
     for (auto& v : p)
       v = logic::from_bool(rng.chance(options.one_probability));
 
-    // One shared context per generated pattern: the good machine and the
-    // packed words are computed once here, not once per fault below.
-    const EvalContext ctx(ckt, {p});
-    const logic::SimResult& good = ctx.good(0);
+    // Per generated pattern: the scalar good machine and the packed good
+    // words are computed once here, not once per fault below.
+    const logic::SimResult good = sim.simulate(p);
+    const auto pi_words = logic::pack_patterns(ckt, {p});
+    cc.init_packed(pi_words, good_words);
+    cc.eval_packed(good_words);
 
     bool progress = false;
     for (std::size_t fi = 0; fi < faults.size(); ++fi) {
@@ -77,7 +89,15 @@ RandomPatternResult run_random_patterns(const logic::Circuit& ckt,
         }
       } else {
         if (detected[fi]) continue;
-        hit = fsim.line_fault_detected(ctx, f, 0);
+        cc.init_packed(pi_words, faulty_words);
+        cc.eval_packed_line(faulty_words, line[fi]);
+        for (const logic::NetId po : ckt.primary_outputs())
+          if (((good_words[static_cast<std::size_t>(po)] ^
+                faulty_words[static_cast<std::size_t>(po)]) &
+               1ull) != 0) {
+            hit = true;
+            break;
+          }
       }
       if (hit && !detected[fi]) {
         detected[fi] = 1;

@@ -11,13 +11,6 @@ RowEffect classify_row(const FaultRow& row) {
   return f.contention ? RowEffect::kIddqOnly : RowEffect::kNone;
 }
 
-int FaultAnalysis::faulty_logic(unsigned input) const {
-  const FaultRow& row = rows.at(input);
-  if (row.faulty.floating) return -2;
-  const int lv = logic_value(row.faulty.out);
-  return lv;  // 0, 1, or -1 for X/marginal
-}
-
 bool FaultAnalysis::equivalent_to(const FaultAnalysis& other) const {
   if (kind != other.kind || rows.size() != other.rows.size()) return false;
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -43,6 +36,8 @@ FaultAnalysis analyze_fault(CellKind kind, CellFault fault) {
   const int n = input_count(kind);
   const unsigned combos = 1u << n;
   out.rows.reserve(combos);
+  out.compiled_logic.fill(-1);
+  out.compiled_binary = true;
   for (unsigned v = 0; v < combos; ++v) {
     FaultRow row;
     row.input = v;
@@ -65,7 +60,14 @@ FaultAnalysis analyze_fault(CellKind kind, CellFault fault) {
     if (row.faulty.contention) {
       out.iddq_detectable = true;
       if (!out.first_iddq_vector) out.first_iddq_vector = v;
+      out.compiled_contention |= static_cast<std::uint8_t>(1u << v);
     }
+    // Compiled faulty-table view for the table-driven kernels.
+    const int lv =
+        row.faulty.floating ? -2 : logic_value(row.faulty.out);
+    out.compiled_logic[v] = static_cast<std::int8_t>(lv);
+    if (lv == 1) out.compiled_truth |= static_cast<std::uint8_t>(1u << v);
+    if (lv != 0 && lv != 1) out.compiled_binary = false;
     out.rows.push_back(row);
   }
   return out;

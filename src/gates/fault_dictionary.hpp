@@ -4,6 +4,9 @@
 // simulator and the functional-fault ATPG consume.
 #pragma once
 
+#include <array>
+#include <cassert>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -45,9 +48,25 @@ struct FaultAnalysis {
   std::optional<unsigned> first_output_vector;  ///< first kWrongValue row
   std::optional<unsigned> first_iddq_vector;    ///< first contention row
 
+  // Compiled faulty-table view, derived once alongside the rows — what the
+  // table-driven evaluation kernels consume (see logic::CompiledCircuit).
+  // Indexed by the local binary input vector (bit i = input i); only the
+  // cell's 2^n low entries/bits are meaningful.
+  std::array<std::int8_t, 8> compiled_logic{};  ///< faulty_logic(v) per row
+  std::uint8_t compiled_truth = 0;       ///< bit v: faulty output is 1 at v
+  std::uint8_t compiled_contention = 0;  ///< bit v: row v contends (IDDQ)
+  /// Every row resolves to a definite binary value (no floating rows to
+  /// retain, no marginal rows to propagate as X): the fault behaves as a
+  /// combinational table substitution, so packed 64-pattern evaluation is
+  /// valid.  Equivalent to !needs_sequence && !marginal_detectable.
+  bool compiled_binary = false;
+
   /// 4-valued faulty output for the logic simulator:
   /// 0, 1, -1 = X/marginal, -2 = Z (retains).
-  [[nodiscard]] int faulty_logic(unsigned input) const;
+  [[nodiscard]] int faulty_logic(unsigned input) const {
+    assert(input < rows.size());
+    return compiled_logic[input];
+  }
 
   /// True when the fault is behaviourally identical to another analysis
   /// (used for fault collapsing).

@@ -1,0 +1,234 @@
+#include "logic/compiled_circuit.hpp"
+
+#include <stdexcept>
+
+#include "logic/logic_sim.hpp"
+
+namespace cpsinw::logic {
+
+namespace {
+
+/// CellKind enumerator count (kInv..kMaj3); checked against
+/// all_cell_kinds() when the tables are derived.
+constexpr std::size_t kKindCount = 7;
+
+}  // namespace
+
+const LogicV* CompiledCircuit::good_table(gates::CellKind kind) {
+  // Derived once per process: entry [kind][idx] is the X-aware good output
+  // with pin i holding the value decoded from bits (idx >> 2i) & 3.  Codes
+  // of pins past the cell's arity are don't-cares (eval_cell_x ignores
+  // them), so reading an aliased slot for an unused pin is harmless.
+  static const auto tables = [] {
+    std::array<std::array<LogicV, 64>, kKindCount> t{};
+    const LogicV decode[4] = {LogicV::k0, LogicV::k1, LogicV::kX, LogicV::kX};
+    for (const gates::CellKind kind : gates::all_cell_kinds()) {
+      const auto ki = static_cast<std::size_t>(kind);
+      if (ki >= kKindCount)
+        throw std::logic_error("good_table: cell kind out of range");
+      for (unsigned idx = 0; idx < 64; ++idx)
+        t[ki][idx] = eval_cell_x(kind, decode[idx & 3u],
+                                 decode[(idx >> 2) & 3u],
+                                 decode[(idx >> 4) & 3u]);
+    }
+    return t;
+  }();
+  return tables[static_cast<std::size_t>(kind)].data();
+}
+
+CompiledCircuit::CompiledCircuit(const Circuit& ckt) : ckt_(&ckt) {
+  if (!ckt.finalized())
+    throw std::invalid_argument("CompiledCircuit: circuit not finalized");
+
+  gates_.reserve(static_cast<std::size_t>(ckt.gate_count()));
+  position_.assign(static_cast<std::size_t>(ckt.gate_count()), 0);
+  for (const int gid : ckt.topo_order()) {
+    const GateInst& g = ckt.gate(gid);
+    GateRec r;
+    r.table = good_table(g.kind);
+    r.kind = g.kind;
+    r.n_in = static_cast<std::uint8_t>(g.input_count());
+    r.id = gid;
+    for (int i = 0; i < 3; ++i)
+      r.in[static_cast<std::size_t>(i)] =
+          i < g.input_count() ? g.in[static_cast<std::size_t>(i)] : 0;
+    r.out = g.out;
+    position_[static_cast<std::size_t>(gid)] = gates_.size();
+    gates_.push_back(r);
+  }
+
+  for (NetId n = 0; n < ckt.net_count(); ++n) {
+    const LogicV c = ckt.constant_of(n);
+    if (!is_binary(c)) continue;
+    const_binary_.emplace_back(n, c);
+    if (c == LogicV::k1) const_one_.push_back(n);
+  }
+}
+
+// ---- scalar kernels -------------------------------------------------------
+
+void CompiledCircuit::init_scalar(const std::vector<LogicV>& pattern,
+                                  std::vector<LogicV>& values) const {
+  assert(pattern.size() == ckt_->primary_inputs().size());
+  values.assign(static_cast<std::size_t>(ckt_->net_count()), LogicV::kX);
+  for (const auto& [net, v] : const_binary_)
+    values[static_cast<std::size_t>(net)] = v;
+  const std::vector<NetId>& pis = ckt_->primary_inputs();
+  for (std::size_t i = 0; i < pattern.size(); ++i)
+    values[static_cast<std::size_t>(pis[i])] = pattern[i];
+}
+
+void CompiledCircuit::eval_scalar_range(LogicV* values, std::size_t from,
+                                        std::size_t to) const {
+  for (std::size_t k = from; k < to; ++k) {
+    const GateRec& g = gates_[k];
+    const unsigned idx =
+        code(values[g.in[0]]) | (code(values[g.in[1]]) << 2) |
+        (code(values[g.in[2]]) << 4);
+    values[g.out] = g.table[idx];
+  }
+}
+
+void CompiledCircuit::eval_scalar(std::vector<LogicV>& values) const {
+  assert(values.size() == static_cast<std::size_t>(ckt_->net_count()));
+  eval_scalar_range(values.data(), 0, gates_.size());
+}
+
+bool CompiledCircuit::eval_scalar_faulty(
+    std::vector<LogicV>& values, int fault_gate,
+    const gates::FaultAnalysis& fa,
+    const std::vector<LogicV>* previous_state) const {
+  assert(values.size() == static_cast<std::size_t>(ckt_->net_count()));
+  LogicV* const v = values.data();
+  const std::size_t pos = position_of(fault_gate);
+  eval_scalar_range(v, 0, pos);
+
+  const GateRec& g = gates_[pos];
+  bool iddq = false;
+  unsigned bits = 0;
+  bool binary = true;
+  for (unsigned i = 0; i < g.n_in; ++i) {
+    const LogicV in_v = v[g.in[i]];
+    if (!is_binary(in_v)) {
+      binary = false;
+      break;
+    }
+    if (in_v == LogicV::k1) bits |= 1u << i;
+  }
+  LogicV out = LogicV::kX;
+  if (binary) {
+    if (((fa.compiled_contention >> bits) & 1u) != 0) iddq = true;
+    const int fv = fa.compiled_logic[bits];
+    if (fv == 0) {
+      out = LogicV::k0;
+    } else if (fv == 1) {
+      out = LogicV::k1;
+    } else if (fv == -2) {
+      // Floating output: retain the previous charge when known.
+      out = previous_state != nullptr
+                ? (*previous_state)[static_cast<std::size_t>(g.out)]
+                : LogicV::kX;
+      if (out == LogicV::kZ) out = LogicV::kX;
+    }
+  }
+  v[g.out] = out;
+
+  eval_scalar_range(v, pos + 1, gates_.size());
+  return iddq;
+}
+
+// ---- packed kernels -------------------------------------------------------
+
+void CompiledCircuit::init_packed(const std::vector<std::uint64_t>& pi_words,
+                                  std::vector<std::uint64_t>& values) const {
+  assert(pi_words.size() == ckt_->primary_inputs().size());
+  values.assign(static_cast<std::size_t>(ckt_->net_count()), 0);
+  for (const NetId n : const_one_)
+    values[static_cast<std::size_t>(n)] = ~0ull;
+  const std::vector<NetId>& pis = ckt_->primary_inputs();
+  for (std::size_t i = 0; i < pi_words.size(); ++i)
+    values[static_cast<std::size_t>(pis[i])] = pi_words[i];
+}
+
+void CompiledCircuit::eval_packed_range(std::uint64_t* values,
+                                        std::size_t from,
+                                        std::size_t to) const {
+  for (std::size_t k = from; k < to; ++k) {
+    const GateRec& g = gates_[k];
+    values[g.out] = eval_cell_packed(g.kind, values[g.in[0]], values[g.in[1]],
+                                     values[g.in[2]]);
+  }
+}
+
+void CompiledCircuit::eval_packed(std::vector<std::uint64_t>& values) const {
+  assert(values.size() == static_cast<std::size_t>(ckt_->net_count()));
+  eval_packed_range(values.data(), 0, gates_.size());
+}
+
+void CompiledCircuit::eval_packed_line(std::vector<std::uint64_t>& values,
+                                       const LineFault& fault) const {
+  assert(values.size() == static_cast<std::size_t>(ckt_->net_count()));
+  std::uint64_t* const v = values.data();
+  const std::uint64_t forced = fault.stuck_one ? ~0ull : 0ull;
+
+  if (fault.net >= 0) {
+    // Stem: the net holds the forced word everywhere, so its driver's
+    // write is dead — skip the driver instead of overriding per gate.
+    v[fault.net] = forced;
+    const int driver = ckt_->driver_of(fault.net);
+    if (driver < 0) {
+      eval_packed_range(v, 0, gates_.size());
+      return;
+    }
+    const std::size_t pos = position_of(driver);
+    eval_packed_range(v, 0, pos);
+    eval_packed_range(v, pos + 1, gates_.size());
+    return;
+  }
+
+  // Branch: exactly one pin of one gate sees the forced word.
+  const std::size_t pos = position_of(fault.gate);
+  eval_packed_range(v, 0, pos);
+  const GateRec& g = gates_[pos];
+  assert(fault.pin >= 0 && fault.pin < g.n_in);
+  std::uint64_t in[3] = {v[g.in[0]], v[g.in[1]], v[g.in[2]]};
+  in[fault.pin] = forced;
+  v[g.out] = eval_cell_packed(g.kind, in[0], in[1], in[2]);
+  eval_packed_range(v, pos + 1, gates_.size());
+}
+
+std::uint64_t CompiledCircuit::eval_packed_faulty(
+    std::vector<std::uint64_t>& values, int fault_gate,
+    const gates::FaultAnalysis& fa) const {
+  assert(values.size() == static_cast<std::size_t>(ckt_->net_count()));
+  assert(fa.compiled_binary);
+  std::uint64_t* const v = values.data();
+  const std::size_t pos = position_of(fault_gate);
+  eval_packed_range(v, 0, pos);
+
+  // Faulted gate: minterm expansion of the compiled truth/contention
+  // masks.  Its local inputs equal the good machine's (the circuit is
+  // acyclic and this is the only faulted gate), so the contention word
+  // doubles as the per-pattern IDDQ excitation mask.
+  const GateRec& g = gates_[pos];
+  const std::uint64_t in[3] = {v[g.in[0]], v[g.in[1]], v[g.in[2]]};
+  std::uint64_t out = 0;
+  std::uint64_t contention = 0;
+  const unsigned combos = 1u << g.n_in;
+  // Only rows < combos carry bits (the dictionary has exactly 2^n rows).
+  const unsigned active = fa.compiled_truth | fa.compiled_contention;
+  for (unsigned vec = 0; vec < combos; ++vec) {
+    if (((active >> vec) & 1u) == 0) continue;
+    std::uint64_t minterm = ~0ull;
+    for (unsigned i = 0; i < g.n_in; ++i)
+      minterm &= ((vec >> i) & 1u) != 0 ? in[i] : ~in[i];
+    if (((fa.compiled_truth >> vec) & 1u) != 0) out |= minterm;
+    if (((fa.compiled_contention >> vec) & 1u) != 0) contention |= minterm;
+  }
+  v[g.out] = out;
+
+  eval_packed_range(v, pos + 1, gates_.size());
+  return contention;
+}
+
+}  // namespace cpsinw::logic

@@ -1,0 +1,150 @@
+// One-time compilation of a finalized Circuit into levelized, table-driven
+// arrays: the single evaluation kernel under scalar simulation, packed
+// 64-pattern fault simulation, and the ATPG forward-implication passes.
+//
+// The compiler flattens the gate list into topological order (exactly
+// Circuit::topo_order(), so every consumer sees the same evaluation
+// sequence as the interpreted walk it replaced), resolves every pin to a
+// value slot (slot == NetId; unused pins alias slot 0, whose value the
+// tables ignore), and attaches to each record the 64-entry 4-valued
+// good-machine truth table of its cell kind.  A faulty gate substitutes a
+// compiled table derived from its switch-level fault dictionary
+// (gates::FaultAnalysis::compiled_*), so the fault-simulation hot loops
+// never re-consult dictionary rows per pattern.
+//
+// Invariants:
+//   * the circuit is borrowed and must outlive the CompiledCircuit;
+//   * a Circuit is immutable after finalize(), so the tables are built
+//     once per CompiledCircuit and never rebuilt — a new Circuit object
+//     needs a new compilation;
+//   * every kernel is bit-identical to the interpreted evaluator it
+//     replaced (pinned by tests/logic/compiled_circuit_test.cpp and the
+//     campaign engine's byte-identical-JSON suites).
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "gates/fault_dictionary.hpp"
+#include "logic/circuit.hpp"
+#include "logic/types.hpp"
+
+namespace cpsinw::logic {
+
+class CompiledCircuit {
+ public:
+  /// Scalar table codes, 2 bits per pin: k0 -> 0, k1 -> 1, kX/kZ -> 2.
+  static constexpr unsigned kCode0 = 0;
+  static constexpr unsigned kCode1 = 1;
+  static constexpr unsigned kCodeX = 2;
+
+  /// One levelized gate record.  `table` points at the shared 64-entry
+  /// 4-valued good table of the cell kind, indexed by the packed codes of
+  /// the three pins (unused pins contribute don't-care bits: every entry
+  /// that differs only in them holds the same value).
+  struct GateRec {
+    const LogicV* table = nullptr;
+    gates::CellKind kind = gates::CellKind::kInv;
+    std::uint8_t n_in = 1;
+    int id = -1;                          ///< original Circuit gate id
+    std::array<NetId, 3> in = {0, 0, 0};  ///< input slots (unused -> 0)
+    NetId out = 0;
+  };
+
+  /// A line stuck-at fault at the logic layer: either a stem (`net` >= 0)
+  /// or an input branch (`gate`, `pin`).
+  struct LineFault {
+    NetId net = -1;
+    int gate = -1;
+    int pin = -1;
+    bool stuck_one = false;
+  };
+
+  /// @param ckt finalized circuit; borrowed, must outlive this object
+  /// @throws std::invalid_argument when not finalized
+  explicit CompiledCircuit(const Circuit& ckt);
+
+  [[nodiscard]] const Circuit& circuit() const { return *ckt_; }
+
+  /// Gate records in Circuit::topo_order() order.
+  [[nodiscard]] const std::vector<GateRec>& gates() const { return gates_; }
+
+  /// Levelized position of a gate id inside gates().
+  [[nodiscard]] std::size_t position_of(int gate_id) const {
+    assert(gate_id >= 0 &&
+           static_cast<std::size_t>(gate_id) < position_.size());
+    return position_[static_cast<std::size_t>(gate_id)];
+  }
+
+  /// Scalar table code of a value (kZ reads as kX, exactly like the
+  /// interpreted X-aware evaluation treated it).
+  [[nodiscard]] static unsigned code(LogicV v) {
+    constexpr unsigned kCodes[4] = {kCodeX, kCodeX, kCode0, kCode1};
+    return kCodes[(static_cast<unsigned>(static_cast<int>(v)) + 2u) & 3u];
+  }
+
+  /// The 64-entry 4-valued good table of a cell kind (shared static
+  /// storage, derived once per process from eval_cell_x / good_output).
+  [[nodiscard]] static const LogicV* good_table(gates::CellKind kind);
+
+  // ---- scalar kernels -----------------------------------------------------
+
+  /// Seeds `values` for a scalar pass: X everywhere, binary constants,
+  /// then the pattern over the primary inputs (pattern arity must match;
+  /// asserted in debug, callers validate).
+  void init_scalar(const std::vector<LogicV>& pattern,
+                   std::vector<LogicV>& values) const;
+
+  /// Good-machine forward pass over the whole circuit, in place.
+  void eval_scalar(std::vector<LogicV>& values) const;
+
+  /// Forward pass with `fault_gate`'s output produced by the compiled
+  /// faulty table of `fa`: binary local inputs index compiled_logic
+  /// (floating rows retain `previous_state`, marginal rows read X); any X
+  /// local input yields X.  @returns true when a contention row was
+  /// excited (the IDDQ observable).
+  bool eval_scalar_faulty(std::vector<LogicV>& values, int fault_gate,
+                          const gates::FaultAnalysis& fa,
+                          const std::vector<LogicV>* previous_state) const;
+
+  // ---- packed 64-pattern kernels -------------------------------------------
+
+  /// Seeds `values` for a packed pass: 0 everywhere, ~0 on constant-1
+  /// slots, the packed PI words over the primary inputs.
+  void init_packed(const std::vector<std::uint64_t>& pi_words,
+                   std::vector<std::uint64_t>& values) const;
+
+  /// Packed good-machine forward pass, in place.
+  void eval_packed(std::vector<std::uint64_t>& values) const;
+
+  /// Packed pass with one line forced to a constant.  A stem fault skips
+  /// the forced net's driver entirely; a branch fault overrides one pin of
+  /// one gate — no per-gate fault checks remain in the loop.
+  void eval_packed_line(std::vector<std::uint64_t>& values,
+                        const LineFault& fault) const;
+
+  /// Packed pass with `fault_gate` substituted by the compiled
+  /// truth/contention masks of `fa` (valid only when fa.compiled_binary).
+  /// @returns the contention word (bit k: pattern k excites a contention
+  ///   row — the per-pattern IDDQ excitation mask)
+  std::uint64_t eval_packed_faulty(std::vector<std::uint64_t>& values,
+                                   int fault_gate,
+                                   const gates::FaultAnalysis& fa) const;
+
+ private:
+  void eval_scalar_range(LogicV* values, std::size_t from,
+                         std::size_t to) const;
+  void eval_packed_range(std::uint64_t* values, std::size_t from,
+                         std::size_t to) const;
+
+  const Circuit* ckt_;
+  std::vector<GateRec> gates_;          ///< levelized (topo) order
+  std::vector<std::size_t> position_;   ///< gate id -> index into gates_
+  std::vector<NetId> const_one_;        ///< slots tied to constant 1
+  /// Binary constants for scalar seeding (net, value).
+  std::vector<std::pair<NetId, LogicV>> const_binary_;
+};
+
+}  // namespace cpsinw::logic

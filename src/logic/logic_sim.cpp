@@ -6,10 +6,18 @@
 
 namespace cpsinw::logic {
 
-Simulator::Simulator(const Circuit& ckt) : ckt_(ckt) {
-  if (!ckt.finalized())
-    throw std::invalid_argument("Simulator: circuit not finalized");
+namespace {
+
+const Circuit& require_finalized(const Circuit& ckt, const char* what) {
+  if (!ckt.finalized()) throw std::invalid_argument(what);
+  return ckt;
 }
+
+}  // namespace
+
+Simulator::Simulator(const Circuit& ckt)
+    : ckt_(ckt),
+      cc_(require_finalized(ckt, "Simulator: circuit not finalized")) {}
 
 std::optional<unsigned> Simulator::local_input(
     const GateInst& gate, const std::vector<LogicV>& values) {
@@ -49,37 +57,12 @@ LogicV eval_cell_x(gates::CellKind kind, LogicV a, LogicV b, LogicV c) {
   return agreed == LogicV::kZ ? LogicV::kX : agreed;
 }
 
-LogicV Simulator::eval_gate(const GateInst& g,
-                            const std::vector<LogicV>& values) const {
-  const auto bits = local_input(g, values);
-  if (!bits) {
-    const auto in_at = [&](int i) {
-      return g.in[static_cast<std::size_t>(i)] >= 0
-                 ? values[static_cast<std::size_t>(
-                       g.in[static_cast<std::size_t>(i)])]
-                 : LogicV::kX;
-    };
-    return eval_cell_x(g.kind, in_at(0), in_at(1), in_at(2));
-  }
-  return from_bool(gates::good_output(g.kind, *bits) != 0);
-}
-
 SimResult Simulator::simulate(const Pattern& pattern) const {
   if (pattern.size() != ckt_.primary_inputs().size())
     throw std::invalid_argument("Simulator: pattern arity mismatch");
   SimResult r;
-  r.net_values.assign(static_cast<std::size_t>(ckt_.net_count()), LogicV::kX);
-  for (NetId n = 0; n < ckt_.net_count(); ++n) {
-    const LogicV c = ckt_.constant_of(n);
-    if (is_binary(c)) r.net_values[static_cast<std::size_t>(n)] = c;
-  }
-  for (std::size_t i = 0; i < pattern.size(); ++i)
-    r.net_values[static_cast<std::size_t>(ckt_.primary_inputs()[i])] =
-        pattern[i];
-  for (const int gid : ckt_.topo_order()) {
-    const GateInst& g = ckt_.gate(gid);
-    r.net_values[static_cast<std::size_t>(g.out)] = eval_gate(g, r.net_values);
-  }
+  cc_.init_scalar(pattern, r.net_values);
+  cc_.eval_scalar(r.net_values);
   return r;
 }
 
@@ -99,43 +82,12 @@ SimResult Simulator::simulate_faulty_with(
     const std::vector<LogicV>* previous_state) const {
   if (fault.gate < 0 || fault.gate >= ckt_.gate_count())
     throw std::invalid_argument("simulate_faulty: bad gate id");
+  if (pattern.size() != ckt_.primary_inputs().size())
+    throw std::invalid_argument("Simulator: pattern arity mismatch");
   SimResult r;
-  r.net_values.assign(static_cast<std::size_t>(ckt_.net_count()), LogicV::kX);
-  for (NetId n = 0; n < ckt_.net_count(); ++n) {
-    const LogicV c = ckt_.constant_of(n);
-    if (is_binary(c)) r.net_values[static_cast<std::size_t>(n)] = c;
-  }
-  for (std::size_t i = 0; i < pattern.size(); ++i)
-    r.net_values[static_cast<std::size_t>(ckt_.primary_inputs()[i])] =
-        pattern[i];
-
-  for (const int gid : ckt_.topo_order()) {
-    const GateInst& g = ckt_.gate(gid);
-    if (gid != fault.gate) {
-      r.net_values[static_cast<std::size_t>(g.out)] =
-          eval_gate(g, r.net_values);
-      continue;
-    }
-    const auto bits = local_input(g, r.net_values);
-    if (!bits) {
-      r.net_values[static_cast<std::size_t>(g.out)] = LogicV::kX;
-      continue;
-    }
-    const gates::FaultRow& row = fa.rows[*bits];
-    if (row.faulty.contention) r.iddq_flag = true;
-    const int fv = fa.faulty_logic(*bits);
-    LogicV out = LogicV::kX;
-    if (fv == 0) out = LogicV::k0;
-    else if (fv == 1) out = LogicV::k1;
-    else if (fv == -2) {
-      // Floating output: retain the previous charge when known.
-      out = previous_state != nullptr
-                ? (*previous_state)[static_cast<std::size_t>(g.out)]
-                : LogicV::kX;
-      if (out == LogicV::kZ) out = LogicV::kX;
-    }
-    r.net_values[static_cast<std::size_t>(g.out)] = out;
-  }
+  cc_.init_scalar(pattern, r.net_values);
+  r.iddq_flag =
+      cc_.eval_scalar_faulty(r.net_values, fault.gate, fa, previous_state);
   return r;
 }
 

@@ -3,12 +3,14 @@
 // 64-pattern-parallel bit-level evaluation for fast fault simulation.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <optional>
 #include <vector>
 
 #include "gates/fault_dictionary.hpp"
 #include "logic/circuit.hpp"
+#include "logic/compiled_circuit.hpp"
 
 namespace cpsinw::logic {
 
@@ -32,13 +34,18 @@ struct SimResult {
   bool iddq_flag = false;
 
   [[nodiscard]] LogicV value(NetId n) const {
-    return net_values.at(static_cast<std::size_t>(n));
+    // Hot path: net ids come from the compiler / the circuit itself, so
+    // bounds are a debug assertion, not a per-read check.
+    assert(n >= 0 && static_cast<std::size_t>(n) < net_values.size());
+    return net_values[static_cast<std::size_t>(n)];
   }
 };
 
 /// Scalar simulator.  Stateless between calls unless the caller threads a
 /// `state` vector through (needed for the floating-output retention of
-/// stuck-open faults across two-pattern sequences).
+/// stuck-open faults across two-pattern sequences).  Construction compiles
+/// the circuit once (logic::CompiledCircuit); every pass then runs off the
+/// levelized table-driven kernels.
 class Simulator {
  public:
   /// @param ckt finalized circuit (kept by reference; must outlive this)
@@ -68,11 +75,13 @@ class Simulator {
 
   [[nodiscard]] const Circuit& circuit() const { return ckt_; }
 
- private:
-  [[nodiscard]] LogicV eval_gate(const GateInst& g,
-                                 const std::vector<LogicV>& values) const;
+  /// The one-time compilation backing every pass (shared with the fault
+  /// simulator's packed paths).
+  [[nodiscard]] const CompiledCircuit& compiled() const { return cc_; }
 
+ private:
   const Circuit& ckt_;
+  CompiledCircuit cc_;
 };
 
 /// 64-pattern-parallel words: bit k of `ones`/`zeros` tells whether the net
@@ -87,6 +96,9 @@ struct PackedValues {
     const Circuit& ckt, const std::vector<Pattern>& patterns);
 
 /// Parallel good-machine simulation of up to 64 packed patterns.
+/// Interpreted reference implementation (walks GateInst records directly);
+/// the hot paths run CompiledCircuit::eval_packed instead, which is
+/// bit-identical — the golden suites compare the two.
 /// @param pi_words per-PI packed values (as from pack_patterns)
 /// @returns per-net packed values
 [[nodiscard]] std::vector<std::uint64_t> simulate_packed(

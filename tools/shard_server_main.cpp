@@ -16,11 +16,21 @@
 // header declaring a payload past the frame limit), hang (never reply —
 // the client's per-shard deadline fires), exit (the whole server dies —
 // later connections are refused).
+//
+// Context caching: shards of one job share a (circuit, pattern set), so
+// the server memoizes the last compiled faults::EvalContext by content
+// fingerprint (engine::context_fingerprint — exact byte equality, never a
+// hash comparison).  Every shard of a job after the first skips circuit
+// compilation and the good-machine simulation; hit/miss counters ride on
+// the per-shard log line.
 #include <unistd.h>
 
 #include <csignal>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <utility>
@@ -49,6 +59,26 @@ struct ServerConfig {
   std::string fail_mode;
   int fail_index = -1;
 };
+
+/// One memoized (circuit, pattern set) compilation.  The circuit is owned
+/// here because the EvalContext borrows it; shared_ptr keeps an entry
+/// alive for in-flight shards even after a newer job replaces it.
+struct CachedJob {
+  explicit CachedJob(cpsinw::logic::Circuit c) : circuit(std::move(c)) {}
+  cpsinw::logic::Circuit circuit;
+  std::optional<cpsinw::faults::EvalContext> ctx;
+};
+
+/// Last-job context cache shared by every connection thread.
+struct ContextCache {
+  std::mutex mutex;
+  std::string fingerprint;
+  std::shared_ptr<const CachedJob> entry;
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+};
+
+ContextCache g_context_cache;
 
 /// An idle client connection is held open this long before the server
 /// gives up on it (clients open one connection per shard and close it).
@@ -111,10 +141,42 @@ void serve_connection(int fd, const ServerConfig& config) {
     // server from a detached thread.  One bad request costs one
     // connection, never the endpoint.
     try {
-      const faults::EvalContext ctx(input.circuit,
-                                    std::move(input.patterns));
+      const std::string fp =
+          engine::context_fingerprint(input.circuit, input.patterns);
+      std::shared_ptr<const CachedJob> job;
+      bool hit = false;
+      std::size_t hits = 0;
+      std::size_t misses = 0;
+      {
+        std::lock_guard<std::mutex> lock(g_context_cache.mutex);
+        if (g_context_cache.entry != nullptr &&
+            g_context_cache.fingerprint == fp) {
+          job = g_context_cache.entry;
+          hit = true;
+          hits = ++g_context_cache.hits;
+          misses = g_context_cache.misses;
+        }
+      }
+      if (job == nullptr) {
+        // Compile outside the lock: a slow build must not stall the
+        // shards of another connection that already have their context.
+        auto built = std::make_shared<CachedJob>(std::move(input.circuit));
+        built->ctx.emplace(built->circuit, std::move(input.patterns));
+        job = built;
+        std::lock_guard<std::mutex> lock(g_context_cache.mutex);
+        g_context_cache.fingerprint = fp;
+        g_context_cache.entry = job;
+        misses = ++g_context_cache.misses;
+        hits = g_context_cache.hits;
+      }
+      std::cerr << "cpsinw_shard_server: shard job=" << input.shard.job
+                << " index=" << input.shard.index << " context "
+                << (hit ? "hit" : "miss") << " fp=" << std::hex
+                << engine::fingerprint_hash(fp) << std::dec
+                << " (hits=" << hits << " misses=" << misses << ")\n";
       const engine::ShardResult result =
-          engine::run_shard(ctx, input.faults, input.shard, input.options);
+          engine::run_shard(*job->ctx, input.faults, input.shard,
+                            input.options);
       if (!net::send_frame(fd, engine::serialize_shard_result(result),
                            net::deadline_after(kIdleTimeoutS), &error)) {
         std::cerr << "cpsinw_shard_server: send: " << error << "\n";
