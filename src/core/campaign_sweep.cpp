@@ -28,6 +28,8 @@ engine::CampaignReport run_benchmark_campaign(
   spec.shard_size = options.shard_size;
   spec.threads = options.threads;
   spec.executor = options.executor;
+  spec.emit_telemetry = options.emit_telemetry;
+  spec.trace_path = options.trace_path;
   return engine::run_campaign(spec);
 }
 

@@ -26,6 +26,10 @@ struct CampaignSweepOptions {
   /// remote shard servers — kRemote endpoints ride along in this spec).
   /// Every backend produces byte-identical stable report JSON.
   engine::ExecutorSpec executor;
+  /// Passed through to CampaignSpec: opt-in telemetry block in the
+  /// report JSON, and an optional Chrome trace-event output path.
+  bool emit_telemetry = false;
+  std::string trace_path;
 };
 
 /// The standard benchmark roster of the coverage experiments as campaign

@@ -1,14 +1,17 @@
 #include "engine/campaign.hpp"
 
 #include <chrono>
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <stdexcept>
 #include <utility>
 
 #include "core/test_flow.hpp"
+#include "engine/telemetry.hpp"
 #include "engine/thread_pool.hpp"
 #include "faults/fault_list.hpp"
+#include "util/log.hpp"
 
 namespace cpsinw::engine {
 
@@ -103,6 +106,17 @@ struct JobData {
 }  // namespace
 
 CampaignReport run_campaign(const CampaignSpec& spec) {
+  // Telemetry is per-campaign: a private registry (so the report's
+  // telemetry block covers exactly this run, even with concurrent
+  // campaigns in one process) plus the trace recorder behind trace_path.
+  // With both knobs off the executor keeps a null pointer and every
+  // instrumentation site short-circuits.
+  telemetry::CampaignTelemetry telem;
+  const bool telemetry_on = spec.emit_telemetry || !spec.trace_path.empty();
+  if (!spec.trace_path.empty()) telem.trace.enable();
+
+  const telemetry::TimePoint t_validate = telemetry::Clock::now();
+
   // Spec validation happens up front, before any work runs: a malformed
   // spec throws std::invalid_argument with the offending field named,
   // never a downstream failure from deep inside a shard.
@@ -147,6 +161,14 @@ CampaignReport run_campaign(const CampaignSpec& spec) {
   exec.sim = spec.sim;
   exec.fault_sample_fraction = spec.fault_sample_fraction;
 
+  if (telemetry_on) {
+    executor->set_telemetry(&telem);
+    telem.registry.histogram("campaign.validate_s")
+        .record_since(t_validate);
+    telem.trace.add_span("campaign:validate", "phase", t_validate,
+                         telemetry::Clock::now());
+  }
+
   const auto t0 = std::chrono::steady_clock::now();
 
   // ---- Setup phase, one unit per job: universe, patterns (ATPG runs
@@ -173,7 +195,16 @@ CampaignReport run_campaign(const CampaignSpec& spec) {
       job.results.resize(job.shards.size());
     });
   }
+  const telemetry::TimePoint t_setup = telemetry::Clock::now();
   executor->run_setup(setup_tasks);
+  const double setup_s =
+      std::chrono::duration<double>(telemetry::Clock::now() - t_setup)
+          .count();
+  if (telemetry_on) {
+    telem.registry.histogram("campaign.setup_s").record(setup_s);
+    telem.trace.add_span("campaign:setup", "phase", t_setup,
+                         telemetry::Clock::now());
+  }
 
   // ---- Shard phase, delegated to the selected backend.  Tasks are
   // handed over in canonical (job, shard) order and each fills its own
@@ -191,13 +222,21 @@ CampaignReport run_campaign(const CampaignSpec& spec) {
                        &job.results[s]});
     }
   }
+  const telemetry::TimePoint t_shards = telemetry::Clock::now();
   const std::string shard_error = executor->run(tasks, exec);
+  if (telemetry_on) {
+    telem.registry.histogram("campaign.shard_phase_s")
+        .record_since(t_shards);
+    telem.trace.add_span("campaign:shards", "phase", t_shards,
+                         telemetry::Clock::now());
+  }
 
   const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
 
   // ---- Deterministic merge in (job, shard) order. ------------------------
+  const telemetry::TimePoint t_merge = telemetry::Clock::now();
   CampaignReport report;
   report.seed = spec.seed;
   report.shard_size = spec.shard_size;
@@ -231,6 +270,30 @@ CampaignReport run_campaign(const CampaignSpec& spec) {
     report.timing.shard_time_sum_s += jr.shard_time_sum_s;
   report.timing.fault_patterns_per_s =
       wall_s > 0.0 ? sampled_fault_patterns / wall_s : 0.0;
+  report.timing.setup_s = setup_s;
+  report.timing.merge_s =
+      std::chrono::duration<double>(telemetry::Clock::now() - t_merge)
+          .count();
+
+  if (telemetry_on) {
+    telem.registry.histogram("campaign.merge_s").record(report.timing.merge_s);
+    telem.trace.add_span("campaign:merge", "phase", t_merge,
+                         telemetry::Clock::now());
+  }
+  if (spec.emit_telemetry) {
+    report.emit_telemetry = true;
+    report.telemetry = telem.registry.snapshot();
+  }
+  if (!spec.trace_path.empty()) {
+    // A failing trace write never fails the campaign — the report is the
+    // product, the trace is a diagnostic.
+    std::ofstream out(spec.trace_path,
+                      std::ios::binary | std::ios::trunc);
+    out << telem.trace.to_chrome_json() << "\n";
+    if (!out)
+      util::log_kv(util::LogLevel::kWarn, "trace_write_failed",
+                   {{"path", spec.trace_path}});
+  }
   return report;
 }
 

@@ -76,6 +76,15 @@ struct CampaignSpec {
   /// produce byte-identical stable JSON — the executor only decides
   /// where shards run, never what they compute.
   ExecutorSpec executor;
+  /// Opt-in "telemetry" block in the report JSON (counters, gauges,
+  /// latency histograms collected by this campaign) plus setup_s/merge_s
+  /// in the timing section.  Default off: the stable JSON stays
+  /// byte-identical to an uninstrumented run.
+  bool emit_telemetry = false;
+  /// When non-empty, the campaign records phase/shard/RPC spans and
+  /// writes a Chrome trace-event JSON file here on completion (load it
+  /// in chrome://tracing or Perfetto).  Empty = no span overhead at all.
+  std::string trace_path;
 };
 
 /// Builds the classified fault universe of one circuit (deterministic

@@ -81,6 +81,17 @@ std::string describe_exception(const std::exception_ptr& ep) {
 
 // ---------------------------------------------------------------- inline
 
+/// Adds the per-shard trace span every backend records around a shard's
+/// execution window (name materialized only when tracing is live).
+void trace_shard_span(telemetry::TraceRecorder* trace, const char* backend,
+                      const Shard& shard, telemetry::TimePoint start) {
+  if (trace == nullptr) return;
+  trace->add_span(std::string(backend) + ":shard j" +
+                      std::to_string(shard.job) + "." +
+                      std::to_string(shard.index),
+                  "shard", start, telemetry::Clock::now());
+}
+
 /// Serial reference backend: a plain loop, no pool, no processes.  Exists
 /// so every other backend has a zero-dependency implementation to be
 /// byte-identical against.
@@ -94,9 +105,14 @@ class InlineExecutor final : public ShardExecutor {
 
   [[nodiscard]] std::string run(const std::vector<ShardTask>& tasks,
                                 const ShardExecOptions& options) override {
+    telemetry::Histogram* exec_s =
+        telemetry_ != nullptr
+            ? &telemetry_->registry.histogram("inline.shard_exec_s")
+            : nullptr;
     std::vector<std::string> errors(tasks.size());
     for (std::size_t t = 0; t < tasks.size(); ++t) {
       const ShardTask& task = tasks[t];
+      const telemetry::TimePoint start = telemetry::Clock::now();
       try {
         *task.slot =
             run_shard(*task.context, *task.universe, *task.shard, options);
@@ -104,6 +120,8 @@ class InlineExecutor final : public ShardExecutor {
         errors[t] = describe_exception(std::current_exception());
         fill_failed_shard(*task.universe, *task.shard, *task.slot);
       }
+      if (exec_s != nullptr) CPSINW_TELEM(exec_s->record_since(start));
+      trace_shard_span(trace(), "inline", *task.shard, start);
     }
     return first_error(errors);
   }
@@ -119,10 +137,25 @@ class ThreadPoolExecutor final : public PooledExecutorBase {
 
   [[nodiscard]] std::string run(const std::vector<ShardTask>& tasks,
                                 const ShardExecOptions& options) override {
+    // Metric handles are resolved once here; the hot path only touches
+    // relaxed atomics.
+    telemetry::Histogram* queue_wait_s = nullptr;
+    telemetry::Histogram* exec_s = nullptr;
+    if (telemetry_ != nullptr) {
+      queue_wait_s = &telemetry_->registry.histogram(
+          "thread_pool.queue_wait_s");
+      exec_s = &telemetry_->registry.histogram("thread_pool.shard_exec_s");
+    }
+    telemetry::TraceRecorder* const tr = trace();
     std::vector<std::string> errors(tasks.size());
     for (std::size_t t = 0; t < tasks.size(); ++t) {
       const ShardTask& task = tasks[t];
-      pool_.submit([&task, &options, &errors, t] {
+      const telemetry::TimePoint enqueued = telemetry::Clock::now();
+      pool_.submit([&task, &options, &errors, queue_wait_s, exec_s, tr,
+                    enqueued, t] {
+        if (queue_wait_s != nullptr)
+          CPSINW_TELEM(queue_wait_s->record_since(enqueued));
+        const telemetry::TimePoint start = telemetry::Clock::now();
         try {
           *task.slot =
               run_shard(*task.context, *task.universe, *task.shard, options);
@@ -130,6 +163,8 @@ class ThreadPoolExecutor final : public PooledExecutorBase {
           errors[t] = describe_exception(std::current_exception());
           fill_failed_shard(*task.universe, *task.shard, *task.slot);
         }
+        if (exec_s != nullptr) CPSINW_TELEM(exec_s->record_since(start));
+        trace_shard_span(tr, "thread_pool", *task.shard, start);
       });
     }
     pool_.wait_idle();
@@ -158,13 +193,33 @@ class SubprocessExecutor final : public PooledExecutorBase {
 
   [[nodiscard]] std::string run(const std::vector<ShardTask>& tasks,
                                 const ShardExecOptions& options) override {
+    // Metric handles are resolved once per run; all null when telemetry
+    // is off.
+    queue_wait_s_ = exec_s_ = fork_exec_s_ = nullptr;
+    spawns_ = failures_ = stdin_bytes_ = stdout_bytes_ = nullptr;
+    if (telemetry_ != nullptr) {
+      telemetry::Registry& reg = telemetry_->registry;
+      queue_wait_s_ = &reg.histogram("subprocess.queue_wait_s");
+      exec_s_ = &reg.histogram("subprocess.shard_exec_s");
+      fork_exec_s_ = &reg.histogram("subprocess.fork_exec_s");
+      spawns_ = &reg.counter("subprocess.spawns");
+      failures_ = &reg.counter("subprocess.failures");
+      stdin_bytes_ = &reg.counter("subprocess.stdin_bytes");
+      stdout_bytes_ = &reg.counter("subprocess.stdout_bytes");
+    }
     std::vector<std::string> errors(tasks.size());
     for (std::size_t t = 0; t < tasks.size(); ++t) {
       const ShardTask& task = tasks[t];
       // Each pool task blocks on one child, so `threads` caps the number
       // of live workers.
-      pool_.submit([this, &task, &options, &errors, t] {
+      const telemetry::TimePoint enqueued = telemetry::Clock::now();
+      pool_.submit([this, &task, &options, &errors, enqueued, t] {
+        if (queue_wait_s_ != nullptr)
+          CPSINW_TELEM(queue_wait_s_->record_since(enqueued));
+        const telemetry::TimePoint start = telemetry::Clock::now();
         errors[t] = run_one(task, options);
+        if (exec_s_ != nullptr) CPSINW_TELEM(exec_s_->record_since(start));
+        trace_shard_span(trace(), "subprocess", *task.shard, start);
       });
     }
     pool_.wait_idle();
@@ -178,6 +233,7 @@ class SubprocessExecutor final : public PooledExecutorBase {
                                     const ShardExecOptions& options) {
     std::string error = exchange_with_worker(task, options);
     if (!error.empty()) {
+      if (failures_ != nullptr) CPSINW_TELEM(failures_->add());
       fill_failed_shard(*task.universe, *task.shard, *task.slot);
       error = "subprocess worker (job " + std::to_string(task.shard->job) +
               ", shard " + std::to_string(task.shard->index) + "): " + error;
@@ -224,6 +280,8 @@ class SubprocessExecutor final : public PooledExecutorBase {
       return e;
     }
 
+    [[maybe_unused]] const telemetry::TimePoint t_fork =
+        telemetry::Clock::now();
     const pid_t pid = fork();
     if (pid < 0) {
       const std::string e = std::string("fork: ") + std::strerror(errno);
@@ -241,6 +299,9 @@ class SubprocessExecutor final : public PooledExecutorBase {
       execv(argv[0], argv.data());
       _exit(127);  // exec failed (missing or non-executable worker)
     }
+    if (fork_exec_s_ != nullptr)
+      CPSINW_TELEM(fork_exec_s_->record_since(t_fork));
+    if (spawns_ != nullptr) CPSINW_TELEM(spawns_->add());
 
     close(to_child[0]);
     close(from_child[1]);
@@ -324,6 +385,10 @@ class SubprocessExecutor final : public PooledExecutorBase {
     }
     if (stdin_open) close(in_fd);
     close(out_fd);
+    if (stdin_bytes_ != nullptr)
+      CPSINW_TELEM(stdin_bytes_->add(written));
+    if (stdout_bytes_ != nullptr)
+      CPSINW_TELEM(stdout_bytes_->add(output.size()));
 
     int status = 0;
     if (timed_out) {
@@ -350,11 +415,29 @@ class SubprocessExecutor final : public PooledExecutorBase {
     }
     const std::string mismatch = check_shard_result(result, *task.shard);
     if (!mismatch.empty()) return mismatch;
+    // The worker's execution span is reconstructed from its reported
+    // elapsed time, ending when its stdout closed, on this pool thread's
+    // dedicated worker lane (children run one at a time per thread, so
+    // lanes never carry overlapping spans).
+    if (trace() != nullptr)
+      trace()->add_remote_span(
+          "worker:run_shard j" + std::to_string(result.job) + "." +
+              std::to_string(result.index),
+          "subprocess", telemetry::Clock::now(), result.elapsed_s,
+          telemetry::TraceRecorder::remote_tid(
+              telemetry::TraceRecorder::current_tid()));
     *task.slot = std::move(result);
     return {};
   }
 
   ExecutorSpec spec_;
+  telemetry::Histogram* queue_wait_s_ = nullptr;
+  telemetry::Histogram* exec_s_ = nullptr;
+  telemetry::Histogram* fork_exec_s_ = nullptr;
+  telemetry::Counter* spawns_ = nullptr;
+  telemetry::Counter* failures_ = nullptr;
+  telemetry::Counter* stdin_bytes_ = nullptr;
+  telemetry::Counter* stdout_bytes_ = nullptr;
 };
 
 }  // namespace

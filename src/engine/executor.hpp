@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "engine/shard.hpp"
+#include "engine/telemetry.hpp"
 #include "engine/thread_pool.hpp"
 
 namespace cpsinw::engine {
@@ -96,6 +97,24 @@ class ShardExecutor {
   /// full success).
   [[nodiscard]] virtual std::string run(const std::vector<ShardTask>& tasks,
                                         const ShardExecOptions& options) = 0;
+
+  /// Points the executor at a campaign's telemetry (metric registry +
+  /// trace recorder).  Null (the default) disables both: executors must
+  /// tolerate a null pointer on every path, so standalone executor use
+  /// stays zero-setup.  Call before run_setup/run; the pointee must
+  /// outlive the executor run.
+  void set_telemetry(telemetry::CampaignTelemetry* telemetry) {
+    telemetry_ = telemetry;
+  }
+
+ protected:
+  /// The campaign's telemetry, or null when telemetry is off.
+  telemetry::CampaignTelemetry* telemetry_ = nullptr;
+
+  /// The trace recorder, or null when telemetry/tracing is off.
+  [[nodiscard]] telemetry::TraceRecorder* trace() const {
+    return telemetry_ != nullptr ? &telemetry_->trace : nullptr;
+  }
 };
 
 /// Common base of the concurrent backends: one ThreadPool serves both the

@@ -18,6 +18,8 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "engine/telemetry.hpp"
+
 namespace cpsinw::engine::net {
 
 namespace {
@@ -201,12 +203,40 @@ int connect_endpoint(const Endpoint& ep, Deadline deadline,
   return fd;
 }
 
+namespace {
+
+/// Process-wide frame accounting (client and server sides both route
+/// every framed exchange through these two functions, so the global
+/// registry's net.* counters cover the whole process).  Handles are
+/// resolved once; updates are relaxed atomics.
+struct NetMetrics {
+  telemetry::Counter& frames_sent =
+      telemetry::Registry::global().counter("net.frames_sent");
+  telemetry::Counter& frames_received =
+      telemetry::Registry::global().counter("net.frames_received");
+  telemetry::Counter& bytes_sent =
+      telemetry::Registry::global().counter("net.bytes_sent");
+  telemetry::Counter& bytes_received =
+      telemetry::Registry::global().counter("net.bytes_received");
+};
+
+[[maybe_unused]] NetMetrics& net_metrics() {  // unused with CPSINW_TELEMETRY_OFF
+  static NetMetrics* m = new NetMetrics();  // leaked like the registry
+  return *m;
+}
+
+}  // namespace
+
 bool send_frame(int fd, const std::string& payload, Deadline deadline,
                 std::string* error) {
   std::string frame = std::string(kFrameMagic) + " " +
                       std::to_string(payload.size()) + "\n";
   frame += payload;
-  return write_all(fd, frame.data(), frame.size(), deadline, error);
+  if (!write_all(fd, frame.data(), frame.size(), deadline, error))
+    return false;
+  CPSINW_TELEM(net_metrics().frames_sent.add());
+  CPSINW_TELEM(net_metrics().bytes_sent.add(frame.size()));
+  return true;
 }
 
 bool recv_frame(int fd, std::string* payload, Deadline deadline,
@@ -262,8 +292,13 @@ bool recv_frame(int fd, std::string* payload, Deadline deadline,
              std::to_string(max_bytes) + "-byte limit";
     return false;
   }
-  return read_exact(fd, payload, static_cast<std::size_t>(declared), deadline,
-                    error);
+  if (!read_exact(fd, payload, static_cast<std::size_t>(declared), deadline,
+                  error))
+    return false;
+  CPSINW_TELEM(net_metrics().frames_received.add());
+  CPSINW_TELEM(
+      net_metrics().bytes_received.add(header.size() + 1 + payload->size()));
+  return true;
 }
 
 int listen_on_loopback(std::uint16_t port, std::string* error) {

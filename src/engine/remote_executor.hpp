@@ -19,8 +19,10 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "engine/executor.hpp"
+#include "engine/shard_io.hpp"
 
 namespace cpsinw::engine {
 
@@ -30,5 +32,14 @@ namespace cpsinw::engine {
 ///   non-positive remote_max_in_flight / remote_quarantine_failures
 [[nodiscard]] std::unique_ptr<ShardExecutor> make_remote_executor(
     const ExecutorSpec& spec, int threads);
+
+/// Scrapes a live cpsinw_shard_server: one connection, one framed
+/// `stats` request, one parsed snapshot.  `endpoint` is a "host:port"
+/// string.  Returns true and fills `*out` on success; false with the
+/// failure text in `*error` otherwise (never throws on I/O or protocol
+/// problems).
+[[nodiscard]] bool query_server_stats(const std::string& endpoint,
+                                      double timeout_s, ServerStats* out,
+                                      std::string* error);
 
 }  // namespace cpsinw::engine

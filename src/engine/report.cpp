@@ -134,6 +134,48 @@ std::string CampaignReport::to_json(bool include_timing) const {
   j.key("totals");
   emit_class_stats(j, totals());
 
+  if (emit_telemetry) {
+    // Same shape as the shard server's stats response: 64-bit values as
+    // decimal strings (a double cannot carry a full uint64_t).
+    j.key("telemetry");
+    j.open_object();
+    j.key("counters");
+    j.open_object();
+    for (const telemetry::CounterValue& c : telemetry.counters) {
+      j.key(c.name);
+      j.value(std::to_string(c.value));
+    }
+    j.close_object();
+    j.key("gauges");
+    j.open_object();
+    for (const telemetry::GaugeValue& g : telemetry.gauges) {
+      j.key(g.name);
+      j.value(std::to_string(g.value));
+    }
+    j.close_object();
+    j.key("histograms");
+    j.open_object();
+    for (const telemetry::HistogramValue& h : telemetry.histograms) {
+      j.key(h.name);
+      j.open_object();
+      j.key("count");
+      j.value(std::to_string(h.count));
+      j.key("sum_s");
+      j.value(h.sum_s);
+      j.key("p50_s");
+      j.value(h.quantile_s(0.5));
+      j.key("p95_s");
+      j.value(h.quantile_s(0.95));
+      j.key("buckets");
+      j.open_array();
+      for (const std::uint64_t b : h.buckets) j.value(std::to_string(b));
+      j.close_array();
+      j.close_object();
+    }
+    j.close_object();
+    j.close_object();
+  }
+
   if (include_timing) {
     j.key("timing");
     j.open_object();
@@ -149,6 +191,12 @@ std::string CampaignReport::to_json(bool include_timing) const {
     j.value(timing.shard_time_sum_s);
     j.key("fault_patterns_per_s");
     j.value(timing.fault_patterns_per_s);
+    if (emit_telemetry) {
+      j.key("setup_s");
+      j.value(timing.setup_s);
+      j.key("merge_s");
+      j.value(timing.merge_s);
+    }
     j.close_object();
   }
   j.close_object();

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "engine/shard.hpp"
+#include "engine/telemetry.hpp"
 
 namespace cpsinw::engine {
 
@@ -56,6 +57,11 @@ struct CampaignTiming {
   double wall_s = 0.0;
   double shard_time_sum_s = 0.0;       ///< total CPU-side shard time
   double fault_patterns_per_s = 0.0;   ///< sampled faults x patterns / wall
+  /// Phase breakdown (universe/pattern/shard construction vs the final
+  /// deterministic merge).  Serialized only when the report's telemetry
+  /// block is on.
+  double setup_s = 0.0;
+  double merge_s = 0.0;
 };
 
 /// The merged result of a whole campaign.
@@ -74,13 +80,22 @@ struct CampaignReport {
   std::string error;
   std::vector<JobReport> jobs;
   CampaignTiming timing;
+  /// Opt-in (CampaignSpec::emit_telemetry): when true, to_json appends a
+  /// "telemetry" block with the campaign's metric snapshot — and only
+  /// then, so the default output stays byte-identical across backends,
+  /// thread counts, and instrumented vs uninstrumented builds.
+  bool emit_telemetry = false;
+  telemetry::RegistrySnapshot telemetry;
 
   [[nodiscard]] bool ok() const { return error.empty(); }
   [[nodiscard]] ClassStats totals() const;
 
   /// Deterministic JSON (stable key order, fixed float formatting).  With
   /// `include_timing` a trailing "timing" object is appended — only then
-  /// does the output depend on the machine and thread count.
+  /// does the output depend on the machine and thread count.  With
+  /// `emit_telemetry` a "telemetry" object (counters/gauges/histograms)
+  /// lands between "totals" and "timing"; its values are runtime-
+  /// dependent, like timing.
   [[nodiscard]] std::string to_json(bool include_timing = false) const;
 };
 

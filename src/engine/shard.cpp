@@ -4,6 +4,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "engine/telemetry.hpp"
 #include "logic/logic_sim.hpp"
 
 namespace cpsinw::engine {
@@ -154,6 +155,27 @@ ShardResult run_shard(const faults::EvalContext& ctx,
   out.elapsed_s = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - t0)
                       .count();
+
+  // Fault accounting lands in the process-wide registry in one batch per
+  // shard, never inside the fault loops: the packed simulation hot path
+  // stays metric-free (and CPSINW_TELEMETRY_OFF compiles even this out).
+  CPSINW_TELEM([&] {
+    telemetry::Registry& reg = telemetry::Registry::global();
+    std::size_t sampled_out = 0;
+    std::size_t bridges = 0;
+    for (const FaultResult& r : out.results) {
+      if (r.sampled_out)
+        ++sampled_out;
+      else if (r.cls == FaultClass::kBridge)
+        ++bridges;
+    }
+    reg.counter("shard.shards_run").add();
+    reg.counter("shard.faults_simulated")
+        .add(out.results.size() - sampled_out);
+    reg.counter("shard.faults_sampled_out").add(sampled_out);
+    reg.counter("shard.bridges_simulated").add(bridges);
+    reg.histogram("shard.exec_s").record(out.elapsed_s);
+  }());
   return out;
 }
 

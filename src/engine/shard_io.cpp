@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "engine/json_reader.hpp"
 #include "engine/json_writer.hpp"
 
 namespace cpsinw::engine {
@@ -11,246 +12,9 @@ namespace cpsinw::engine {
 namespace {
 
 using Json = JsonWriter;  // shared canonical-form writer (json_writer.hpp)
-
-// --------------------------------------------------------------- parsing
-// Minimal recursive-descent JSON reader: just what the two protocol
-// documents need.  Every malformed input becomes a std::runtime_error with
-// a byte offset, never UB — worker output is untrusted by design (a
-// crashing or misbehaving worker may emit anything).
-
-struct JsonValue {
-  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
-  Type type = Type::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<JsonValue> array;
-  std::vector<std::pair<std::string, JsonValue>> object;
-
-  [[nodiscard]] const JsonValue* find(const std::string& key) const {
-    if (type != Type::kObject) return nullptr;
-    for (const auto& [k, v] : object)
-      if (k == key) return &v;
-    return nullptr;
-  }
-  [[nodiscard]] const JsonValue& at(const std::string& key) const {
-    const JsonValue* v = find(key);
-    if (v == nullptr)
-      throw std::runtime_error("shard_io: missing key '" + key + "'");
-    return *v;
-  }
-  [[nodiscard]] bool as_bool(const char* what) const {
-    if (type != Type::kBool)
-      throw std::runtime_error(std::string("shard_io: ") + what +
-                               " is not a bool");
-    return boolean;
-  }
-  [[nodiscard]] double as_double(const char* what) const {
-    if (type != Type::kNumber)
-      throw std::runtime_error(std::string("shard_io: ") + what +
-                               " is not a number");
-    return number;
-  }
-  [[nodiscard]] int as_int(const char* what) const {
-    // Worker output is untrusted: range-check before the cast (a
-    // double->int conversion of an out-of-range value is UB).
-    const double d = as_double(what);
-    if (!(d >= -2147483648.0 && d <= 2147483647.0))
-      throw std::runtime_error(std::string("shard_io: ") + what +
-                               " is out of int range");
-    const int i = static_cast<int>(d);
-    if (static_cast<double>(i) != d)
-      throw std::runtime_error(std::string("shard_io: ") + what +
-                               " is not an integer");
-    return i;
-  }
-  [[nodiscard]] const std::string& as_string(const char* what) const {
-    if (type != Type::kString)
-      throw std::runtime_error(std::string("shard_io: ") + what +
-                               " is not a string");
-    return string;
-  }
-  /// 64-bit values travel as decimal strings: a double cannot carry a full
-  /// uint64_t.
-  [[nodiscard]] std::uint64_t as_u64(const char* what) const {
-    const std::string& s = as_string(what);
-    if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos)
-      throw std::runtime_error(std::string("shard_io: ") + what +
-                               " is not a decimal u64 string");
-    return std::strtoull(s.c_str(), nullptr, 10);
-  }
-  [[nodiscard]] const std::vector<JsonValue>& as_array(
-      const char* what) const {
-    if (type != Type::kArray)
-      throw std::runtime_error(std::string("shard_io: ") + what +
-                               " is not an array");
-    return array;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  [[nodiscard]] JsonValue parse() {
-    JsonValue v = parse_value();
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing characters");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& why) const {
-    throw std::runtime_error("shard_io: malformed JSON at byte " +
-                             std::to_string(pos_) + ": " + why);
-  }
-  void skip_ws() {
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
-        ++pos_;
-      else
-        break;
-    }
-  }
-  char peek() {
-    skip_ws();
-    if (pos_ >= text_.size()) fail("unexpected end of input");
-    return text_[pos_];
-  }
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-  JsonValue parse_value() {
-    const char c = peek();
-    switch (c) {
-      case '{': return parse_object();
-      case '[': return parse_array();
-      case '"': return parse_string();
-      case 't': return parse_literal("true", JsonValue::Type::kBool, true);
-      case 'f': return parse_literal("false", JsonValue::Type::kBool, false);
-      case 'n': return parse_literal("null", JsonValue::Type::kNull, false);
-      default: return parse_number();
-    }
-  }
-  JsonValue parse_literal(const char* word, JsonValue::Type type, bool b) {
-    for (const char* p = word; *p != '\0'; ++p, ++pos_)
-      if (pos_ >= text_.size() || text_[pos_] != *p) fail("bad literal");
-    JsonValue v;
-    v.type = type;
-    v.boolean = b;
-    return v;
-  }
-  JsonValue parse_number() {
-    const std::size_t start = pos_;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if ((c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' ||
-          c == 'e' || c == 'E')
-        ++pos_;
-      else
-        break;
-    }
-    if (pos_ == start) fail("expected a value");
-    const std::string slice = text_.substr(start, pos_ - start);
-    char* end = nullptr;
-    const double d = std::strtod(slice.c_str(), &end);
-    if (end == nullptr || *end != '\0') fail("bad number '" + slice + "'");
-    JsonValue v;
-    v.type = JsonValue::Type::kNumber;
-    v.number = d;
-    return v;
-  }
-  JsonValue parse_string() {
-    expect('"');
-    JsonValue v;
-    v.type = JsonValue::Type::kString;
-    while (true) {
-      if (pos_ >= text_.size()) fail("unterminated string");
-      const char c = text_[pos_++];
-      if (c == '"') break;
-      if (c != '\\') {
-        v.string += c;
-        continue;
-      }
-      if (pos_ >= text_.size()) fail("unterminated escape");
-      const char e = text_[pos_++];
-      switch (e) {
-        case '"': v.string += '"'; break;
-        case '\\': v.string += '\\'; break;
-        case '/': v.string += '/'; break;
-        case 'n': v.string += '\n'; break;
-        case 't': v.string += '\t'; break;
-        case 'r': v.string += '\r'; break;
-        case 'b': v.string += '\b'; break;
-        case 'f': v.string += '\f'; break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
-          unsigned code = 0;
-          for (int k = 0; k < 4; ++k) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9')
-              code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f')
-              code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F')
-              code |= static_cast<unsigned>(h - 'A' + 10);
-            else
-              fail("bad \\u escape");
-          }
-          // The protocol only ever escapes control characters; reject the
-          // rest instead of mis-decoding UTF-16 surrogates.
-          if (code > 0xff) fail("unsupported \\u escape");
-          v.string += static_cast<char>(code);
-          break;
-        }
-        default: fail("unknown escape");
-      }
-    }
-    return v;
-  }
-  JsonValue parse_array() {
-    expect('[');
-    JsonValue v;
-    v.type = JsonValue::Type::kArray;
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      v.array.push_back(parse_value());
-      const char c = peek();
-      ++pos_;
-      if (c == ']') break;
-      if (c != ',') fail("expected ',' or ']'");
-    }
-    return v;
-  }
-  JsonValue parse_object() {
-    expect('{');
-    JsonValue v;
-    v.type = JsonValue::Type::kObject;
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      JsonValue key = parse_string();
-      expect(':');
-      v.object.emplace_back(std::move(key.string), parse_value());
-      const char c = peek();
-      ++pos_;
-      if (c == '}') break;
-      if (c != ',') fail("expected ',' or '}'");
-    }
-    return v;
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
+// Parsing rides on the shared engine/json_reader.hpp reader: every
+// malformed input becomes a std::runtime_error with a byte offset, never
+// UB — worker output is untrusted by design.
 
 // ------------------------------------------------------------ enum names
 // Protocol-owned tables (not the display to_string helpers) so a renamed
@@ -652,6 +416,134 @@ ShardResult parse_shard_result(const std::string& text) {
     result.results.push_back(r);
   }
   return result;
+}
+
+// ------------------------------------------------------------- stats RPC
+
+namespace {
+
+/// Signed 64-bit values travel as decimal strings for the same reason
+/// u64 values do; gauges can be negative, so accept one leading '-'.
+std::int64_t parse_i64_string(const JsonValue& v, const char* what) {
+  const std::string& s = v.as_string(what);
+  const std::size_t digits = s.size() > 0 && s[0] == '-' ? 1 : 0;
+  if (s.size() == digits ||
+      s.find_first_not_of("0123456789", digits) != std::string::npos)
+    throw std::runtime_error(std::string("shard_io: ") + what +
+                             " is not a decimal i64 string");
+  return std::strtoll(s.c_str(), nullptr, 10);
+}
+
+}  // namespace
+
+std::string serialize_stats_request() {
+  Json j;
+  j.open_object();
+  j.key("version");
+  j.value(kShardIoVersion);
+  j.key("request");
+  j.value("stats");
+  j.close_object();
+  return std::move(j).str();
+}
+
+bool is_stats_request(const std::string& text) {
+  // A stats request is tiny; a shard work document is not.  The length
+  // gate keeps classification O(1) on real work frames, so they are only
+  // ever parsed once (as shard input).
+  constexpr std::size_t kMaxStatsRequestBytes = 256;
+  if (text.size() > kMaxStatsRequestBytes) return false;
+  try {
+    const JsonValue doc = JsonParser(text).parse();
+    const JsonValue* req = doc.find("request");
+    return req != nullptr && req->type == JsonValue::Type::kString &&
+           req->string == "stats" &&
+           doc.at("version").as_int("version") == kShardIoVersion;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+std::string serialize_stats_response(const ServerStats& stats) {
+  Json j;
+  j.open_object();
+  j.key("version");
+  j.value(kShardIoVersion);
+  j.key("kind");
+  j.value("stats");
+  j.key("uptime_s");
+  j.value(stats.uptime_s);
+  j.key("counters");
+  j.open_object();
+  for (const telemetry::CounterValue& c : stats.metrics.counters) {
+    j.key(c.name);
+    j.value(std::to_string(c.value));
+  }
+  j.close_object();
+  j.key("gauges");
+  j.open_object();
+  for (const telemetry::GaugeValue& g : stats.metrics.gauges) {
+    j.key(g.name);
+    j.value(std::to_string(g.value));
+  }
+  j.close_object();
+  j.key("histograms");
+  j.open_object();
+  for (const telemetry::HistogramValue& h : stats.metrics.histograms) {
+    j.key(h.name);
+    j.open_object();
+    j.key("count");
+    j.value(std::to_string(h.count));
+    j.key("sum_s");
+    j.value(h.sum_s);
+    j.key("buckets");
+    j.open_array();
+    for (const std::uint64_t b : h.buckets) j.value(std::to_string(b));
+    j.close_array();
+    j.close_object();
+  }
+  j.close_object();
+  j.close_object();
+  return std::move(j).str();
+}
+
+ServerStats parse_stats_response(const std::string& text) {
+  const JsonValue doc = JsonParser(text).parse();
+  checked_version(doc);
+  if (doc.at("kind").as_string("kind") != "stats")
+    throw std::runtime_error("shard_io: response kind is not 'stats'");
+
+  ServerStats stats;
+  stats.uptime_s = doc.at("uptime_s").as_double("uptime_s");
+  const JsonValue& counters = doc.at("counters");
+  if (counters.type != JsonValue::Type::kObject)
+    throw std::runtime_error("shard_io: counters is not an object");
+  for (const auto& [name, v] : counters.object)
+    stats.metrics.counters.push_back({name, v.as_u64("counter value")});
+  const JsonValue& gauges = doc.at("gauges");
+  if (gauges.type != JsonValue::Type::kObject)
+    throw std::runtime_error("shard_io: gauges is not an object");
+  for (const auto& [name, v] : gauges.object)
+    stats.metrics.gauges.push_back({name, parse_i64_string(v, "gauge value")});
+  const JsonValue& histograms = doc.at("histograms");
+  if (histograms.type != JsonValue::Type::kObject)
+    throw std::runtime_error("shard_io: histograms is not an object");
+  for (const auto& [name, v] : histograms.object) {
+    telemetry::HistogramValue hv;
+    hv.name = name;
+    hv.count = v.at("count").as_u64("histogram count");
+    hv.sum_s = v.at("sum_s").as_double("sum_s");
+    for (const JsonValue& b : v.at("buckets").as_array("buckets"))
+      hv.buckets.push_back(b.as_u64("histogram bucket"));
+    if (hv.buckets.size() !=
+        static_cast<std::size_t>(telemetry::Histogram::kBucketCount))
+      throw std::runtime_error("shard_io: histogram '" + name + "' carries " +
+                               std::to_string(hv.buckets.size()) +
+                               " buckets, expected " +
+                               std::to_string(telemetry::Histogram::kBucketCount));
+    stats.metrics.histograms.push_back(std::move(hv));
+  }
+  return stats;
 }
 
 std::string check_shard_result(const ShardResult& result,

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "engine/shard.hpp"
+#include "engine/telemetry.hpp"
 #include "logic/circuit.hpp"
 
 namespace cpsinw::engine {
@@ -64,6 +65,36 @@ struct ShardWorkInput {
 /// 64-bit FNV-1a of a fingerprint (compact form for log lines; the cache
 /// itself compares full fingerprints, never hashes).
 [[nodiscard]] std::uint64_t fingerprint_hash(const std::string& fingerprint);
+
+// ------------------------------------------------------------- stats RPC
+// Besides shard work documents, a cpsinw_shard_server accepts a tiny v1
+// `stats` request and answers with a live telemetry snapshot (uptime,
+// shards served, context-cache hit counters, per-shard latency
+// histograms) so operators and CI can scrape a running endpoint without
+// restarting it.
+
+/// Live server telemetry, as served by the `stats` request.
+struct ServerStats {
+  double uptime_s = 0.0;
+  telemetry::RegistrySnapshot metrics;
+};
+
+/// The framed `stats` request payload ({"version":1,"request":"stats"}).
+[[nodiscard]] std::string serialize_stats_request();
+
+/// True iff `text` is a well-formed v1 stats request.  Cheap on shard
+/// work documents: anything beyond a small size ceiling is rejected on
+/// length alone, so the server classifies every incoming frame with at
+/// most one tiny parse.
+[[nodiscard]] bool is_stats_request(const std::string& text);
+
+/// Serializes a stats response (counters/gauges as decimal strings — a
+/// double cannot carry a full 64-bit value).
+[[nodiscard]] std::string serialize_stats_response(const ServerStats& stats);
+
+/// Parses a stats response.
+/// @throws std::runtime_error on malformed JSON or an unknown version
+[[nodiscard]] ServerStats parse_stats_response(const std::string& text);
 
 /// Cross-checks a parsed result against the shard it should answer for:
 /// identity (job, index) and record count.  Returns "" on a match or the

@@ -1,0 +1,221 @@
+#include "engine/telemetry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "engine/json_writer.hpp"
+
+namespace cpsinw::engine::telemetry {
+
+// ------------------------------------------------------------ Histogram
+
+double Histogram::bucket_upper_s(int i) {
+  if (i <= 0) return 1e-6;
+  if (i >= kBucketCount - 1) return 1e9;  // overflow bucket: effectively +inf
+  return static_cast<double>(std::uint64_t{1} << i) * 1e-6;
+}
+
+int Histogram::bucket_of(double seconds) {
+  if (!(seconds > 0.0)) return 0;
+  const double us = seconds * 1e6;
+  if (us < 1.0) return 0;
+  // Bucket i >= 1 covers [2^(i-1), 2^i) microseconds.
+  const auto whole = static_cast<std::uint64_t>(us);
+  int bit = 0;
+  for (std::uint64_t w = whole; w > 1; w >>= 1) ++bit;
+  const int bucket = bit + 1;
+  return bucket >= kBucketCount ? kBucketCount - 1 : bucket;
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (int i = 0; i < kBucketCount; ++i) total += bucket(i);
+  return total;
+}
+
+double HistogramValue::quantile_s(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the target sample (1-based), then walk the cumulative counts.
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  const std::uint64_t target = rank == 0 ? 1 : rank;
+  std::uint64_t seen = 0;
+  for (int i = 0; i < static_cast<int>(buckets.size()); ++i) {
+    const std::uint64_t in_bucket = buckets[static_cast<std::size_t>(i)];
+    if (in_bucket == 0) continue;
+    if (seen + in_bucket >= target) {
+      const double lo = i == 0 ? 0.0 : Histogram::bucket_upper_s(i - 1);
+      const double hi = i == static_cast<int>(buckets.size()) - 1
+                            ? Histogram::bucket_upper_s(i - 1) * 2.0
+                            : Histogram::bucket_upper_s(i);
+      const double frac = static_cast<double>(target - seen) /
+                          static_cast<double>(in_bucket);
+      return lo + (hi - lo) * frac;
+    }
+    seen += in_bucket;
+  }
+  return Histogram::bucket_upper_s(static_cast<int>(buckets.size()) - 1);
+}
+
+// ------------------------------------------------------------- Registry
+
+const CounterValue* RegistrySnapshot::find_counter(
+    const std::string& name) const {
+  for (const CounterValue& c : counters)
+    if (c.name == name) return &c;
+  return nullptr;
+}
+
+const HistogramValue* RegistrySnapshot::find_histogram(
+    const std::string& name) const {
+  for (const HistogramValue& h : histograms)
+    if (h.name == name) return &h;
+  return nullptr;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+RegistrySnapshot Registry::snapshot() const {
+  RegistrySnapshot out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, c] : counters_)
+    out.counters.push_back({name, c->value()});
+  for (const auto& [name, g] : gauges_) out.gauges.push_back({name, g->value()});
+  for (const auto& [name, h] : histograms_) {
+    HistogramValue hv;
+    hv.name = name;
+    hv.sum_s = h->sum_s();
+    hv.buckets.reserve(Histogram::kBucketCount);
+    for (int i = 0; i < Histogram::kBucketCount; ++i) {
+      const std::uint64_t b = h->bucket(i);
+      hv.buckets.push_back(b);
+      hv.count += b;
+    }
+    out.histograms.push_back(std::move(hv));
+  }
+  return out;
+}
+
+Registry& Registry::global() {
+  // Leaked on purpose: metrics are recorded from detached server threads
+  // and process-exit paths, so the registry must outlive static
+  // destruction order.
+  static Registry* g = new Registry();
+  return *g;
+}
+
+// -------------------------------------------------------- TraceRecorder
+
+TraceRecorder::TraceRecorder() : epoch_(Clock::now()) {}
+
+namespace {
+
+std::atomic<int> g_next_tid{1};
+
+double us_between(TimePoint a, TimePoint b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+}  // namespace
+
+int TraceRecorder::current_tid() {
+  thread_local const int tid =
+      g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+int TraceRecorder::remote_tid(int index) {
+  // A fixed band well above any realistic local thread count keeps
+  // reconstructed remote lanes from colliding with live threads.
+  return 1000000 + index;
+}
+
+void TraceRecorder::add_span(std::string name, std::string category,
+                             TimePoint start, TimePoint end) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.category = std::move(category);
+  ev.ts_us = us_between(epoch_, start);
+  ev.dur_us = us_between(start, end);
+  if (ev.dur_us < 0.0) ev.dur_us = 0.0;
+  ev.tid = current_tid();
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(ev));
+}
+
+void TraceRecorder::add_remote_span(std::string name, std::string category,
+                                    TimePoint end, double dur_s, int tid) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.category = std::move(category);
+  ev.dur_us = dur_s > 0.0 ? dur_s * 1e6 : 0.0;
+  ev.ts_us = us_between(epoch_, end) - ev.dur_us;
+  if (ev.ts_us < 0.0) ev.ts_us = 0.0;
+  ev.tid = tid;
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(ev));
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::string TraceRecorder::to_chrome_json() const {
+  std::vector<TraceEvent> sorted = events();
+  std::sort(sorted.begin(), sorted.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.ts_us < b.ts_us;
+            });
+  JsonWriter j;
+  j.open_object();
+  j.key("traceEvents");
+  j.open_array();
+  for (const TraceEvent& ev : sorted) {
+    j.open_object();
+    j.key("name");
+    j.value(ev.name);
+    j.key("cat");
+    j.value(ev.category);
+    j.key("ph");
+    j.value("X");
+    j.key("ts");
+    j.value(ev.ts_us);
+    j.key("dur");
+    j.value(ev.dur_us);
+    j.key("pid");
+    j.value(1);
+    j.key("tid");
+    j.value(ev.tid);
+    j.close_object();
+  }
+  j.close_array();
+  j.key("displayTimeUnit");
+  j.value("ms");
+  j.close_object();
+  return std::move(j).str();
+}
+
+}  // namespace cpsinw::engine::telemetry

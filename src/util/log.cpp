@@ -1,7 +1,7 @@
 #include "util/log.hpp"
 
 #include <atomic>
-#include <iostream>
+#include <cstdio>
 
 namespace cpsinw::util {
 
@@ -17,20 +17,96 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+/// Hands a fully assembled line to stderr in one call.  stderr is
+/// unbuffered, so the single fwrite maps to a single write(2) and
+/// concurrent loggers never interleave inside a line.
+void write_line(std::string line) {
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+bool needs_quoting(const std::string& v) {
+  if (v.empty()) return true;
+  for (const char c : v)
+    if (c == ' ' || c == '"' || c == '=' || c == '\t' || c == '\n' ||
+        c == '\\')
+      return true;
+  return false;
+}
+
+void append_value(std::string& line, const std::string& v) {
+  if (!needs_quoting(v)) {
+    line += v;
+    return;
+  }
+  line += '"';
+  for (const char c : v) {
+    switch (c) {
+      case '"': line += "\\\""; break;
+      case '\\': line += "\\\\"; break;
+      case '\n': line += "\\n"; break;
+      case '\t': line += "\\t"; break;
+      default: line += c;
+    }
+  }
+  line += '"';
+}
 }  // namespace
+
+LogField::LogField(std::string k, double v) : key(std::move(k)) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  value = buf;
+}
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 
 LogLevel log_level() { return g_level.load(); }
 
+bool parse_log_level(const std::string& text, LogLevel* out) {
+  if (text == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (text == "info") {
+    *out = LogLevel::kInfo;
+  } else if (text == "warn") {
+    *out = LogLevel::kWarn;
+  } else if (text == "error") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 void log(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
-  std::cerr << "[cpsinw:" << level_name(level) << "] " << message << '\n';
+  std::string line = "[cpsinw:";
+  line += level_name(level);
+  line += "] ";
+  line += message;
+  write_line(std::move(line));
 }
 
 void log_debug(const std::string& message) { log(LogLevel::kDebug, message); }
 void log_info(const std::string& message) { log(LogLevel::kInfo, message); }
 void log_warn(const std::string& message) { log(LogLevel::kWarn, message); }
 void log_error(const std::string& message) { log(LogLevel::kError, message); }
+
+void log_kv(LogLevel level, const std::string& event,
+            std::initializer_list<LogField> fields) {
+  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  std::string line = "[cpsinw:";
+  line += level_name(level);
+  line += "] ";
+  line += event;
+  for (const LogField& f : fields) {
+    line += ' ';
+    line += f.key;
+    line += '=';
+    append_value(line, f.value);
+  }
+  write_line(std::move(line));
+}
 
 }  // namespace cpsinw::util

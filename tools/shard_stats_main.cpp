@@ -1,0 +1,90 @@
+// cpsinw_shard_stats: scrapes one or more live cpsinw_shard_server
+// endpoints with the shard_io v1 `stats` request and prints each
+// endpoint's telemetry snapshot as JSON on stdout (one line per
+// endpoint, prefixed with "host:port "), so operators and CI can watch
+// a serving fleet without restarting anything.
+//
+// Exit codes: 0 all endpoints answered (and passed --require-nonzero if
+// given), 1 any endpoint failed to answer or failed the check, 2 usage
+// error.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "engine/remote_executor.hpp"
+#include "engine/shard_io.hpp"
+#include "util/log.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: cpsinw_shard_stats [--timeout S] [--require-nonzero COUNTER]\n"
+    "                          host:port [host:port ...]\n"
+    "Sends the shard_io v1 `stats` request to every endpoint and prints\n"
+    "each response as one JSON line prefixed with the endpoint.\n"
+    "--require-nonzero exits 1 unless COUNTER is present and > 0 on every\n"
+    "endpoint (e.g. server.cache_hits — CI uses this to assert the\n"
+    "context cache actually served hits).\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cpsinw;
+
+  double timeout_s = 10.0;
+  std::string require_nonzero;
+  std::vector<std::string> endpoints;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      return 0;
+    }
+    if (arg == "--timeout" && i + 1 < argc) {
+      timeout_s = std::atof(argv[++i]);
+      if (!(timeout_s > 0.0)) {
+        std::cerr << "cpsinw_shard_stats: bad --timeout\n";
+        return 2;
+      }
+    } else if (arg == "--require-nonzero" && i + 1 < argc) {
+      require_nonzero = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "cpsinw_shard_stats: unknown argument '" << arg << "'\n"
+                << kUsage;
+      return 2;
+    } else {
+      endpoints.push_back(arg);
+    }
+  }
+  if (endpoints.empty()) {
+    std::cerr << kUsage;
+    return 2;
+  }
+
+  bool ok = true;
+  for (const std::string& endpoint : endpoints) {
+    engine::ServerStats stats;
+    std::string error;
+    if (!engine::query_server_stats(endpoint, timeout_s, &stats, &error)) {
+      util::log_kv(util::LogLevel::kError, "stats_failed",
+                   {{"endpoint", endpoint}, {"error", error}});
+      ok = false;
+      continue;
+    }
+    std::cout << endpoint << " " << engine::serialize_stats_response(stats)
+              << "\n";
+    if (!require_nonzero.empty()) {
+      const engine::telemetry::CounterValue* c =
+          stats.metrics.find_counter(require_nonzero);
+      if (c == nullptr || c->value == 0) {
+        util::log_kv(util::LogLevel::kError, "counter_check_failed",
+                     {{"endpoint", endpoint},
+                      {"counter", require_nonzero},
+                      {"value", c == nullptr ? 0ULL : c->value}});
+        ok = false;
+      }
+    }
+  }
+  return ok ? 0 : 1;
+}

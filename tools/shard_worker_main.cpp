@@ -20,16 +20,18 @@
 #include "engine/shard.hpp"
 #include "engine/shard_io.hpp"
 #include "faults/eval_context.hpp"
+#include "util/log.hpp"
 
 namespace {
 
 constexpr const char* kUsage =
-    "usage: cpsinw_shard_worker [--fail-mode crash|hang|garbage|exit]\n"
+    "usage: cpsinw_shard_worker [--log-level debug|info|warn|error]\n"
+    "                           [--fail-mode crash|hang|garbage|exit]\n"
     "                           [--fail-index N]\n"
     "Reads a shard_io v1 work document on stdin, writes the ShardResult\n"
-    "JSON on stdout.  --fail-mode misbehaves on purpose (test hook);\n"
-    "--fail-index restricts it to the shard with that index (default:\n"
-    "every shard).\n";
+    "JSON on stdout.  --log-level sets the stderr threshold (default\n"
+    "warn).  --fail-mode misbehaves on purpose (test hook); --fail-index\n"
+    "restricts it to the shard with that index (default: every shard).\n";
 
 }  // namespace
 
@@ -42,7 +44,16 @@ int main(int argc, char** argv) {
       std::cout << kUsage;
       return 0;
     }
-    if (arg == "--fail-mode" && i + 1 < argc) {
+    if (arg == "--log-level" && i + 1 < argc) {
+      cpsinw::util::LogLevel level = cpsinw::util::LogLevel::kWarn;
+      const std::string text = argv[++i];
+      if (!cpsinw::util::parse_log_level(text, &level)) {
+        std::cerr << "cpsinw_shard_worker: bad --log-level '" << text
+                  << "'\n";
+        return 2;
+      }
+      cpsinw::util::set_log_level(level);
+    } else if (arg == "--fail-mode" && i + 1 < argc) {
       fail_mode = argv[++i];
     } else if (arg == "--fail-index" && i + 1 < argc) {
       fail_index = std::atoi(argv[++i]);
@@ -77,19 +88,24 @@ int main(int argc, char** argv) {
       } else if (fail_mode == "exit") {
         return 3;
       } else {
-        std::cerr << "cpsinw_shard_worker: unknown --fail-mode '" << fail_mode
-                  << "'\n";
+        util::log_kv(util::LogLevel::kError, "unknown_fail_mode",
+                     {{"fail_mode", fail_mode}});
         return 2;
       }
     }
 
+    util::log_kv(util::LogLevel::kDebug, "shard",
+                 {{"job", input.shard.job},
+                  {"index", input.shard.index},
+                  {"faults", static_cast<unsigned long long>(
+                                 input.faults.size())}});
     const faults::EvalContext ctx(input.circuit, std::move(input.patterns));
     const engine::ShardResult result =
         engine::run_shard(ctx, input.faults, input.shard, input.options);
     std::cout << engine::serialize_shard_result(result) << "\n";
     return 0;
   } catch (const std::exception& e) {
-    std::cerr << "cpsinw_shard_worker: " << e.what() << "\n";
+    util::log_kv(util::LogLevel::kError, "shard_failed", {{"error", e.what()}});
     return 2;
   }
 }
