@@ -171,6 +171,43 @@ void BM_CompiledLineFaultSim(benchmark::State& state) {
 }
 BENCHMARK(BM_CompiledLineFaultSim);
 
+void BM_CompiledBatchLineFaultSim(benchmark::State& state) {
+  // Same campaign through the multi-fault batch kernel: kBatchLanes line
+  // faults share one forward walk over the SoA bit planes.  The
+  // words_per_s counter is the kernel's post-early-exit plane throughput
+  // (pattern words evaluated per second across all lanes).
+  const logic::Circuit ckt = logic::parity_tree(48);
+  const faults::FaultSimulator fsim(ckt);
+  faults::FaultListOptions flo;
+  flo.include_transistor_faults = false;
+  const auto faults = generate_fault_list(ckt, flo);
+  std::vector<logic::Pattern> patterns;
+  util::SplitMix64 rng(13);
+  for (int k = 0; k < 256; ++k) {
+    logic::Pattern p;
+    for (std::size_t i = 0; i < ckt.primary_inputs().size(); ++i)
+      p.push_back(logic::from_bool(rng.chance(0.5)));
+    patterns.push_back(std::move(p));
+  }
+  const faults::EvalContext ctx(ckt, patterns);
+  faults::LineBatchStats stats;
+  for (auto _ : state) {
+    faults::LineBatchStats run_stats;
+    benchmark::DoNotOptimize(
+        fsim.run_range(ctx, faults, 0, faults.size(), {}, &run_stats));
+    stats.merge(run_stats);
+  }
+  state.counters["faults"] = static_cast<double>(faults.size());
+  state.counters["words_per_s"] = benchmark::Counter(
+      static_cast<double>(stats.words), benchmark::Counter::kIsRate);
+  state.counters["lane_fill"] =
+      stats.lane_slots != 0
+          ? static_cast<double>(stats.faults) /
+                static_cast<double>(stats.lane_slots)
+          : 0.0;
+}
+BENCHMARK(BM_CompiledBatchLineFaultSim);
+
 void BM_PodemLineFault(benchmark::State& state) {
   const logic::Circuit ckt = logic::multiplier_2x2();
   const atpg::PodemEngine engine(ckt);

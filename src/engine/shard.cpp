@@ -138,10 +138,11 @@ ShardResult run_shard(const faults::EvalContext& ctx,
     gathered.push_back(universe[i].fault);
     gathered_slot.push_back(i - shard.begin);
   }
+  faults::LineBatchStats batch_stats;
   if (!gathered.empty()) {
     const faults::FaultSimulator fsim(ctx.circuit());
-    const std::vector<faults::DetectionRecord> records =
-        fsim.run_range(ctx, gathered, 0, gathered.size(), options.sim);
+    const std::vector<faults::DetectionRecord> records = fsim.run_range(
+        ctx, gathered, 0, gathered.size(), options.sim, &batch_stats);
     for (std::size_t k = 0; k < gathered.size(); ++k)
       out.results[gathered_slot[k]].record = records[k];
   }
@@ -175,6 +176,19 @@ ShardResult run_shard(const faults::EvalContext& ctx,
     reg.counter("shard.faults_sampled_out").add(sampled_out);
     reg.counter("shard.bridges_simulated").add(bridges);
     reg.histogram("shard.exec_s").record(out.elapsed_s);
+    // Batched line-kernel occupancy: faults_batched / batch_width is the
+    // mean lane fill across kernel passes (1.0 = every lane carried a
+    // fault).  The fill histogram reuses the power-of-two-µs buckets by
+    // encoding a group of k faults as 2^(k-1) µs, so fills 1..kBatchLanes
+    // land in distinct buckets 1..kBatchLanes of shard.batch_fill.
+    reg.counter("engine.faults_batched").add(batch_stats.faults);
+    reg.counter("engine.batch_width").add(batch_stats.lane_slots);
+    auto& fill_hist = reg.histogram("shard.batch_fill");
+    for (std::size_t k = 0; k < batch_stats.fill.size(); ++k) {
+      const double encoded_s = static_cast<double>(1ull << k) * 1e-6;
+      for (std::size_t g = 0; g < batch_stats.fill[k]; ++g)
+        fill_hist.record(encoded_s);
+    }
   }());
   return out;
 }

@@ -39,6 +39,14 @@ EvalContext::EvalContext(const logic::Circuit& ckt,
   }
   if (!packed_) return;
 
+  // SoA bit-planes: word `w` of net `n` lives at [n * stride + w], so the
+  // multi-word kernels stream one net's words contiguously.  The stride
+  // pads up to the SIMD group width; padding columns evaluate the
+  // all-zero-input pattern and are masked off by active_words().
+  n_words_ = (patterns_.size() + 63) / 64;
+  stride_ = logic::CompiledCircuit::plane_stride(n_words_);
+  const std::size_t n_pi = ckt.primary_inputs().size();
+  pi_planes_.assign(n_pi * stride_, 0);
   for (std::size_t base = 0; base < patterns_.size(); base += 64) {
     const std::size_t count =
         std::min<std::size_t>(64, patterns_.size() - base);
@@ -50,10 +58,14 @@ EvalContext::EvalContext(const logic::Circuit& ckt,
         patterns_.begin() + static_cast<long>(base),
         patterns_.begin() + static_cast<long>(base + count));
     b.pi_words = logic::pack_patterns(ckt, slice);
-    sim_.compiled().init_packed(b.pi_words, b.net_words);
-    sim_.compiled().eval_packed(b.net_words);
+    const std::size_t w = base / 64;
+    for (std::size_t i = 0; i < n_pi; ++i)
+      pi_planes_[i * stride_ + w] = b.pi_words[i];
+    active_words_.push_back(b.active);
     batches_.push_back(std::move(b));
   }
+  sim_.compiled().init_packed_planes(pi_planes_.data(), stride_, good_planes_);
+  sim_.compiled().eval_packed_planes(good_planes_, stride_);
 }
 
 }  // namespace cpsinw::faults

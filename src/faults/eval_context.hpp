@@ -29,13 +29,15 @@ namespace cpsinw::faults {
 
 class EvalContext {
  public:
-  /// One 64-pattern slice with its packed fault-free simulation.
+  /// One 64-pattern slice.  The good-machine words that used to live here
+  /// (`net_words`) moved to the context-wide SoA planes (good_plane()):
+  /// one contiguous row of words per net instead of one vector per batch,
+  /// which is what the multi-word SIMD kernels walk.
   struct Batch {
     std::size_t base = 0;        ///< index of the first pattern
     std::size_t count = 0;       ///< patterns in this batch (<= 64)
     std::uint64_t active = 0;    ///< low `count` bits set
     std::vector<std::uint64_t> pi_words;   ///< per PI (pack_patterns order)
-    std::vector<std::uint64_t> net_words;  ///< per net: good-machine words
   };
 
   /// Builds the context: per-pattern scalar good simulation always; packed
@@ -54,9 +56,35 @@ class EvalContext {
   [[nodiscard]] std::size_t pattern_count() const { return patterns_.size(); }
 
   /// True when every pattern is fully specified and the packed batches
-  /// (and their good-machine words) were built.
+  /// (and their good-machine planes) were built.
   [[nodiscard]] bool packed() const { return packed_; }
   [[nodiscard]] const std::vector<Batch>& batches() const { return batches_; }
+
+  // ---- SoA bit-planes (built only when packed()) ---------------------------
+
+  /// Pattern words (= batches().size()).
+  [[nodiscard]] std::size_t word_count() const { return n_words_; }
+  /// Row stride of the plane buffers, in words: word_count() padded to a
+  /// multiple of CompiledCircuit::kSimdWords (padding words are computed
+  /// but masked off by active_words()).
+  [[nodiscard]] std::size_t plane_stride() const { return stride_; }
+  /// Good-machine plane base: word `w` of net `n` is
+  /// good_planes()[n * plane_stride() + w].
+  [[nodiscard]] const std::uint64_t* good_planes() const {
+    return good_planes_.data();
+  }
+  /// Row of good-machine words for one net.
+  [[nodiscard]] const std::uint64_t* good_plane(logic::NetId net) const {
+    return good_planes_.data() + static_cast<std::size_t>(net) * stride_;
+  }
+  /// Packed-PI plane base, same layout with one row per primary input.
+  [[nodiscard]] const std::uint64_t* pi_planes() const {
+    return pi_planes_.data();
+  }
+  /// Per pattern word: the valid-pattern mask (batches()[w].active).
+  [[nodiscard]] const std::vector<std::uint64_t>& active_words() const {
+    return active_words_;
+  }
 
   /// Fault-free scalar simulation of pattern `index` (precomputed).
   [[nodiscard]] const logic::SimResult& good(std::size_t index) const {
@@ -85,6 +113,11 @@ class EvalContext {
   logic::Simulator sim_;
   std::vector<logic::SimResult> good_;
   std::vector<Batch> batches_;
+  std::size_t n_words_ = 0;
+  std::size_t stride_ = 0;
+  std::vector<std::uint64_t> pi_planes_;    ///< [pi][stride_] PI words
+  std::vector<std::uint64_t> good_planes_;  ///< [net][stride_] good words
+  std::vector<std::uint64_t> active_words_;
   bool packed_ = false;
 };
 

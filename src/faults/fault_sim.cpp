@@ -1,5 +1,6 @@
 #include "faults/fault_sim.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "gates/dictionary_cache.hpp"
@@ -86,7 +87,8 @@ std::vector<DetectionRecord> FaultSimulator::run_range(
 
 std::vector<DetectionRecord> FaultSimulator::run_range(
     const EvalContext& ctx, const std::vector<Fault>& faults,
-    std::size_t begin, std::size_t end, const FaultSimOptions& options) const {
+    std::size_t begin, std::size_t end, const FaultSimOptions& options,
+    LineBatchStats* stats) const {
   check_context(ctx);
   if (begin > end || end > faults.size())
     throw std::invalid_argument("run_range: bad fault range");
@@ -99,40 +101,129 @@ std::vector<DetectionRecord> FaultSimulator::run_range(
     throw std::invalid_argument(
         "run_range: line faults need fully-specified (packable) patterns");
 
-  // --- Line faults: 64-pattern-parallel batches against the context's
-  // precomputed good-machine words (simulated once per pattern set, not
-  // once per shard or per fault).  One scratch buffer serves every fault
-  // and batch of this call. ------------------------------------------------
-  std::vector<std::uint64_t> scratch;
-  for (std::size_t bi = 0; any_line_fault && bi < ctx.batches().size(); ++bi) {
-    const EvalContext::Batch& batch = ctx.batches()[bi];
-    for (std::size_t fi = begin; fi < end; ++fi) {
-      const Fault& f = faults[fi];
-      if (f.site == FaultSite::kGateTransistor) continue;
-      DetectionRecord& rec = records[fi - begin];
-      if (rec.detected_output) continue;  // fault dropping
-      packed_line_fault(batch.pi_words, f, scratch);
-      std::uint64_t diff = 0;
-      for (const logic::NetId po : ckt_.primary_outputs())
-        diff |= (batch.net_words[static_cast<std::size_t>(po)] ^
-                 scratch[static_cast<std::size_t>(po)]);
-      diff &= batch.active;
-      if (diff != 0) {
-        rec.detected_output = true;
-        rec.first_pattern =
-            static_cast<int>(batch.base) + __builtin_ctzll(diff);
+  if (any_line_fault && options.batch_line_faults && ctx.word_count() > 0) {
+    // --- Line faults, batched: groups of kBatchLanes faults share one
+    // forward walk per pattern word over the context's SoA good planes.
+    // Sorting by injection position groups faults whose shared (skipped)
+    // prefix is longest; each fault's record still derives from its own
+    // detection words, so grouping never changes results — concatenating
+    // shard ranges stays bit-identical to one whole-list run. --------------
+    run_line_faults_batched(ctx, faults, begin, end, records, stats);
+  } else if (any_line_fault) {
+    // --- Line faults, single-fault path (batching disabled): one packed
+    // pass per fault per 64-pattern batch with fault dropping — the PR-5
+    // kernel shape, kept as the equivalence/bench baseline.  One scratch
+    // buffer serves every fault and batch of this call. --------------------
+    std::vector<std::uint64_t> scratch;
+    for (std::size_t bi = 0; bi < ctx.batches().size(); ++bi) {
+      const EvalContext::Batch& batch = ctx.batches()[bi];
+      for (std::size_t fi = begin; fi < end; ++fi) {
+        const Fault& f = faults[fi];
+        if (f.site == FaultSite::kGateTransistor) continue;
+        DetectionRecord& rec = records[fi - begin];
+        if (rec.detected_output) continue;  // fault dropping
+        packed_line_fault(batch.pi_words, f, scratch);
+        std::uint64_t diff = 0;
+        for (const logic::NetId po : ckt_.primary_outputs())
+          diff |= (ctx.good_plane(po)[bi] ^
+                   scratch[static_cast<std::size_t>(po)]);
+        diff &= batch.active;
+        if (diff != 0) {
+          rec.detected_output = true;
+          rec.first_pattern =
+              static_cast<int>(batch.base) + __builtin_ctzll(diff);
+        }
       }
     }
   }
 
   // --- Transistor faults: packed table-driven batches when the dictionary
-  // allows it, retained-state serial simulation otherwise. -----------------
+  // allows it, retained-state serial simulation otherwise.  One scratch set
+  // serves the whole range (the plane kernel's epoch bookkeeping persists
+  // across faults, so reuse also skips its per-call re-zeroing). -----------
+  TransistorScratch scratch;
   for (std::size_t fi = begin; fi < end; ++fi) {
     const Fault& f = faults[fi];
     if (f.site != FaultSite::kGateTransistor) continue;
-    records[fi - begin] = simulate_transistor_fault(ctx, f, options);
+    records[fi - begin] = simulate_transistor_scratch(ctx, f, options, scratch);
   }
   return records;
+}
+
+void FaultSimulator::run_line_faults_batched(
+    const EvalContext& ctx, const std::vector<Fault>& faults,
+    std::size_t begin, std::size_t end, std::vector<DetectionRecord>& records,
+    LineBatchStats* stats) const {
+  using logic::CompiledCircuit;
+  const CompiledCircuit& cc = sim_.compiled();
+
+  // Gather + validate, then sort by injection position: the kernel skips
+  // every gate before its group's earliest event, so co-locating faults
+  // with deep injection points maximizes the shared skipped prefix.
+  struct Entry {
+    std::size_t rec;  ///< index into `records`
+    CompiledCircuit::LineFault lf;
+    std::size_t pos;  ///< earliest position the fault can diverge at
+  };
+  std::vector<Entry> entries;
+  entries.reserve(end - begin);
+  for (std::size_t fi = begin; fi < end; ++fi) {
+    const Fault& f = faults[fi];
+    if (f.site == FaultSite::kGateTransistor) continue;
+    Entry e;
+    e.rec = fi - begin;
+    e.lf = checked_line_fault(ckt_, f);
+    if (e.lf.net >= 0) {
+      const int driver = ckt_.driver_of(e.lf.net);
+      e.pos = driver < 0 ? 0 : cc.position_of(driver);
+    } else {
+      e.pos = cc.position_of(e.lf.gate);
+    }
+    entries.push_back(e);
+  }
+  // Stable counting sort by position — positions are bounded by the gate
+  // count, so two counting passes replace comparison sorting (which showed
+  // up as the single largest fixed cost of this wrapper, ahead of the
+  // kernel itself on shallow circuits).
+  const std::size_t n_pos = cc.gates().size() + 1;
+  std::vector<std::uint32_t> counts(n_pos + 1, 0);
+  for (const Entry& e : entries) ++counts[e.pos + 1];
+  for (std::size_t p = 1; p <= n_pos; ++p) counts[p] += counts[p - 1];
+  std::vector<Entry> sorted(entries.size());
+  for (const Entry& e : entries) sorted[counts[e.pos]++] = e;
+  entries.swap(sorted);
+
+  const std::size_t n_words = ctx.word_count();
+  std::vector<std::uint64_t> det(CompiledCircuit::kBatchLanes * n_words);
+  std::vector<std::uint64_t> lane_scratch;
+  LineBatchStats local;
+  for (std::size_t g = 0; g < entries.size();
+       g += CompiledCircuit::kBatchLanes) {
+    const std::size_t n =
+        std::min(CompiledCircuit::kBatchLanes, entries.size() - g);
+    CompiledCircuit::LineFault lfs[CompiledCircuit::kBatchLanes];
+    for (std::size_t j = 0; j < n; ++j) lfs[j] = entries[g + j].lf;
+    const std::size_t words_done = cc.eval_packed_line_batch(
+        ctx.good_planes(), ctx.plane_stride(), n_words,
+        ctx.active_words().data(), lfs, n, det.data(), lane_scratch);
+    for (std::size_t j = 0; j < n; ++j) {
+      DetectionRecord& rec = records[entries[g + j].rec];
+      const std::uint64_t* fd = det.data() + j * n_words;
+      for (std::size_t w = 0; w < words_done; ++w) {
+        if (fd[w] == 0) continue;
+        rec.detected_output = true;
+        rec.first_pattern =
+            static_cast<int>(w * 64) + __builtin_ctzll(fd[w]);
+        break;
+      }
+    }
+    local.faults += n;
+    ++local.groups;
+    local.lane_slots += CompiledCircuit::kBatchLanes;
+    local.words += words_done;
+    ++local.fill[n - 1];
+  }
+  if (stats != nullptr) stats->merge(local);
 }
 
 bool FaultSimulator::line_fault_detected(const Fault& fault,
@@ -164,13 +255,13 @@ bool FaultSimulator::line_fault_detected(const EvalContext& ctx,
     throw std::invalid_argument("line_fault_detected: bad pattern index");
   if (!ctx.packed())
     return line_fault_detected(fault, ctx.patterns()[pattern_index]);
-  const EvalContext::Batch& batch = ctx.batches()[pattern_index / 64];
+  const std::size_t w = pattern_index / 64;
+  const EvalContext::Batch& batch = ctx.batches()[w];
   const std::uint64_t bit = 1ull << (pattern_index % 64);
   std::vector<std::uint64_t> faulty;
   packed_line_fault(batch.pi_words, fault, faulty);
   for (const logic::NetId po : ckt_.primary_outputs())
-    if (((batch.net_words[static_cast<std::size_t>(po)] ^
-          faulty[static_cast<std::size_t>(po)]) &
+    if (((ctx.good_plane(po)[w] ^ faulty[static_cast<std::size_t>(po)]) &
          bit) != 0)
       return true;
   return false;
@@ -219,20 +310,45 @@ DetectionRecord FaultSimulator::simulate_transistor_fault(
 DetectionRecord FaultSimulator::simulate_transistor_fault(
     const EvalContext& ctx, const Fault& fault,
     const FaultSimOptions& options) const {
+  TransistorScratch scratch;
+  return simulate_transistor_scratch(ctx, fault, options, scratch);
+}
+
+DetectionRecord FaultSimulator::simulate_transistor_scratch(
+    const EvalContext& ctx, const Fault& fault,
+    const FaultSimOptions& options, TransistorScratch& scratch) const {
   check_context(ctx);
   if (fault.site != FaultSite::kGateTransistor)
     throw std::invalid_argument("simulate_transistor_fault: wrong site");
   if (fault.gate < 0 || fault.gate >= ckt_.gate_count())
     throw std::invalid_argument("simulate_faulty: bad gate id");
-  const gates::FaultAnalysis& fa =
-      ctx.dictionary(ckt_.gate(fault.gate).kind, fault.cell_fault);
+  const gates::CellKind kind = ckt_.gate(fault.gate).kind;
+  const gates::CellFault& cf = fault.cell_fault;
+  // Memoized dictionary lookup: index by (kind, fault kind, transistor),
+  // falling back to the locked cache for out-of-band transistor indices.
+  const gates::FaultAnalysis* fap = nullptr;
+  constexpr std::size_t kTSlots = 33;  // transistor -1..31
+  const std::size_t tslot = static_cast<std::size_t>(cf.transistor + 1);
+  if (cf.transistor + 1 >= 0 && tslot < kTSlots) {
+    const std::size_t idx = (static_cast<std::size_t>(kind) * 5 +
+                             static_cast<std::size_t>(cf.kind)) *
+                                kTSlots +
+                            tslot;
+    if (scratch.dicts.size() <= idx) scratch.dicts.resize(idx + 1, nullptr);
+    const gates::FaultAnalysis*& slot = scratch.dicts[idx];
+    if (slot == nullptr) slot = &ctx.dictionary(kind, cf);
+    fap = slot;
+  } else {
+    fap = &ctx.dictionary(kind, cf);
+  }
+  const gates::FaultAnalysis& fa = *fap;
 
   // Purely binary dictionaries (no floating rows to retain, no X rows to
   // propagate) behave as a combinational table substitution: 64 patterns
   // per pass.  Floating/marginal faults keep the retained-state serial
   // path that two-pattern stuck-open detection relies on.
   if (options.batch_transistor_faults && ctx.packed() && fa.compiled_binary)
-    return simulate_transistor_packed(ctx, fault, fa, options);
+    return simulate_transistor_packed(ctx, fault, fa, options, scratch);
   return simulate_transistor_serial(ctx, fault, fa, options);
 }
 
@@ -273,31 +389,46 @@ DetectionRecord FaultSimulator::simulate_transistor_serial(
 
 DetectionRecord FaultSimulator::simulate_transistor_packed(
     const EvalContext& ctx, const Fault& fault,
-    const gates::FaultAnalysis& fa, const FaultSimOptions& options) const {
+    const gates::FaultAnalysis& fa, const FaultSimOptions& options,
+    TransistorScratch& scratch) const {
+  // Faulty machine: every gate evaluates normally except the faulted one,
+  // whose output words come from its compiled faulty table — all pattern
+  // words in one plane-wide pass sharing the context's good planes.  No
+  // early exit: an IDDQ-only excitation in a late word must be observed.
   DetectionRecord rec;
   const logic::CompiledCircuit& cc = sim_.compiled();
-  std::vector<std::uint64_t> values;
+  const std::size_t n_words = ctx.word_count();
+  std::vector<std::uint64_t>& diff = scratch.diff;
+  std::vector<std::uint64_t>& contention = scratch.contention;
+  diff.resize(n_words);
+  contention.resize(n_words);
+  cc.eval_packed_faulty_planes(ctx.good_planes(), ctx.plane_stride(), n_words,
+                               fault.gate, fa, diff.data(), contention.data(),
+                               scratch.lanes);
 
-  for (const EvalContext::Batch& batch : ctx.batches()) {
-    // Faulty machine: every gate evaluates normally except the faulted
-    // one, whose output word comes from its compiled faulty table.
-    cc.init_packed(batch.pi_words, values);
-    std::uint64_t contention = cc.eval_packed_faulty(values, fault.gate, fa);
-
-    std::uint64_t diff = 0;
-    for (const logic::NetId po : ckt_.primary_outputs())
-      diff |= (batch.net_words[static_cast<std::size_t>(po)] ^
-               values[static_cast<std::size_t>(po)]);
-    diff &= batch.active;
-    contention &= batch.active;
-
-    if (diff != 0) rec.detected_output = true;
-    const std::uint64_t iddq = options.observe_iddq ? contention : 0;
-    if (iddq != 0) rec.detected_iddq = true;
-    const std::uint64_t hit = diff | iddq;
-    if (hit != 0 && rec.first_pattern < 0)
-      rec.first_pattern =
-          static_cast<int>(batch.base) + __builtin_ctzll(hit);
+  // Branch-free OR-accumulation first (the compiler vectorizes this flat
+  // loop; a branchy word-at-a-time scan was a measurable slice of the
+  // per-fault cost once the kernel itself was batched), then an
+  // early-exiting second pass for the first detecting pattern only when
+  // something actually hit.
+  const std::uint64_t* const active = ctx.active_words().data();
+  std::uint64_t any_d = 0;
+  std::uint64_t any_c = 0;
+  for (std::size_t w = 0; w < n_words; ++w) {
+    any_d |= diff[w] & active[w];
+    any_c |= contention[w] & active[w];
+  }
+  rec.detected_output = any_d != 0;
+  rec.detected_iddq = options.observe_iddq && any_c != 0;
+  if (any_d != 0 || rec.detected_iddq) {
+    for (std::size_t w = 0; w < n_words; ++w) {
+      const std::uint64_t hit =
+          (diff[w] | (options.observe_iddq ? contention[w] : 0)) & active[w];
+      if (hit != 0) {
+        rec.first_pattern = static_cast<int>(w * 64) + __builtin_ctzll(hit);
+        break;
+      }
+    }
   }
   return rec;
 }

@@ -13,6 +13,7 @@
 // so their behaviour is bit-identical to the historical serial path.
 #pragma once
 
+#include <array>
 #include <vector>
 
 #include "faults/eval_context.hpp"
@@ -47,6 +48,35 @@ struct FaultSimOptions {
   /// tables.  Bit-identical to the serial path — the switch exists so the
   /// golden-equivalence tests can compare both.
   bool batch_transistor_faults = true;
+  /// Evaluate line faults in groups of CompiledCircuit::kBatchLanes
+  /// through the multi-fault batch kernel (one forward walk shared by the
+  /// whole group) instead of one packed pass per fault per batch.
+  /// Bit-identical to the single-fault path — the switch exists for the
+  /// equivalence tests and the bench's before/after legs.  Process-local:
+  /// deliberately not serialized on the shard_io wire (both settings
+  /// produce identical records, so remote workers may pick either).
+  bool batch_line_faults = true;
+};
+
+/// Occupancy accounting for the batched line-fault kernel, filled by
+/// run_range when a caller passes a sink (the engine shard loop feeds
+/// these into the `engine.faults_batched` / `engine.batch_width` counters
+/// and the `shard.batch_fill` histogram).
+struct LineBatchStats {
+  std::size_t faults = 0;      ///< line faults routed through the kernel
+  std::size_t groups = 0;      ///< kernel invocations
+  std::size_t lane_slots = 0;  ///< groups x kBatchLanes (lane capacity)
+  std::size_t words = 0;       ///< pattern words evaluated (post early-exit)
+  /// fill[k]: groups that carried k+1 faults.
+  std::array<std::size_t, logic::CompiledCircuit::kBatchLanes> fill{};
+
+  void merge(const LineBatchStats& o) {
+    faults += o.faults;
+    groups += o.groups;
+    lane_slots += o.lane_slots;
+    words += o.words;
+    for (std::size_t k = 0; k < fill.size(); ++k) fill[k] += o.fill[k];
+  }
 };
 
 /// Aggregate result over a fault list.
@@ -98,11 +128,13 @@ class FaultSimulator {
 
   /// Context-based range hook: what campaign shards actually execute.  All
   /// shards of a job share one EvalContext instead of re-packing patterns
-  /// and re-simulating the good machine per shard.
+  /// and re-simulating the good machine per shard.  When `stats` is
+  /// non-null and the batched line path runs, its occupancy accounting is
+  /// merged in.
   [[nodiscard]] std::vector<DetectionRecord> run_range(
       const EvalContext& ctx, const std::vector<Fault>& faults,
-      std::size_t begin, std::size_t end,
-      const FaultSimOptions& options = {}) const;
+      std::size_t begin, std::size_t end, const FaultSimOptions& options = {},
+      LineBatchStats* stats = nullptr) const;
 
   /// Single line-fault / single-pattern check (used by ATPG verification).
   [[nodiscard]] bool line_fault_detected(const Fault& fault,
@@ -143,6 +175,38 @@ class FaultSimulator {
                          const Fault& fault,
                          std::vector<std::uint64_t>& values) const;
 
+  /// Batched line-fault path of run_range: validates and gathers the line
+  /// faults of [begin, end), sorts them by injection position, and feeds
+  /// kBatchLanes-sized groups through eval_packed_line_batch, deriving
+  /// each fault's DetectionRecord from its detection words.
+  void run_line_faults_batched(const EvalContext& ctx,
+                               const std::vector<Fault>& faults,
+                               std::size_t begin, std::size_t end,
+                               std::vector<DetectionRecord>& records,
+                               LineBatchStats* stats) const;
+
+  /// Scratch buffers for the packed transistor path, hoisted by run_range
+  /// so a whole fault range shares one set of allocations (the plane
+  /// kernel's epoch bookkeeping lives in `lanes` and persists across
+  /// faults, so reuse also skips its per-call re-zeroing).
+  struct TransistorScratch {
+    std::vector<std::uint64_t> diff;
+    std::vector<std::uint64_t> contention;
+    std::vector<std::uint64_t> lanes;
+    /// Direct-index memo over (cell kind, transistor, fault kind) for the
+    /// context's dictionary lookups: DictionaryCache::lookup takes a
+    /// mutex and walks a std::map, which dominated the per-fault cost of
+    /// the packed path once the kernels were batched.  Entries stay valid
+    /// for the cache's lifetime, so memoizing pointers is safe.
+    std::vector<const gates::FaultAnalysis*> dicts;
+  };
+
+  /// Dispatching body of simulate_transistor_fault with caller-owned
+  /// scratch (the public overload wraps it with a local set).
+  [[nodiscard]] DetectionRecord simulate_transistor_scratch(
+      const EvalContext& ctx, const Fault& fault,
+      const FaultSimOptions& options, TransistorScratch& scratch) const;
+
   /// Serial retained-state transistor path over the context's patterns.
   [[nodiscard]] DetectionRecord simulate_transistor_serial(
       const EvalContext& ctx, const Fault& fault,
@@ -152,7 +216,8 @@ class FaultSimulator {
   /// non-floating rows (checked by the caller).
   [[nodiscard]] DetectionRecord simulate_transistor_packed(
       const EvalContext& ctx, const Fault& fault,
-      const gates::FaultAnalysis& fa, const FaultSimOptions& options) const;
+      const gates::FaultAnalysis& fa, const FaultSimOptions& options,
+      TransistorScratch& scratch) const;
 
   void check_context(const EvalContext& ctx) const;
 

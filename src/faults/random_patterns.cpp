@@ -55,17 +55,29 @@ RandomPatternResult run_random_patterns(const logic::Circuit& ckt,
   int detected_count = 0;
   int stale = 0;
 
+  // Every buffer the per-pattern verification loop touches is hoisted here
+  // and reused — the packed good/faulty words, the single-pattern PI
+  // words, the scalar good/faulty values — matching the run_range scratch
+  // pattern: zero allocations per (pattern, fault) candidate.  (Retained
+  // transistor state moves by swap: `faulty_values` hands its storage to
+  // ts.state and takes the stale buffer back for the next candidate.)
   std::vector<std::uint64_t> good_words;
   std::vector<std::uint64_t> faulty_words;
+  std::vector<std::uint64_t> pi_words(ckt.primary_inputs().size());
+  std::vector<LogicV> good_values;
+  std::vector<LogicV> faulty_values;
   for (int k = 0; k < options.max_patterns; ++k) {
     Pattern p(ckt.primary_inputs().size());
     for (auto& v : p)
       v = logic::from_bool(rng.chance(options.one_probability));
 
     // Per generated pattern: the scalar good machine and the packed good
-    // words are computed once here, not once per fault below.
-    const logic::SimResult good = sim.simulate(p);
-    const auto pi_words = logic::pack_patterns(ckt, {p});
+    // words are computed once here, not once per fault below.  Patterns
+    // are binary by construction, so packing is bit 0 of each PI word.
+    cc.init_scalar(p, good_values);
+    cc.eval_scalar(good_values);
+    for (std::size_t i = 0; i < p.size(); ++i)
+      pi_words[i] = p[i] == LogicV::k1 ? 1ull : 0ull;
     cc.init_packed(pi_words, good_words);
     cc.eval_packed(good_words);
 
@@ -77,16 +89,20 @@ RandomPatternResult run_random_patterns(const logic::Circuit& ckt,
         TransState& ts = trans[fi];
         const bool has_state =
             options.sim.sequential_patterns && !ts.state.empty();
-        const logic::SimResult bad = sim.simulate_faulty_with(
-            p, ts.gf, *ts.fa, has_state ? &ts.state : nullptr);
-        if (options.sim.sequential_patterns) ts.state = bad.net_values;
-        if (detected[fi]) continue;
-        if (bad.iddq_flag && options.sim.observe_iddq) hit = true;
+        cc.init_scalar(p, faulty_values);
+        const bool iddq = cc.eval_scalar_faulty(
+            faulty_values, ts.gf.gate, *ts.fa, has_state ? &ts.state : nullptr);
+        if (detected[fi]) {
+          if (options.sim.sequential_patterns) ts.state.swap(faulty_values);
+          continue;
+        }
+        if (iddq && options.sim.observe_iddq) hit = true;
         for (const logic::NetId po : ckt.primary_outputs()) {
-          const LogicV g = good.value(po);
-          const LogicV b = bad.value(po);
+          const LogicV g = good_values[static_cast<std::size_t>(po)];
+          const LogicV b = faulty_values[static_cast<std::size_t>(po)];
           if (is_binary(g) && is_binary(b) && g != b) hit = true;
         }
+        if (options.sim.sequential_patterns) ts.state.swap(faulty_values);
       } else {
         if (detected[fi]) continue;
         cc.init_packed(pi_words, faulty_words);

@@ -1,8 +1,11 @@
 #include "logic/compiled_circuit.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "logic/logic_sim.hpp"
+#include "logic/packed_kernels.hpp"
+#include "logic/simd.hpp"
 
 namespace cpsinw::logic {
 
@@ -229,6 +232,118 @@ std::uint64_t CompiledCircuit::eval_packed_faulty(
 
   eval_packed_range(v, pos + 1, gates_.size());
   return contention;
+}
+
+// ---- SoA bit-plane kernels ------------------------------------------------
+//
+// The bodies live in logic/packed_kernels.hpp as templates over a 4x64-bit
+// vector; this TU instantiates the portable U64x4 shape (and the NEON pair
+// on aarch64), while compiled_circuit_avx2.cpp — the only TU built with
+// -mavx2 — provides the __m256i instantiations behind the *_avx2 entry
+// points and compiled_circuit_avx512.cpp — the only TU built with
+// -mavx512f -mavx512vl — the VPTERNLOGQ variants behind *_avx512.  Dispatch is per call on simd::active_backend(), so the bench
+// and the bit-identity tests can flip backends inside one process.
+
+void CompiledCircuit::init_packed_planes(
+    const std::uint64_t* pi_planes, std::size_t stride,
+    std::vector<std::uint64_t>& planes) const {
+  assert(stride % kSimdWords == 0);
+  const std::size_t n_net = static_cast<std::size_t>(ckt_->net_count());
+  planes.assign(n_net * stride, 0);
+  // Padding words get the same seeds as real ones, so every backend
+  // computes identical plane buffers end to end.
+  for (const NetId n : const_one_)
+    std::fill_n(planes.begin() +
+                    static_cast<std::ptrdiff_t>(
+                        static_cast<std::size_t>(n) * stride),
+                stride, ~0ull);
+  const std::vector<NetId>& pis = ckt_->primary_inputs();
+  for (std::size_t i = 0; i < pis.size(); ++i)
+    std::copy_n(pi_planes + i * stride, stride,
+                planes.begin() +
+                    static_cast<std::ptrdiff_t>(
+                        static_cast<std::size_t>(pis[i]) * stride));
+}
+
+void CompiledCircuit::eval_packed_planes(std::vector<std::uint64_t>& planes,
+                                         std::size_t stride) const {
+  assert(stride % kSimdWords == 0);
+  assert(planes.size() ==
+         static_cast<std::size_t>(ckt_->net_count()) * stride);
+#if defined(CPSINW_SIMD_AVX512)
+  if (simd::active_backend() == simd::Backend::kAvx512)
+    return kernels::eval_planes_avx512(*this, planes.data(), stride);
+#endif
+#if defined(CPSINW_SIMD_AVX2)
+  if (simd::active_backend() == simd::Backend::kAvx2)
+    return kernels::eval_planes_avx2(*this, planes.data(), stride);
+#endif
+#if defined(__aarch64__) && !defined(CPSINW_SIMD_OFF)
+  if (simd::active_backend() == simd::Backend::kNeon)
+    return kernels::eval_planes_t<kernels::U64x2x2>(*this, planes.data(),
+                                                    stride);
+#endif
+  kernels::eval_planes_t<kernels::U64x4>(*this, planes.data(), stride);
+}
+
+std::size_t CompiledCircuit::eval_packed_line_batch(
+    const std::uint64_t* good_planes, std::size_t stride, std::size_t n_words,
+    const std::uint64_t* active, const LineFault* faults, std::size_t n_faults,
+    std::uint64_t* det, std::vector<std::uint64_t>& lane_scratch) const {
+  assert(n_faults >= 1 && n_faults <= kBatchLanes);
+  assert(n_words <= stride);
+  if (n_words == 0) return 0;
+#if defined(CPSINW_SIMD_AVX512)
+  if (simd::active_backend() == simd::Backend::kAvx512)
+    return kernels::eval_line_batch_avx512(*this, good_planes, stride,
+                                           n_words, active, faults, n_faults,
+                                           det, lane_scratch);
+#endif
+#if defined(CPSINW_SIMD_AVX2)
+  if (simd::active_backend() == simd::Backend::kAvx2)
+    return kernels::eval_line_batch_avx2(*this, good_planes, stride, n_words,
+                                         active, faults, n_faults, det,
+                                         lane_scratch);
+#endif
+#if defined(__aarch64__) && !defined(CPSINW_SIMD_OFF)
+  if (simd::active_backend() == simd::Backend::kNeon)
+    return kernels::eval_line_batch_t<kernels::U64x2x2>(
+        *this, good_planes, stride, n_words, active, faults, n_faults, det,
+        lane_scratch);
+#endif
+  return kernels::eval_line_batch_t<kernels::U64x4>(
+      *this, good_planes, stride, n_words, active, faults, n_faults, det,
+      lane_scratch);
+}
+
+void CompiledCircuit::eval_packed_faulty_planes(
+    const std::uint64_t* good_planes, std::size_t stride, std::size_t n_words,
+    int fault_gate, const gates::FaultAnalysis& fa, std::uint64_t* diff,
+    std::uint64_t* contention, std::vector<std::uint64_t>& lane_scratch) const {
+  assert(fa.compiled_binary);
+  assert(n_words <= stride);
+  if (n_words == 0) return;
+#if defined(CPSINW_SIMD_AVX512)
+  if (simd::active_backend() == simd::Backend::kAvx512)
+    return kernels::eval_faulty_planes_avx512(*this, good_planes, stride,
+                                              n_words, fault_gate, fa, diff,
+                                              contention, lane_scratch);
+#endif
+#if defined(CPSINW_SIMD_AVX2)
+  if (simd::active_backend() == simd::Backend::kAvx2)
+    return kernels::eval_faulty_planes_avx2(*this, good_planes, stride,
+                                            n_words, fault_gate, fa, diff,
+                                            contention, lane_scratch);
+#endif
+#if defined(__aarch64__) && !defined(CPSINW_SIMD_OFF)
+  if (simd::active_backend() == simd::Backend::kNeon)
+    return kernels::eval_faulty_planes_t<kernels::U64x2x2>(
+        *this, good_planes, stride, n_words, fault_gate, fa, diff, contention,
+        lane_scratch);
+#endif
+  kernels::eval_faulty_planes_t<kernels::U64x4>(*this, good_planes, stride,
+                                                n_words, fault_gate, fa, diff,
+                                                contention, lane_scratch);
 }
 
 }  // namespace cpsinw::logic

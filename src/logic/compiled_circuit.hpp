@@ -133,6 +133,78 @@ class CompiledCircuit {
                                    int fault_gate,
                                    const gates::FaultAnalysis& fa) const;
 
+  // ---- SoA bit-plane kernels (multi-word, multi-fault, SIMD) ---------------
+  //
+  // Layout: planes[net * stride + w] holds pattern word `w` of net `net` —
+  // structure-of-arrays, so one net's words are contiguous and a group of
+  // kSimdWords words is one aligned-width vector load.  `stride` must come
+  // from plane_stride(): padded to a multiple of kSimdWords so the group
+  // kernels have no tail loop (padding words are computed but never read —
+  // callers mask by their active words).  Packed contexts are binary-only
+  // (EvalContext falls back to scalar on any X), so there is one value
+  // plane per net and no X plane.
+
+  /// Pattern words processed per SIMD step (4 x 64 = 256 patterns).
+  static constexpr std::size_t kSimdWords = 4;
+  /// Line faults evaluated per eval_packed_line_batch pass (one per SIMD
+  /// lane).
+  static constexpr std::size_t kBatchLanes = 4;
+
+  /// Plane stride in words for `n_words` pattern words.
+  [[nodiscard]] static constexpr std::size_t plane_stride(
+      std::size_t n_words) {
+    return (n_words + kSimdWords - 1) / kSimdWords * kSimdWords;
+  }
+
+  /// Seeds the SoA plane buffer: 0 everywhere, ~0 on constant-1 rows, and
+  /// the PI plane rows copied in.  `pi_planes` uses the same layout with
+  /// one row per primary input (pack_patterns order).
+  void init_packed_planes(const std::uint64_t* pi_planes, std::size_t stride,
+                          std::vector<std::uint64_t>& planes) const;
+
+  /// Good-machine forward pass over every plane word, in place.  Walks
+  /// kSimdWords-word groups in the outer loop so each group's working set
+  /// is one vector register per net.  Bit-identical to eval_packed per
+  /// word on every backend (the 2-input cells' 4-valued tables reduce to
+  /// the same bitwise forms on binary planes).
+  void eval_packed_planes(std::vector<std::uint64_t>& planes,
+                          std::size_t stride) const;
+
+  /// Multi-fault batched line kernel: up to kBatchLanes faults share one
+  /// forward walk per pattern word.  The fault-free prefix comes straight
+  /// from `good_planes` (broadcast into the lanes), and the walk starts at
+  /// the earliest injection position; per-fault overrides (stem forces,
+  /// branch pin overrides) are applied as per-lane events at their gate
+  /// positions.  For fault f and word w, `det[f * n_words + w]` receives
+  /// the PO-difference word masked by `active[w]`.  Early exit: once every
+  /// fault in the batch has at least one nonzero detection word, remaining
+  /// words are skipped (their det words stay zero) — callers that only
+  /// need (detected, first_pattern) observe no difference.
+  /// @param faults validated descriptors (see faults::checked_line_fault);
+  ///   n_faults must be in [1, kBatchLanes]
+  /// @param lane_scratch reused across calls; resized internally
+  /// @returns the number of pattern words actually evaluated
+  std::size_t eval_packed_line_batch(const std::uint64_t* good_planes,
+                                     std::size_t stride, std::size_t n_words,
+                                     const std::uint64_t* active,
+                                     const LineFault* faults,
+                                     std::size_t n_faults, std::uint64_t* det,
+                                     std::vector<std::uint64_t>& lane_scratch)
+      const;
+
+  /// Plane-wide transistor-fault kernel: eval_packed_faulty over all
+  /// pattern words in kSimdWords groups, sharing the good planes as the
+  /// fault-free prefix.  Writes the per-word PO-difference and contention
+  /// words (unmasked — callers AND with their active words).  No early
+  /// exit: IDDQ-only excitations in late words must still be observed,
+  /// exactly like the per-batch loop it replaces.
+  void eval_packed_faulty_planes(const std::uint64_t* good_planes,
+                                 std::size_t stride, std::size_t n_words,
+                                 int fault_gate, const gates::FaultAnalysis& fa,
+                                 std::uint64_t* diff, std::uint64_t* contention,
+                                 std::vector<std::uint64_t>& lane_scratch)
+      const;
+
  private:
   void eval_scalar_range(LogicV* values, std::size_t from,
                          std::size_t to) const;

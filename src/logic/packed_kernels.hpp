@@ -1,0 +1,568 @@
+// Internal: the SoA plane kernels behind CompiledCircuit's packed
+// evaluation, written once as templates over a 4x64-bit vector type and
+// instantiated per SIMD backend — U64x4 (portable, always built; also the
+// NEON shape on aarch64, where the compiler lowers it to q-register ops)
+// in compiled_circuit.cpp, an __m256i wrapper in
+// compiled_circuit_avx2.cpp (the only TU compiled with -mavx2), and an
+// __m256i + VPTERNLOGQ wrapper in compiled_circuit_avx512.cpp (the only
+// TU compiled with -mavx512f -mavx512vl; the gate-evaluation overload of
+// eval_cell_vec collapses every cell to one ternary-logic instruction).
+//
+// The vector concept: load/store/splat, the four bitwise ops, and scalar
+// lane access.  Lane access is deliberately rare — it appears only at
+// fault-injection events and when extracting per-word detection results,
+// never in the per-gate walk.
+//
+// Not installed API: include only from compiled_circuit*.cpp.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "logic/compiled_circuit.hpp"
+
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#endif
+
+namespace cpsinw::logic::kernels {
+
+// ---- portable vector ------------------------------------------------------
+
+struct U64x4 {
+  std::uint64_t w[4];
+
+  static U64x4 load(const std::uint64_t* p) {
+    return U64x4{{p[0], p[1], p[2], p[3]}};
+  }
+  static void store(std::uint64_t* p, const U64x4& v) {
+    p[0] = v.w[0];
+    p[1] = v.w[1];
+    p[2] = v.w[2];
+    p[3] = v.w[3];
+  }
+  static U64x4 splat(std::uint64_t x) { return U64x4{{x, x, x, x}}; }
+  void set_lane(std::size_t i, std::uint64_t x) { w[i] = x; }
+  [[nodiscard]] std::uint64_t lane(std::size_t i) const { return w[i]; }
+
+  friend U64x4 operator&(const U64x4& a, const U64x4& b) {
+    return U64x4{{a.w[0] & b.w[0], a.w[1] & b.w[1], a.w[2] & b.w[2],
+                  a.w[3] & b.w[3]}};
+  }
+  friend U64x4 operator|(const U64x4& a, const U64x4& b) {
+    return U64x4{{a.w[0] | b.w[0], a.w[1] | b.w[1], a.w[2] | b.w[2],
+                  a.w[3] | b.w[3]}};
+  }
+  friend U64x4 operator^(const U64x4& a, const U64x4& b) {
+    return U64x4{{a.w[0] ^ b.w[0], a.w[1] ^ b.w[1], a.w[2] ^ b.w[2],
+                  a.w[3] ^ b.w[3]}};
+  }
+  friend U64x4 operator~(const U64x4& a) {
+    return U64x4{{~a.w[0], ~a.w[1], ~a.w[2], ~a.w[3]}};
+  }
+};
+
+#if defined(__aarch64__)
+
+// Two NEON q registers; lane ops need immediate indices, hence the
+// switches (cold paths only).
+struct U64x2x2 {
+  uint64x2_t v[2];
+
+  static U64x2x2 load(const std::uint64_t* p) {
+    return U64x2x2{{vld1q_u64(p), vld1q_u64(p + 2)}};
+  }
+  static void store(std::uint64_t* p, const U64x2x2& x) {
+    vst1q_u64(p, x.v[0]);
+    vst1q_u64(p + 2, x.v[1]);
+  }
+  static U64x2x2 splat(std::uint64_t x) {
+    const uint64x2_t s = vdupq_n_u64(x);
+    return U64x2x2{{s, s}};
+  }
+  void set_lane(std::size_t i, std::uint64_t x) {
+    switch (i) {
+      case 0: v[0] = vsetq_lane_u64(x, v[0], 0); break;
+      case 1: v[0] = vsetq_lane_u64(x, v[0], 1); break;
+      case 2: v[1] = vsetq_lane_u64(x, v[1], 0); break;
+      default: v[1] = vsetq_lane_u64(x, v[1], 1); break;
+    }
+  }
+  [[nodiscard]] std::uint64_t lane(std::size_t i) const {
+    switch (i) {
+      case 0: return vgetq_lane_u64(v[0], 0);
+      case 1: return vgetq_lane_u64(v[0], 1);
+      case 2: return vgetq_lane_u64(v[1], 0);
+      default: return vgetq_lane_u64(v[1], 1);
+    }
+  }
+
+  friend U64x2x2 operator&(const U64x2x2& a, const U64x2x2& b) {
+    return U64x2x2{{vandq_u64(a.v[0], b.v[0]), vandq_u64(a.v[1], b.v[1])}};
+  }
+  friend U64x2x2 operator|(const U64x2x2& a, const U64x2x2& b) {
+    return U64x2x2{{vorrq_u64(a.v[0], b.v[0]), vorrq_u64(a.v[1], b.v[1])}};
+  }
+  friend U64x2x2 operator^(const U64x2x2& a, const U64x2x2& b) {
+    return U64x2x2{{veorq_u64(a.v[0], b.v[0]), veorq_u64(a.v[1], b.v[1])}};
+  }
+  friend U64x2x2 operator~(const U64x2x2& a) {
+    const uint64x2_t ones = vdupq_n_u64(~0ull);
+    return U64x2x2{{veorq_u64(a.v[0], ones), veorq_u64(a.v[1], ones)}};
+  }
+};
+
+#endif  // __aarch64__
+
+// ---- shared kernel bodies -------------------------------------------------
+
+/// Vector form of eval_cell_packed: on binary planes the 4-valued tables
+/// collapse to these bitwise forms (pinned against the table kernel by
+/// tests/logic/compiled_batch_test.cpp).
+template <class V>
+inline V eval_cell_vec(gates::CellKind kind, const V& a, const V& b,
+                       const V& c) {
+  using gates::CellKind;
+  switch (kind) {
+    case CellKind::kInv: return ~a;
+    case CellKind::kBuf: return a;
+    case CellKind::kNand2: return ~(a & b);
+    case CellKind::kNor2: return ~(a | b);
+    case CellKind::kXor2: return a ^ b;
+    case CellKind::kXor3: return a ^ b ^ c;
+    case CellKind::kMaj3: return (a & b) | (b & c) | (a & c);
+  }
+  return V::splat(0);
+}
+
+/// Good-machine pass over SoA planes, kSimdWords words per step.
+template <class V>
+void eval_planes_t(const CompiledCircuit& cc, std::uint64_t* planes,
+                   std::size_t stride) {
+  const auto& gates = cc.gates();
+  for (std::size_t wg = 0; wg < stride; wg += CompiledCircuit::kSimdWords) {
+    for (const CompiledCircuit::GateRec& g : gates) {
+      const V a = V::load(planes + static_cast<std::size_t>(g.in[0]) * stride +
+                          wg);
+      const V b = V::load(planes + static_cast<std::size_t>(g.in[1]) * stride +
+                          wg);
+      const V c = V::load(planes + static_cast<std::size_t>(g.in[2]) * stride +
+                          wg);
+      V::store(planes + static_cast<std::size_t>(g.out) * stride + wg,
+               eval_cell_vec(g.kind, a, b, c));
+    }
+  }
+}
+
+/// Batched line-fault kernel: kBatchLanes faults, one per SIMD lane, one
+/// forward walk per pattern word starting at the earliest injection
+/// position.  See CompiledCircuit::eval_packed_line_batch for the
+/// contract; this body is shared verbatim by every backend, so the
+/// backends are bit-identical by construction.
+template <class V>
+std::size_t eval_line_batch_t(const CompiledCircuit& cc,
+                              const std::uint64_t* good, std::size_t stride,
+                              std::size_t n_words, const std::uint64_t* active,
+                              const CompiledCircuit::LineFault* faults,
+                              std::size_t n_faults, std::uint64_t* det,
+                              std::vector<std::uint64_t>& lane_scratch) {
+  constexpr std::size_t kLanes = CompiledCircuit::kBatchLanes;
+  // Words walked together per strip: the walk keeps one lane vector per
+  // word, so a strip carries up to kGroups independent dependency chains —
+  // on the cone-restricted suffixes the single-word walk is latency-bound
+  // on its gate-to-gate chain, and the extra chains fill the idle ALU
+  // slots while the scalar epoch bookkeeping is paid once per strip.  The
+  // first strip stays narrow: most line faults detect within the first
+  // couple of words, and a wide first strip would evaluate words the
+  // word-granular early exit never needed.  Survivors get full-width
+  // strips, where the ILP is worth the coarser exit.
+  constexpr std::size_t kGroups = 4;
+  constexpr std::size_t kFirstStrip = 2;
+  const auto& gates = cc.gates();
+  const Circuit& ckt = cc.circuit();
+  const std::size_t n_net = static_cast<std::size_t>(ckt.net_count());
+  // Lane storage plus a per-net epoch tail and a running epoch counter: a
+  // net's lanes are only valid when its epoch equals the current strip's;
+  // every other net reads straight from the good planes.  This keeps the
+  // per-word cost proportional to the walked suffix, not to net_count (a
+  // full per-word broadcast of the good machine would cost as much as the
+  // single-fault path's init_packed and cancel the batching win).  The
+  // counter persists across calls sharing the scratch, so the epochs are
+  // zeroed once per scratch lifetime, not once per kernel call.
+  const std::size_t need = n_net * (kLanes * kGroups + 1) + 1;
+  if (lane_scratch.size() != need) lane_scratch.assign(need, 0);
+  std::uint64_t* const lanes = lane_scratch.data();
+  std::uint64_t* const epoch = lane_scratch.data() + n_net * kLanes * kGroups;
+  std::uint64_t& counter = lane_scratch[need - 1];
+  std::fill_n(det, n_faults * n_words, 0ull);
+
+  // Injection plan.  A stem fault forces its net's lane at seed time and
+  // re-forces it right after the driver's write (a post event); a branch
+  // fault overrides one pin of one gate's local inputs (a pre event).
+  // Gates before the earliest event position would recompute the good
+  // machine, so the walk skips them — their values come from `good`.
+  struct Seed {
+    NetId net;
+    std::size_t lane;
+    std::uint64_t word;
+  };
+  struct Event {
+    std::size_t pos;
+    std::size_t lane;
+    int pin;  ///< >= 0: pre-compute pin override; < 0: post-compute re-force
+    std::uint64_t word;
+  };
+  Seed seeds[kLanes];
+  Event events[kLanes];
+  std::size_t n_seed = 0;
+  std::size_t n_ev = 0;
+  std::size_t min_pos = gates.size();
+  for (std::size_t f = 0; f < n_faults; ++f) {
+    const CompiledCircuit::LineFault& lf = faults[f];
+    const std::uint64_t forced = lf.stuck_one ? ~0ull : 0ull;
+    if (lf.net >= 0) {
+      seeds[n_seed++] = {lf.net, f, forced};
+      const int driver = ckt.driver_of(lf.net);
+      if (driver < 0) {
+        min_pos = 0;  // a PI/constant stem: every reader must see the force
+      } else {
+        const std::size_t pos = cc.position_of(driver);
+        events[n_ev++] = {pos, f, -1, forced};
+        min_pos = std::min(min_pos, pos);
+      }
+    } else {
+      const std::size_t pos = cc.position_of(lf.gate);
+      events[n_ev++] = {pos, f, lf.pin, forced};
+      min_pos = std::min(min_pos, pos);
+    }
+  }
+  // Insertion sort by position: at most kLanes events, and the walk only
+  // needs same-position events adjacent (they touch disjoint lanes, so
+  // their relative order is immaterial).
+  for (std::size_t i = 1; i < n_ev; ++i) {
+    const Event e = events[i];
+    std::size_t j = i;
+    for (; j > 0 && events[j - 1].pos > e.pos; --j) events[j] = events[j - 1];
+    events[j] = e;
+  }
+
+  std::uint64_t undetected = (1ull << n_faults) - 1ull;
+
+  // One strip: NW consecutive pattern words walked together (NW is a
+  // compile-time constant so the per-word loops fully unroll and the NW
+  // dependency chains stay in registers).
+  const auto strip = [&]<std::size_t NW>(std::size_t w, std::uint64_t cur) {
+    // Lanes diverge from the good machine only at seeded nets and walked
+    // gate outputs; everything else reads the good plane lazily below.
+    for (std::size_t s = 0; s < n_seed; ++s) {
+      const std::size_t n = static_cast<std::size_t>(seeds[s].net);
+      if (epoch[n] != cur) {
+        for (std::size_t gi = 0; gi < NW; ++gi)
+          V::store(lanes + n * kLanes * kGroups + gi * kLanes,
+                   V::splat(good[n * stride + w + gi]));
+        epoch[n] = cur;
+      }
+      for (std::size_t gi = 0; gi < NW; ++gi)
+        lanes[n * kLanes * kGroups + gi * kLanes + seeds[s].lane] =
+            seeds[s].word;
+    }
+
+    std::size_t ei = 0;
+    for (std::size_t k = min_pos; k < gates.size(); ++k) {
+      const CompiledCircuit::GateRec& g = gates[k];
+      const std::size_t n0 = static_cast<std::size_t>(g.in[0]);
+      const std::size_t n1 = static_cast<std::size_t>(g.in[1]);
+      const std::size_t n2 = static_cast<std::size_t>(g.in[2]);
+      const bool d0 = epoch[n0] == cur;
+      const bool d1 = epoch[n1] == cur;
+      const bool d2 = epoch[n2] == cur;
+      // Cone restriction: a gate with no diverged input and no injection
+      // event computes exactly the good machine — skip it, leaving its
+      // output epoch stale so downstream readers take the good plane.
+      if (!d0 && !d1 && !d2 && !(ei < n_ev && events[ei].pos == k)) continue;
+      V a[NW], b[NW], c[NW];
+      for (std::size_t gi = 0; gi < NW; ++gi) {
+        a[gi] = d0 ? V::load(lanes + n0 * kLanes * kGroups + gi * kLanes)
+                   : V::splat(good[n0 * stride + w + gi]);
+        b[gi] = d1 ? V::load(lanes + n1 * kLanes * kGroups + gi * kLanes)
+                   : V::splat(good[n1 * stride + w + gi]);
+        c[gi] = d2 ? V::load(lanes + n2 * kLanes * kGroups + gi * kLanes)
+                   : V::splat(good[n2 * stride + w + gi]);
+      }
+      std::size_t post_n = 0;
+      Seed post[kLanes];
+      while (ei < n_ev && events[ei].pos == k) {
+        const Event& e = events[ei++];
+        if (e.pin < 0) {
+          post[post_n++] = {g.out, e.lane, e.word};
+        } else {
+          V* const dst = e.pin == 0 ? a : e.pin == 1 ? b : c;
+          for (std::size_t gi = 0; gi < NW; ++gi)
+            dst[gi].set_lane(e.lane, e.word);
+        }
+      }
+      for (std::size_t gi = 0; gi < NW; ++gi)
+        V::store(lanes + static_cast<std::size_t>(g.out) * kLanes * kGroups +
+                     gi * kLanes,
+                 eval_cell_vec(g.kind, a[gi], b[gi], c[gi]));
+      epoch[static_cast<std::size_t>(g.out)] = cur;
+      for (std::size_t p = 0; p < post_n; ++p)
+        for (std::size_t gi = 0; gi < NW; ++gi)
+          lanes[static_cast<std::size_t>(post[p].net) * kLanes * kGroups +
+                gi * kLanes + post[p].lane] = post[p].word;
+    }
+
+    // A PO the walk never wrote still equals the good machine in every
+    // lane — zero contribution, skipped.
+    V diff[NW];
+    for (std::size_t gi = 0; gi < NW; ++gi) diff[gi] = V::splat(0);
+    for (const NetId po : ckt.primary_outputs()) {
+      const std::size_t n = static_cast<std::size_t>(po);
+      if (epoch[n] != cur) continue;
+      for (std::size_t gi = 0; gi < NW; ++gi)
+        diff[gi] = diff[gi] | (V::load(lanes + n * kLanes * kGroups +
+                                       gi * kLanes) ^
+                               V::splat(good[n * stride + w + gi]));
+    }
+    // One vector store, then scalar reads: per-lane extract instructions
+    // would round-trip through memory once per lane on AVX2.
+    for (std::size_t gi = 0; gi < NW; ++gi) {
+      alignas(32) std::uint64_t dbuf[kLanes];
+      V::store(dbuf, diff[gi]);
+      const std::uint64_t act = active[w + gi];
+      for (std::size_t f = 0; f < n_faults; ++f) {
+        const std::uint64_t d = dbuf[f] & act;
+        det[f * n_words + w + gi] = d;
+        if (d != 0) undetected &= ~(1ull << f);
+      }
+    }
+  };
+
+  std::size_t w = 0;
+  bool first = true;
+  while (w < n_words && undetected != 0) {
+    const std::uint64_t cur = ++counter;  // never reused: epochs stay valid
+    const std::size_t rem = n_words - w;
+    if (!first && rem >= kGroups) {
+      strip.template operator()<kGroups>(w, cur);
+      w += kGroups;
+    } else if (rem >= kFirstStrip) {
+      strip.template operator()<kFirstStrip>(w, cur);
+      w += kFirstStrip;
+      first = false;
+    } else {
+      strip.template operator()<1>(w, cur);
+      w += 1;
+      first = false;
+    }
+  }
+  return w;
+}
+
+/// Plane-wide transistor kernel: minterm expansion of the compiled
+/// truth/contention masks over kSimdWords words per step.
+template <class V>
+void eval_faulty_planes_t(const CompiledCircuit& cc, const std::uint64_t* good,
+                          std::size_t stride, std::size_t n_words,
+                          int fault_gate, const gates::FaultAnalysis& fa,
+                          std::uint64_t* diff, std::uint64_t* contention,
+                          std::vector<std::uint64_t>& lane_scratch) {
+  constexpr std::size_t kW = CompiledCircuit::kSimdWords;
+  // Strip widening: independent word-group chains walked together hide
+  // the gate-to-gate latency (a single chain is serial through each cone
+  // gate) and amortize the per-fault scalar costs.  Wider than the line
+  // kernel's strips because this kernel has no early exit to lose.
+  constexpr std::size_t kGroups = 4;
+  const auto& gates = cc.gates();
+  const Circuit& ckt = cc.circuit();
+  const std::size_t n_net = static_cast<std::size_t>(ckt.net_count());
+  const std::size_t n_po = ckt.primary_outputs().size();
+  // Lane storage for the faulted cone, followed by the cached cone
+  // itself.  The fan-out cone of the faulted gate — which gates diverge,
+  // which of their inputs read lanes vs. good planes, which POs can
+  // differ — is a property of the graph, not of the pattern words, so it
+  // is discovered once (versioned marks + persistent counter) and reused
+  // by every strip and by consecutive faults on the same gate (fault
+  // lists enumerate several transistor faults per gate back to back).
+  // With the cone precomputed the strip walk is branch-free vector work.
+  //
+  // Layout: [lanes: n_net * kW * kGroups][marks: n_net][counter]
+  //         [cone key][cone length][cone: n_gates][po count][po list]
+  const std::size_t n_gates = gates.size();
+  const std::size_t lanes_sz = n_net * kW * kGroups;
+  const std::size_t need = lanes_sz + n_net + 4 + n_gates + n_po;
+  if (lane_scratch.size() != need) lane_scratch.assign(need, 0);
+  std::uint64_t* const lv = lane_scratch.data();
+  std::uint64_t* const marks = lv + lanes_sz;
+  std::uint64_t& counter = lv[lanes_sz + n_net];
+  std::uint64_t& cone_key = lv[lanes_sz + n_net + 1];
+  std::uint64_t& cone_len = lv[lanes_sz + n_net + 2];
+  std::uint64_t* const cone = lv + lanes_sz + n_net + 3;
+  std::uint64_t& po_len = cone[n_gates];
+  std::uint64_t* const po_list = cone + n_gates + 1;
+  const std::size_t pos = cc.position_of(fault_gate);
+  const CompiledCircuit::GateRec& fg = gates[pos];
+  const unsigned combos = 1u << fg.n_in;
+  const unsigned rows = fa.compiled_truth | fa.compiled_contention;
+
+  if (cone_key != static_cast<std::uint64_t>(fault_gate) + 1) {
+    const std::uint64_t cur = ++counter;  // never reused: marks stay valid
+    marks[static_cast<std::size_t>(fg.out)] = cur;
+    std::uint64_t len = 0;
+    for (std::size_t k = pos + 1; k < n_gates; ++k) {
+      const CompiledCircuit::GateRec& g = gates[k];
+      const std::uint64_t dmask =
+          (marks[static_cast<std::size_t>(g.in[0])] == cur ? 1u : 0u) |
+          (marks[static_cast<std::size_t>(g.in[1])] == cur ? 2u : 0u) |
+          (marks[static_cast<std::size_t>(g.in[2])] == cur ? 4u : 0u);
+      if (dmask == 0) continue;  // outside the faulted gate's cone
+      marks[static_cast<std::size_t>(g.out)] = cur;
+      cone[len++] = (static_cast<std::uint64_t>(k) << 3) | dmask;
+    }
+    cone_len = len;
+    std::uint64_t plen = 0;
+    for (const NetId po : ckt.primary_outputs())
+      if (marks[static_cast<std::size_t>(po)] == cur)
+        po_list[plen++] = static_cast<std::uint64_t>(po);
+    po_len = plen;
+    cone_key = static_cast<std::uint64_t>(fault_gate) + 1;
+  }
+
+  // Clamped group store: full groups go straight to the output array
+  // (shallow cones spend more time extracting than walking, so a scalar
+  // roundtrip here would be the kernel's largest fixed cost); only the
+  // ragged tail takes the buffered path.
+  const auto store_group = [&](std::uint64_t* dst, std::size_t base, V v) {
+    if (base >= n_words) return;
+    if (n_words - base >= kW) {
+      V::store(dst + base, v);
+      return;
+    }
+    alignas(32) std::uint64_t buf[kW];
+    V::store(buf, v);
+    const std::size_t lim = n_words - base;
+    for (std::size_t j = 0; j < lim; ++j) dst[base + j] = buf[j];
+  };
+
+  // One strip: NW word groups (NW * kW pattern words) walked together.
+  // No vector value stays live across the sub-loops (contention is final
+  // at expansion time, PO diffs accumulate per group), so wide strips add
+  // independent chains without spilling registers.
+  const auto strip = [&]<std::size_t NW>(std::size_t wg) {
+    // Faulted gate: its local inputs equal the good machine's (single
+    // faulted gate, acyclic circuit — they cannot be in its own cone), so
+    // the contention accumulation is the per-pattern IDDQ excitation mask.
+    for (std::size_t gi = 0; gi < NW; ++gi) {
+      const V in[3] = {
+          V::load(good + static_cast<std::size_t>(fg.in[0]) * stride + wg +
+                  gi * kW),
+          V::load(good + static_cast<std::size_t>(fg.in[1]) * stride + wg +
+                  gi * kW),
+          V::load(good + static_cast<std::size_t>(fg.in[2]) * stride + wg +
+                  gi * kW)};
+      V out = V::splat(0);
+      V cont = V::splat(0);
+      for (unsigned vec = 0; vec < combos; ++vec) {
+        if (((rows >> vec) & 1u) == 0) continue;
+        V minterm = V::splat(~0ull);
+        for (unsigned i = 0; i < fg.n_in; ++i)
+          minterm = minterm & (((vec >> i) & 1u) != 0 ? in[i] : ~in[i]);
+        if (((fa.compiled_truth >> vec) & 1u) != 0) out = out | minterm;
+        if (((fa.compiled_contention >> vec) & 1u) != 0)
+          cont = cont | minterm;
+      }
+      V::store(lv + static_cast<std::size_t>(fg.out) * kW * kGroups + gi * kW,
+               out);
+      store_group(contention, wg + gi * kW, cont);
+    }
+
+    // Cone walk: topological order guarantees every lane slot read below
+    // was stored earlier in this strip (by the faulted gate or a cone
+    // predecessor), so no per-gate validity checks remain.
+    for (std::size_t idx = 0; idx < cone_len; ++idx) {
+      const std::uint64_t e = cone[idx];
+      const CompiledCircuit::GateRec& g = gates[e >> 3];
+      const std::size_t n0 = static_cast<std::size_t>(g.in[0]);
+      const std::size_t n1 = static_cast<std::size_t>(g.in[1]);
+      const std::size_t n2 = static_cast<std::size_t>(g.in[2]);
+      for (std::size_t gi = 0; gi < NW; ++gi) {
+        const V a = (e & 1) != 0 ? V::load(lv + n0 * kW * kGroups + gi * kW)
+                                 : V::load(good + n0 * stride + wg + gi * kW);
+        const V b = (e & 2) != 0 ? V::load(lv + n1 * kW * kGroups + gi * kW)
+                                 : V::load(good + n1 * stride + wg + gi * kW);
+        const V c = (e & 4) != 0 ? V::load(lv + n2 * kW * kGroups + gi * kW)
+                                 : V::load(good + n2 * stride + wg + gi * kW);
+        V::store(
+            lv + static_cast<std::size_t>(g.out) * kW * kGroups + gi * kW,
+            eval_cell_vec(g.kind, a, b, c));
+      }
+    }
+
+    for (std::size_t gi = 0; gi < NW; ++gi) {
+      V d = V::splat(0);
+      for (std::size_t i = 0; i < po_len; ++i) {
+        const std::size_t n = static_cast<std::size_t>(po_list[i]);
+        d = d | (V::load(lv + n * kW * kGroups + gi * kW) ^
+                 V::load(good + n * stride + wg + gi * kW));
+      }
+      store_group(diff, wg + gi * kW, d);
+    }
+  };
+
+  for (std::size_t wg = 0; wg < n_words; wg += kW * kGroups) {
+    // Groups whose first word is in range: their loads stay inside the
+    // kSimdWords-padded plane stride even when the last word group is
+    // partial (the extraction loop clamps what is written back).
+    switch (std::min(kGroups, (n_words - wg + kW - 1) / kW)) {
+      case 8: strip.template operator()<8>(wg); break;
+      case 7: strip.template operator()<7>(wg); break;
+      case 6: strip.template operator()<6>(wg); break;
+      case 5: strip.template operator()<5>(wg); break;
+      case 4: strip.template operator()<4>(wg); break;
+      case 3: strip.template operator()<3>(wg); break;
+      case 2: strip.template operator()<2>(wg); break;
+      default: strip.template operator()<1>(wg); break;
+    }
+  }
+}
+
+// ---- AVX2 entry points (defined in compiled_circuit_avx2.cpp) -------------
+
+#if defined(CPSINW_SIMD_AVX2)
+void eval_planes_avx2(const CompiledCircuit& cc, std::uint64_t* planes,
+                      std::size_t stride);
+std::size_t eval_line_batch_avx2(const CompiledCircuit& cc,
+                                 const std::uint64_t* good, std::size_t stride,
+                                 std::size_t n_words,
+                                 const std::uint64_t* active,
+                                 const CompiledCircuit::LineFault* faults,
+                                 std::size_t n_faults, std::uint64_t* det,
+                                 std::vector<std::uint64_t>& lane_scratch);
+void eval_faulty_planes_avx2(const CompiledCircuit& cc,
+                             const std::uint64_t* good, std::size_t stride,
+                             std::size_t n_words, int fault_gate,
+                             const gates::FaultAnalysis& fa,
+                             std::uint64_t* diff, std::uint64_t* contention,
+                             std::vector<std::uint64_t>& lane_scratch);
+#endif
+
+// ---- AVX-512VL entry points (defined in compiled_circuit_avx512.cpp) ------
+
+#if defined(CPSINW_SIMD_AVX512)
+void eval_planes_avx512(const CompiledCircuit& cc, std::uint64_t* planes,
+                        std::size_t stride);
+std::size_t eval_line_batch_avx512(
+    const CompiledCircuit& cc, const std::uint64_t* good, std::size_t stride,
+    std::size_t n_words, const std::uint64_t* active,
+    const CompiledCircuit::LineFault* faults, std::size_t n_faults,
+    std::uint64_t* det, std::vector<std::uint64_t>& lane_scratch);
+void eval_faulty_planes_avx512(const CompiledCircuit& cc,
+                               const std::uint64_t* good, std::size_t stride,
+                               std::size_t n_words, int fault_gate,
+                               const gates::FaultAnalysis& fa,
+                               std::uint64_t* diff, std::uint64_t* contention,
+                               std::vector<std::uint64_t>& lane_scratch);
+#endif
+
+}  // namespace cpsinw::logic::kernels

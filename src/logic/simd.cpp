@@ -1,0 +1,68 @@
+#include "logic/simd.hpp"
+
+#include <atomic>
+
+namespace cpsinw::logic::simd {
+
+namespace {
+
+std::atomic<bool> g_force_portable{false};
+
+Backend detect_backend() {
+#if defined(CPSINW_SIMD_OFF)
+  return Backend::kPortable;
+#elif defined(__aarch64__)
+  // NEON is architecturally guaranteed on aarch64.
+  return Backend::kNeon;
+#else
+  // Widest-first: the TUs compiled into this build set the macros, the
+  // running CPU gets the final say (the binary may land on older
+  // x86-64).
+#if defined(CPSINW_SIMD_AVX512)
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512vl"))
+    return Backend::kAvx512;
+#endif
+#if defined(CPSINW_SIMD_AVX2)
+  if (__builtin_cpu_supports("avx2")) return Backend::kAvx2;
+#endif
+  return Backend::kPortable;
+#endif
+}
+
+}  // namespace
+
+Backend compiled_backend() {
+  static const Backend b = detect_backend();
+  return b;
+}
+
+Backend active_backend() {
+  return g_force_portable.load(std::memory_order_relaxed)
+             ? Backend::kPortable
+             : compiled_backend();
+}
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kPortable:
+      return "portable";
+    case Backend::kAvx2:
+      return "avx2";
+    case Backend::kAvx512:
+      return "avx512";
+    case Backend::kNeon:
+      return "neon";
+  }
+  return "portable";
+}
+
+void force_portable(bool on) {
+  g_force_portable.store(on, std::memory_order_relaxed);
+}
+
+bool forced_portable() {
+  return g_force_portable.load(std::memory_order_relaxed);
+}
+
+}  // namespace cpsinw::logic::simd

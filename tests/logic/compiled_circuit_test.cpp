@@ -389,11 +389,15 @@ TEST(CompiledCircuit, PackedGoodMatchesInterpretedSimulatePacked) {
     cc.init_packed(pi_words, got);
     cc.eval_packed(got);
     EXPECT_EQ(got, want) << w.name;
-    // Context batches are built by the compiled kernel.
+    // Context good planes are built by the compiled plane kernel; word 0
+    // of every net's row must match the interpreted single-word words.
     const faults::EvalContext ctx(w.ckt, patterns);
     ASSERT_TRUE(ctx.packed());
     ASSERT_EQ(ctx.batches().size(), 1u);
-    EXPECT_EQ(ctx.batches()[0].net_words, want) << w.name;
+    ASSERT_EQ(ctx.word_count(), 1u);
+    for (logic::NetId n = 0; n < w.ckt.net_count(); ++n)
+      EXPECT_EQ(ctx.good_plane(n)[0], want[static_cast<std::size_t>(n)])
+          << w.name << " net " << n;
   }
 }
 
