@@ -48,6 +48,10 @@ TestSuite run_test_flow(const logic::Circuit& ckt,
 
   faults::FaultListOptions flo;
   flo.collapse = true;
+  // The flow targets IDDQ tests unless running classically: stuck-ons that
+  // are only logic-equivalent to a stuck-at must then stay in the universe
+  // so their IDDQ signature is counted separately.
+  flo.observe_iddq = options.observe_iddq && !options.classical_only;
   const std::vector<Fault> universe = generate_fault_list(ckt, flo);
 
   for (const Fault& f : universe) {

@@ -25,12 +25,17 @@ const char* to_string(PatternSourceSpec::Kind kind) {
 }
 
 std::vector<CampaignFault> build_universe(const logic::Circuit& ckt,
-                                          const FaultModelSelection& models) {
+                                          const FaultModelSelection& models,
+                                          bool observe_iddq) {
   faults::FaultListOptions flo;
   flo.include_line_stuck_at = models.line_stuck_at;
   flo.include_transistor_faults =
       models.polarity || models.stuck_open || models.stuck_on;
   flo.collapse = models.collapse;
+  // Stuck-on faults that are logic-equivalent to a line stuck-at still
+  // differ in IDDQ signature; the generator keeps them when IDDQ is
+  // observed.
+  flo.observe_iddq = observe_iddq;
 
   std::vector<CampaignFault> universe;
   for (const faults::Fault& f : generate_fault_list(ckt, flo)) {
@@ -159,6 +164,7 @@ CampaignReport run_campaign(const CampaignSpec& spec) {
 
   ShardExecOptions exec;
   exec.sim = spec.sim;
+  exec.sim.detection_mode = spec.detection_mode;
   exec.fault_sample_fraction = spec.fault_sample_fraction;
 
   if (telemetry_on) {
@@ -183,7 +189,8 @@ CampaignReport run_campaign(const CampaignSpec& spec) {
   for (std::size_t j = 0; j < jobs.size(); ++j) {
     setup_tasks.push_back([&jobs, &spec, &campaign_rng, j] {
       JobData& job = jobs[j];
-      job.universe = build_universe(job.spec->circuit, spec.models);
+      job.universe = build_universe(job.spec->circuit, spec.models,
+                                    spec.sim.observe_iddq);
       job.context = std::make_unique<faults::EvalContext>(
           job.spec->circuit,
           build_patterns(
@@ -243,6 +250,7 @@ CampaignReport run_campaign(const CampaignSpec& spec) {
   report.pattern_source = to_string(spec.patterns.kind);
   report.fault_sample_fraction = spec.fault_sample_fraction;
   report.observe_iddq = spec.sim.observe_iddq;
+  report.detection_mode = spec.detection_mode;
   report.error = shard_error;
 
   double sampled_fault_patterns = 0.0;

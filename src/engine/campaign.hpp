@@ -65,6 +65,13 @@ struct CampaignSpec {
   FaultModelSelection models;
   PatternSourceSpec patterns;
   faults::FaultSimOptions sim;
+  /// Detection semantics for the whole campaign (authoritative: overrides
+  /// whatever `sim.detection_mode` holds).  kFull keeps the historical
+  /// whole-pattern-set detection flags; kFirstOnly lets every simulation
+  /// path stop at the first counted detection, changing the records —
+  /// still deterministically merged, and serialized in the report JSON
+  /// only when non-default.
+  faults::DetectionMode detection_mode = faults::DetectionMode::kFull;
   std::uint64_t seed = 1;
   std::size_t shard_size = 64;  ///< faults per work unit (must be > 0)
   /// Worker threads (kThreadPool), or maximum concurrent child processes
@@ -89,9 +96,12 @@ struct CampaignSpec {
 
 /// Builds the classified fault universe of one circuit (deterministic
 /// enumeration order; exposed so tests can reproduce exactly what a
-/// campaign simulates).
+/// campaign simulates).  `observe_iddq` must match the campaign's IDDQ
+/// observation: it decides whether stuck-on faults that are only
+/// logic-equivalent to a line stuck-at may be collapsed onto it.
 [[nodiscard]] std::vector<CampaignFault> build_universe(
-    const logic::Circuit& ckt, const FaultModelSelection& models);
+    const logic::Circuit& ckt, const FaultModelSelection& models,
+    bool observe_iddq = false);
 
 /// Materializes the pattern set of one job.  `job_rng` is consumed only by
 /// the random source (fork it per job as the campaign does).

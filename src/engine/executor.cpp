@@ -50,12 +50,20 @@ void PooledExecutorBase::run_setup(
 }
 
 void fill_failed_shard(const std::vector<CampaignFault>& universe,
-                       const Shard& shard, ShardResult& slot) {
+                       const Shard& shard, double fault_sample_fraction,
+                       ShardResult& slot) {
   slot.job = shard.job;
   slot.index = shard.index;
   slot.results.assign(shard.end - shard.begin, {});
-  for (std::size_t i = shard.begin; i < shard.end; ++i)
-    slot.results[i - shard.begin].cls = universe[i].cls;
+  // Exactly the sampling loop of run_shard: same RNG fork, same slice
+  // order, one draw per fault.
+  util::SplitMix64 rng = shard.rng;
+  const bool sampling = fault_sample_fraction < 1.0;
+  for (std::size_t i = shard.begin; i < shard.end; ++i) {
+    FaultResult& r = slot.results[i - shard.begin];
+    r.cls = universe[i].cls;
+    if (sampling && !rng.chance(fault_sample_fraction)) r.sampled_out = true;
+  }
 }
 
 namespace {
@@ -118,7 +126,8 @@ class InlineExecutor final : public ShardExecutor {
             run_shard(*task.context, *task.universe, *task.shard, options);
       } catch (...) {
         errors[t] = describe_exception(std::current_exception());
-        fill_failed_shard(*task.universe, *task.shard, *task.slot);
+        fill_failed_shard(*task.universe, *task.shard,
+                          options.fault_sample_fraction, *task.slot);
       }
       if (exec_s != nullptr) CPSINW_TELEM(exec_s->record_since(start));
       trace_shard_span(trace(), "inline", *task.shard, start);
@@ -161,7 +170,8 @@ class ThreadPoolExecutor final : public PooledExecutorBase {
               run_shard(*task.context, *task.universe, *task.shard, options);
         } catch (...) {
           errors[t] = describe_exception(std::current_exception());
-          fill_failed_shard(*task.universe, *task.shard, *task.slot);
+          fill_failed_shard(*task.universe, *task.shard,
+                            options.fault_sample_fraction, *task.slot);
         }
         if (exec_s != nullptr) CPSINW_TELEM(exec_s->record_since(start));
         trace_shard_span(tr, "thread_pool", *task.shard, start);
@@ -234,7 +244,8 @@ class SubprocessExecutor final : public PooledExecutorBase {
     std::string error = exchange_with_worker(task, options);
     if (!error.empty()) {
       if (failures_ != nullptr) CPSINW_TELEM(failures_->add());
-      fill_failed_shard(*task.universe, *task.shard, *task.slot);
+      fill_failed_shard(*task.universe, *task.shard,
+                        options.fault_sample_fraction, *task.slot);
       error = "subprocess worker (job " + std::to_string(task.shard->job) +
               ", shard " + std::to_string(task.shard->index) + "): " + error;
     }

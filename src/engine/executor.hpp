@@ -71,9 +71,13 @@ struct ShardTask {
 
 /// Fills a failed shard's slot with placeholder undetected records so the
 /// merged report keeps complete totals (the CampaignReport::error
-/// lower-bound contract).
+/// lower-bound contract).  Replays the shard's sampling decisions from its
+/// RNG fork so the sampled universe — the coverage denominator — is the
+/// same one a successful run would have simulated: a failed shard lowers
+/// detection counts, never inflates the denominator.
 void fill_failed_shard(const std::vector<CampaignFault>& universe,
-                       const Shard& shard, ShardResult& slot);
+                       const Shard& shard, double fault_sample_fraction,
+                       ShardResult& slot);
 
 /// Executes the shard phase of a campaign.
 class ShardExecutor {

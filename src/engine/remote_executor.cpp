@@ -236,7 +236,8 @@ class RemoteExecutor final : public PooledExecutorBase {
       last_error = endpoint_label(roster.endpoint(ep)) + ": " + error;
     }
 
-    fill_failed_shard(*task.universe, *task.shard, *task.slot);
+    fill_failed_shard(*task.universe, *task.shard,
+                      options.fault_sample_fraction, *task.slot);
     if (last_error.empty())
       last_error = "no live endpoints (all quarantined)";
     util::log_kv(LogLevel::kWarn, "shard_failed",

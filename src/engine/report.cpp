@@ -93,6 +93,10 @@ std::string CampaignReport::to_json(bool include_timing) const {
   j.value(fault_sample_fraction);
   j.key("observe_iddq");
   j.value(observe_iddq);
+  if (detection_mode == faults::DetectionMode::kFirstOnly) {
+    j.key("detection_mode");
+    j.value("first_only");
+  }
   if (!error.empty()) {
     j.key("error");
     j.value(error);

@@ -71,6 +71,10 @@ struct CampaignReport {
   std::string pattern_source;
   double fault_sample_fraction = 1.0;
   bool observe_iddq = true;
+  /// The campaign's detection semantics.  Serialized (after observe_iddq)
+  /// only when kFirstOnly, so default-mode JSON stays byte-identical to
+  /// every report ever emitted in full mode.
+  faults::DetectionMode detection_mode = faults::DetectionMode::kFull;
   /// First shard-phase task failure (what() text), empty on success.  A
   /// failed shard's slot is filled with default simulated-but-undetected
   /// records (totals stay complete), so a non-empty error marks every

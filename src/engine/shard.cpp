@@ -92,6 +92,9 @@ faults::DetectionRecord simulate_bridge_fault(
     }
     if (hit && rec.first_pattern < 0)
       rec.first_pattern = static_cast<int>(pi);
+    if (rec.first_pattern >= 0 &&
+        options.detection_mode == faults::DetectionMode::kFirstOnly)
+      break;  // first-only semantics: stop at the first counted detection
     if (rec.detected_output &&
         (rec.detected_iddq || !options.observe_iddq))
       break;  // nothing left to learn about this bridge
@@ -176,13 +179,20 @@ ShardResult run_shard(const faults::EvalContext& ctx,
     reg.counter("shard.faults_sampled_out").add(sampled_out);
     reg.counter("shard.bridges_simulated").add(bridges);
     reg.histogram("shard.exec_s").record(out.elapsed_s);
-    // Batched line-kernel occupancy: faults_batched / batch_width is the
-    // mean lane fill across kernel passes (1.0 = every lane carried a
-    // fault).  The fill histogram reuses the power-of-two-µs buckets by
-    // encoding a group of k faults as 2^(k-1) µs, so fills 1..kBatchLanes
-    // land in distinct buckets 1..kBatchLanes of shard.batch_fill.
+    // Batched line-kernel occupancy: batch_width counts lanes actually
+    // occupied (not kBatchLanes per pass), so batch_width /
+    // (batch_groups * kBatchLanes) is the mean lane fill across kernel
+    // invocations (1.0 = every lane carried a fault).  faults_batched
+    // counts each line fault once even when dropping strips re-group it;
+    // faults_cpt counts faults resolved by critical-path tracing with no
+    // kernel pass at all.  The fill histogram reuses the power-of-two-µs
+    // buckets by encoding a group of k faults as 2^(k-1) µs, so fills
+    // 1..kBatchLanes land in distinct buckets 1..kBatchLanes of
+    // shard.batch_fill.
     reg.counter("engine.faults_batched").add(batch_stats.faults);
+    reg.counter("engine.batch_groups").add(batch_stats.groups);
     reg.counter("engine.batch_width").add(batch_stats.lane_slots);
+    reg.counter("engine.faults_cpt").add(batch_stats.cpt_faults);
     auto& fill_hist = reg.histogram("shard.batch_fill");
     for (std::size_t k = 0; k < batch_stats.fill.size(); ++k) {
       const double encoded_s = static_cast<double>(1ull << k) * 1e-6;

@@ -302,6 +302,14 @@ std::string serialize_shard_input(const logic::Circuit& ckt,
   j.value(options.sim.sequential_patterns);
   j.key("batch_transistor_faults");
   j.value(options.sim.batch_transistor_faults);
+  // Serialized because it changes the records a worker computes.  The
+  // work-reduction toggles (drop_detected, critical_path_tracing) are
+  // deliberately NOT on the wire: they never change results, so they stay
+  // process-local, like batch_line_faults.
+  j.key("detection_mode");
+  j.value(options.sim.detection_mode == faults::DetectionMode::kFirstOnly
+              ? "first_only"
+              : "full");
   j.key("fault_sample_fraction");
   j.value(options.fault_sample_fraction);
   j.close_object();
@@ -357,6 +365,10 @@ ShardWorkInput parse_shard_input(const std::string& text) {
       ov.at("sequential_patterns").as_bool("sequential_patterns");
   input.options.sim.batch_transistor_faults =
       ov.at("batch_transistor_faults").as_bool("batch_transistor_faults");
+  input.options.sim.detection_mode =
+      ov.at("detection_mode").as_string("detection_mode") == "first_only"
+          ? faults::DetectionMode::kFirstOnly
+          : faults::DetectionMode::kFull;
   input.options.fault_sample_fraction =
       ov.at("fault_sample_fraction").as_double("fault_sample_fraction");
   return input;

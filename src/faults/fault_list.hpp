@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "faults/fault.hpp"
+#include "gates/fault_dictionary.hpp"
 
 namespace cpsinw::faults {
 
@@ -15,7 +16,48 @@ struct FaultListOptions {
   /// (dictionary comparison) and structurally-equivalent line faults
   /// (fanout-free stem/branch merging).
   bool collapse = true;
+  /// Also collapse *across* classes: a transistor fault whose faulty logic
+  /// table is exactly a line stuck-at is represented by that line fault
+  /// instead of being listed.  Requires `collapse` and
+  /// `include_line_stuck_at` (the representative must be in the universe).
+  bool cross_class_collapse = true;
+  /// Whether the campaign observes IDDQ.  A stuck-on transistor whose
+  /// logic table equals a line stuck-at still draws quiescent current on
+  /// its contention rows, which a line fault never does — so such faults
+  /// only collapse when IDDQ is *not* observed.  Contention-free mappings
+  /// collapse either way.
+  bool observe_iddq = false;
 };
+
+/// The line stuck-at fault a transistor fault is behaviourally equivalent
+/// to, if any.  Only faults whose dictionary is a pure combinational table
+/// substitution over binary stimuli (`compiled_binary`) map; a constant
+/// faulty table maps to the output stuck-at (checked first — an inverter
+/// input SA0 is *also* output SA1), otherwise a table equal to the good
+/// function with one input forced maps to that input-branch stuck-at.
+/// `contends` marks mappings that are only logic-equivalent: the fault has
+/// an IDDQ signature (nonzero `compiled_contention`) its representative
+/// lacks, so the collapse is valid only when IDDQ is not observed.
+struct CollapseTarget {
+  enum class Kind { kNone, kOutputStuck, kInputStuck };
+  Kind kind = Kind::kNone;
+  int pin = -1;           ///< input pin, for kInputStuck
+  bool stuck_one = false;
+  bool contends = false;  ///< mapping holds for logic observation only
+};
+
+[[nodiscard]] CollapseTarget collapse_target(gates::CellKind kind,
+                                             const gates::FaultAnalysis& fa);
+
+/// Whether a mapping found by `collapse_target` has a faithful line-fault
+/// representative in the collapsed universe of `ckt` for gate `g`: the
+/// output stem for output mappings, the listed branch fault on fanout
+/// stems, or the stem itself on fanout-free nets that are not otherwise
+/// observed (a net that is also a primary output sees its stem fault at
+/// the PO, which the gate-local transistor fault does not affect).
+[[nodiscard]] bool collapse_representable(const logic::Circuit& ckt,
+                                          const logic::GateInst& g,
+                                          const CollapseTarget& t);
 
 /// Enumerates the fault universe of a circuit.
 /// Line stuck-at: SA0/SA1 on every net stem and every gate input branch of

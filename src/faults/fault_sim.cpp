@@ -1,6 +1,8 @@
 #include "faults/fault_sim.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 
 #include "gates/dictionary_cache.hpp"
@@ -9,6 +11,14 @@ namespace cpsinw::faults {
 
 using logic::LogicV;
 using logic::Pattern;
+
+bool work_reduction_default() {
+  static const bool on = [] {
+    const char* env = std::getenv("CPSINW_WORK_REDUCTION");
+    return env == nullptr || std::strcmp(env, "off") != 0;
+  }();
+  return on;
+}
 
 int FaultSimReport::detected_count() const {
   int n = 0;
@@ -108,7 +118,7 @@ std::vector<DetectionRecord> FaultSimulator::run_range(
     // prefix is longest; each fault's record still derives from its own
     // detection words, so grouping never changes results — concatenating
     // shard ranges stays bit-identical to one whole-list run. --------------
-    run_line_faults_batched(ctx, faults, begin, end, records, stats);
+    run_line_faults_batched(ctx, faults, begin, end, options, records, stats);
   } else if (any_line_fault) {
     // --- Line faults, single-fault path (batching disabled): one packed
     // pass per fault per 64-pattern batch with fault dropping — the PR-5
@@ -152,8 +162,8 @@ std::vector<DetectionRecord> FaultSimulator::run_range(
 
 void FaultSimulator::run_line_faults_batched(
     const EvalContext& ctx, const std::vector<Fault>& faults,
-    std::size_t begin, std::size_t end, std::vector<DetectionRecord>& records,
-    LineBatchStats* stats) const {
+    std::size_t begin, std::size_t end, const FaultSimOptions& options,
+    std::vector<DetectionRecord>& records, LineBatchStats* stats) const {
   using logic::CompiledCircuit;
   const CompiledCircuit& cc = sim_.compiled();
 
@@ -181,6 +191,42 @@ void FaultSimulator::run_line_faults_batched(
     }
     entries.push_back(e);
   }
+
+  // --- Critical-path tracing: on a single-output fan-out-free cone the
+  // detection word of SA-v on net L is crit(L) & (good(L) != v) & active —
+  // exact there (no reconvergent path can mask a sensitized line), so the
+  // whole range resolves from the good machine with no faulty pass.  A
+  // branch fault reads its input net's planes: fanout <= 1 makes branch
+  // and stem the same line. ------------------------------------------------
+  if (options.critical_path_tracing && ctx.cpt_available()) {
+    const std::uint64_t* const active = ctx.active_words().data();
+    const std::size_t nw = ctx.word_count();
+    for (const Entry& e : entries) {
+      const logic::NetId net =
+          e.lf.net >= 0
+              ? e.lf.net
+              : ckt_.gate(e.lf.gate).in[static_cast<std::size_t>(e.lf.pin)];
+      const std::uint64_t* crit = ctx.crit_plane(net);
+      const std::uint64_t* good = ctx.good_plane(net);
+      DetectionRecord& rec = records[e.rec];
+      for (std::size_t w = 0; w < nw; ++w) {
+        const std::uint64_t det =
+            crit[w] & (e.lf.stuck_one ? ~good[w] : good[w]) & active[w];
+        if (det == 0) continue;
+        rec.detected_output = true;
+        rec.first_pattern =
+            static_cast<int>(w * 64) + __builtin_ctzll(det);
+        break;
+      }
+    }
+    if (stats != nullptr) {
+      LineBatchStats local;
+      local.faults = entries.size();
+      local.cpt_faults = entries.size();
+      stats->merge(local);
+    }
+    return;
+  }
   // Stable counting sort by position — positions are bounded by the gate
   // count, so two counting passes replace comparison sorting (which showed
   // up as the single largest fixed cost of this wrapper, ahead of the
@@ -194,34 +240,99 @@ void FaultSimulator::run_line_faults_batched(
   entries.swap(sorted);
 
   const std::size_t n_words = ctx.word_count();
-  std::vector<std::uint64_t> det(CompiledCircuit::kBatchLanes * n_words);
   std::vector<std::uint64_t> lane_scratch;
   LineBatchStats local;
-  for (std::size_t g = 0; g < entries.size();
-       g += CompiledCircuit::kBatchLanes) {
-    const std::size_t n =
-        std::min(CompiledCircuit::kBatchLanes, entries.size() - g);
-    CompiledCircuit::LineFault lfs[CompiledCircuit::kBatchLanes];
-    for (std::size_t j = 0; j < n; ++j) lfs[j] = entries[g + j].lf;
-    const std::size_t words_done = cc.eval_packed_line_batch(
-        ctx.good_planes(), ctx.plane_stride(), n_words,
-        ctx.active_words().data(), lfs, n, det.data(), lane_scratch);
-    for (std::size_t j = 0; j < n; ++j) {
-      DetectionRecord& rec = records[entries[g + j].rec];
-      const std::uint64_t* fd = det.data() + j * n_words;
-      for (std::size_t w = 0; w < words_done; ++w) {
-        if (fd[w] == 0) continue;
-        rec.detected_output = true;
-        rec.first_pattern =
-            static_cast<int>(w * 64) + __builtin_ctzll(fd[w]);
-        break;
+  local.faults = entries.size();
+
+  if (!options.drop_detected) {
+    // One full-width pass per group (the PR-7 shape, kept as the
+    // equivalence/bench baseline when dropping is off).
+    std::vector<std::uint64_t> det(CompiledCircuit::kBatchLanes * n_words);
+    for (std::size_t g = 0; g < entries.size();
+         g += CompiledCircuit::kBatchLanes) {
+      const std::size_t n =
+          std::min(CompiledCircuit::kBatchLanes, entries.size() - g);
+      CompiledCircuit::LineFault lfs[CompiledCircuit::kBatchLanes];
+      for (std::size_t j = 0; j < n; ++j) lfs[j] = entries[g + j].lf;
+      const std::size_t words_done = cc.eval_packed_line_batch(
+          ctx.good_planes(), ctx.plane_stride(), n_words,
+          ctx.active_words().data(), lfs, n, det.data(), lane_scratch);
+      for (std::size_t j = 0; j < n; ++j) {
+        DetectionRecord& rec = records[entries[g + j].rec];
+        const std::uint64_t* fd = det.data() + j * n_words;
+        for (std::size_t w = 0; w < words_done; ++w) {
+          if (fd[w] == 0) continue;
+          rec.detected_output = true;
+          rec.first_pattern =
+              static_cast<int>(w * 64) + __builtin_ctzll(fd[w]);
+          break;
+        }
       }
+      ++local.groups;
+      local.lane_slots += n;
+      local.words += words_done;
+      ++local.fill[n - 1];
     }
-    local.faults += n;
-    ++local.groups;
-    local.lane_slots += CompiledCircuit::kBatchLanes;
-    local.words += words_done;
-    ++local.fill[n - 1];
+    if (stats != nullptr) stats->merge(local);
+    return;
+  }
+
+  // --- Fault dropping: walk the word range in strips and re-form the lane
+  // groups from the *surviving* faults between strips, so a detected fault
+  // stops consuming a lane for the rest of the walk (= mid-walk lane
+  // refill from pending faults).  A fault's detection words depend only on
+  // the fault, never on its group (the kernel early-exits a group only
+  // once every lane detected), so any strip/group schedule yields the same
+  // record — dropping is bit-identical to the single pass above.  The
+  // first strip is narrow: most detectable faults die within a few words,
+  // so the expensive full-width walks only ever see the hard tail.
+  // Strips start on kSimdWords boundaries, which keeps the plane pointer
+  // offsets aligned with the padded row stride. ----------------------------
+  constexpr std::size_t kFirstStrip = CompiledCircuit::kSimdWords;
+  constexpr std::size_t kWideStrip = 4 * CompiledCircuit::kSimdWords;
+  std::vector<std::uint64_t> det(CompiledCircuit::kBatchLanes * kWideStrip);
+  std::vector<std::uint32_t> live(entries.size());
+  for (std::size_t i = 0; i < live.size(); ++i)
+    live[i] = static_cast<std::uint32_t>(i);
+
+  std::size_t w0 = 0;
+  std::size_t strip = kFirstStrip;
+  while (w0 < n_words && !live.empty()) {
+    const std::size_t nw = std::min(strip, n_words - w0);
+    strip = kWideStrip;
+    std::size_t survivors = 0;
+    for (std::size_t g = 0; g < live.size();
+         g += CompiledCircuit::kBatchLanes) {
+      const std::size_t n =
+          std::min(CompiledCircuit::kBatchLanes, live.size() - g);
+      CompiledCircuit::LineFault lfs[CompiledCircuit::kBatchLanes];
+      for (std::size_t j = 0; j < n; ++j) lfs[j] = entries[live[g + j]].lf;
+      const std::size_t words_done = cc.eval_packed_line_batch(
+          ctx.good_planes() + w0, ctx.plane_stride(), nw,
+          ctx.active_words().data() + w0, lfs, n, det.data(), lane_scratch);
+      for (std::size_t j = 0; j < n; ++j) {
+        DetectionRecord& rec = records[entries[live[g + j]].rec];
+        const std::uint64_t* fd = det.data() + j * nw;
+        bool hit = false;
+        for (std::size_t w = 0; w < words_done; ++w) {
+          if (fd[w] == 0) continue;
+          rec.detected_output = true;
+          rec.first_pattern =
+              static_cast<int>((w0 + w) * 64) + __builtin_ctzll(fd[w]);
+          hit = true;
+          break;
+        }
+        // Order-preserving compaction: survivors keep their position-
+        // sorted order, so regrouped lanes stay co-located by depth.
+        if (!hit) live[survivors++] = live[g + j];
+      }
+      ++local.groups;
+      local.lane_slots += n;
+      local.words += words_done;
+      ++local.fill[n - 1];
+    }
+    live.resize(survivors);
+    w0 += nw;
   }
   if (stats != nullptr) stats->merge(local);
 }
@@ -303,6 +414,9 @@ DetectionRecord FaultSimulator::simulate_transistor_fault(
     }
     if (hit && rec.first_pattern < 0)
       rec.first_pattern = static_cast<int>(pi);
+    if (rec.first_pattern >= 0 &&
+        options.detection_mode == DetectionMode::kFirstOnly)
+      break;
   }
   return rec;
 }
@@ -383,6 +497,9 @@ DetectionRecord FaultSimulator::simulate_transistor_serial(
     }
     if (hit && rec.first_pattern < 0)
       rec.first_pattern = static_cast<int>(pi);
+    if (rec.first_pattern >= 0 &&
+        options.detection_mode == DetectionMode::kFirstOnly)
+      break;
   }
   return rec;
 }
@@ -392,44 +509,105 @@ DetectionRecord FaultSimulator::simulate_transistor_packed(
     const gates::FaultAnalysis& fa, const FaultSimOptions& options,
     TransistorScratch& scratch) const {
   // Faulty machine: every gate evaluates normally except the faulted one,
-  // whose output words come from its compiled faulty table — all pattern
-  // words in one plane-wide pass sharing the context's good planes.  No
-  // early exit: an IDDQ-only excitation in a late word must be observed.
+  // whose output words come from its compiled faulty table — pattern words
+  // share the context's good planes.
   DetectionRecord rec;
+  const bool first_only = options.detection_mode == DetectionMode::kFirstOnly;
+  // A binary dictionary can only produce a nonzero diff word when some row
+  // is kWrongValue and a nonzero contention word when some row contends, so
+  // for a fault with neither the empty record is exact without any pass.
+  if (options.drop_detected && !fa.output_detectable &&
+      (!options.observe_iddq || !fa.iddq_detectable))
+    return rec;
   const logic::CompiledCircuit& cc = sim_.compiled();
   const std::size_t n_words = ctx.word_count();
   std::vector<std::uint64_t>& diff = scratch.diff;
   std::vector<std::uint64_t>& contention = scratch.contention;
-  diff.resize(n_words);
-  contention.resize(n_words);
-  cc.eval_packed_faulty_planes(ctx.good_planes(), ctx.plane_stride(), n_words,
-                               fault.gate, fa, diff.data(), contention.data(),
-                               scratch.lanes);
-
-  // Branch-free OR-accumulation first (the compiler vectorizes this flat
-  // loop; a branchy word-at-a-time scan was a measurable slice of the
-  // per-fault cost once the kernel itself was batched), then an
-  // early-exiting second pass for the first detecting pattern only when
-  // something actually hit.
   const std::uint64_t* const active = ctx.active_words().data();
+
+  if (!options.drop_detected && !first_only) {
+    // Full pass, no early exit: an IDDQ-only excitation in a late word must
+    // be observed.  Branch-free OR-accumulation first (the compiler
+    // vectorizes this flat loop; a branchy word-at-a-time scan was a
+    // measurable slice of the per-fault cost once the kernel itself was
+    // batched), then an early-exiting second pass for the first detecting
+    // pattern only when something actually hit.
+    diff.resize(n_words);
+    contention.resize(n_words);
+    cc.eval_packed_faulty_planes(ctx.good_planes(), ctx.plane_stride(),
+                                 n_words, fault.gate, fa, diff.data(),
+                                 contention.data(), scratch.lanes);
+    std::uint64_t any_d = 0;
+    std::uint64_t any_c = 0;
+    for (std::size_t w = 0; w < n_words; ++w) {
+      any_d |= diff[w] & active[w];
+      any_c |= contention[w] & active[w];
+    }
+    rec.detected_output = any_d != 0;
+    rec.detected_iddq = options.observe_iddq && any_c != 0;
+    if (any_d != 0 || rec.detected_iddq) {
+      for (std::size_t w = 0; w < n_words; ++w) {
+        const std::uint64_t hit =
+            (diff[w] | (options.observe_iddq ? contention[w] : 0)) & active[w];
+        if (hit != 0) {
+          rec.first_pattern = static_cast<int>(w * 64) + __builtin_ctzll(hit);
+          break;
+        }
+      }
+    }
+    return rec;
+  }
+
+  // --- Strip-mined walk (dropping and/or first-only).  In full mode the
+  // walk stops only once no later word can change the record — output side
+  // resolved (diff seen, or no kWrongValue row exists) AND IDDQ side
+  // resolved (contention seen, not observed, or no contending row) — so
+  // the record is bit-identical to the full pass above.  In first-only
+  // mode the walk stops at the word holding the first counted detection,
+  // with that word's contributions masked to patterns at or before the
+  // hit bit: exactly the prefix the serial path sees before its break. ----
+  constexpr std::size_t kFirstStrip = logic::CompiledCircuit::kSimdWords;
+  constexpr std::size_t kWideStrip = 4 * logic::CompiledCircuit::kSimdWords;
+  diff.resize(kWideStrip);
+  contention.resize(kWideStrip);
   std::uint64_t any_d = 0;
   std::uint64_t any_c = 0;
-  for (std::size_t w = 0; w < n_words; ++w) {
-    any_d |= diff[w] & active[w];
-    any_c |= contention[w] & active[w];
+  std::size_t w0 = 0;
+  std::size_t strip = kFirstStrip;
+  while (w0 < n_words) {
+    const std::size_t nw = std::min(strip, n_words - w0);
+    strip = kWideStrip;
+    cc.eval_packed_faulty_planes(ctx.good_planes() + w0, ctx.plane_stride(),
+                                 nw, fault.gate, fa, diff.data(),
+                                 contention.data(), scratch.lanes);
+    for (std::size_t w = 0; w < nw; ++w) {
+      const std::uint64_t d = diff[w] & active[w0 + w];
+      const std::uint64_t c = contention[w] & active[w0 + w];
+      const std::uint64_t hit = d | (options.observe_iddq ? c : 0);
+      if (rec.first_pattern < 0 && hit != 0) {
+        const int b = __builtin_ctzll(hit);
+        rec.first_pattern = static_cast<int>((w0 + w) * 64) + b;
+        if (first_only) {
+          const std::uint64_t mask = b == 63 ? ~0ull : ((1ull << (b + 1)) - 1);
+          any_d |= d & mask;
+          any_c |= c & mask;
+          break;
+        }
+      }
+      any_d |= d;
+      any_c |= c;
+    }
+    if (first_only && rec.first_pattern >= 0) break;
+    w0 += nw;
+    if (!first_only) {
+      const bool out_final = any_d != 0 || !fa.output_detectable;
+      const bool iddq_final =
+          !options.observe_iddq || any_c != 0 || !fa.iddq_detectable;
+      if (out_final && iddq_final) break;
+    }
   }
   rec.detected_output = any_d != 0;
   rec.detected_iddq = options.observe_iddq && any_c != 0;
-  if (any_d != 0 || rec.detected_iddq) {
-    for (std::size_t w = 0; w < n_words; ++w) {
-      const std::uint64_t hit =
-          (diff[w] | (options.observe_iddq ? contention[w] : 0)) & active[w];
-      if (hit != 0) {
-        rec.first_pattern = static_cast<int>(w * 64) + __builtin_ctzll(hit);
-        break;
-      }
-    }
-  }
   return rec;
 }
 

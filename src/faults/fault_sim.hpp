@@ -28,12 +28,35 @@ struct DetectionRecord {
   bool detected_output = false;  ///< definite wrong value at some PO
   bool detected_iddq = false;    ///< IDDQ anomaly excited (contention)
   bool potential = false;        ///< X reached a PO where good is defined
-  int first_pattern = -1;        ///< index of the first detecting pattern
+  /// Index of the first *counted* detection under the run's observation
+  /// options: the first pattern whose hit contributes to detected() with
+  /// the run's `observe_iddq` — an IDDQ-only excitation advances it only
+  /// when IDDQ observation is on.  -1 when nothing counted.
+  int first_pattern = -1;
 
   [[nodiscard]] bool detected(bool count_iddq) const {
     return detected_output || (count_iddq && detected_iddq);
   }
 };
+
+/// What a DetectionRecord promises about patterns after the first counted
+/// detection.
+enum class DetectionMode {
+  /// Flags aggregate over the whole pattern set: detected_output,
+  /// detected_iddq and potential reflect every pattern (the historical
+  /// semantics; byte-identical reports regardless of work reduction).
+  kFull,
+  /// Simulation of a fault may stop at its first counted detection:
+  /// flags reflect only patterns up to and including that one (exactly
+  /// as if the pattern list were truncated there).  Deterministic —
+  /// independent of batching, threading and strip schedule — but a
+  /// different contract, so campaigns opt in explicitly.
+  kFirstOnly,
+};
+
+/// Default for the process-local work-reduction switches: on unless the
+/// environment sets CPSINW_WORK_REDUCTION=off (the CI equivalence leg).
+[[nodiscard]] bool work_reduction_default();
 
 /// Controls for a fault-simulation run.
 struct FaultSimOptions {
@@ -56,6 +79,25 @@ struct FaultSimOptions {
   /// deliberately not serialized on the shard_io wire (both settings
   /// produce identical records, so remote workers may pick either).
   bool batch_line_faults = true;
+  /// Fault dropping: stop simulating a fault once nothing more can be
+  /// learned about it.  Line faults leave the active universe at their
+  /// first detecting word (the batched walk refills freed lanes from
+  /// pending faults strip by strip); transistor faults stop once every
+  /// observable of their dictionary (PO flip, IDDQ excitation) has fired
+  /// or is impossible.  In kFull detection mode the records are
+  /// bit-identical with dropping on or off, so this stays process-local
+  /// (not serialized on the shard_io wire), like batch_line_faults.
+  bool drop_detected = work_reduction_default();
+  /// Critical-path-tracing fast path: for contexts whose circuit is a
+  /// single-output fan-out-free cone (EvalContext::cpt_available()), line
+  /// stuck-at detection is deduced from the good-machine planes alone —
+  /// no faulty pass at all.  Exact there (no reconvergence can mask), so
+  /// records stay bit-identical; process-local like the switches above.
+  bool critical_path_tracing = work_reduction_default();
+  /// Contract for per-fault flags after the first counted detection (see
+  /// DetectionMode).  kFirstOnly is serialized on the shard_io wire — it
+  /// changes records, so every worker must agree.
+  DetectionMode detection_mode = DetectionMode::kFull;
 };
 
 /// Occupancy accounting for the batched line-fault kernel, filled by
@@ -63,11 +105,17 @@ struct FaultSimOptions {
 /// these into the `engine.faults_batched` / `engine.batch_width` counters
 /// and the `shard.batch_fill` histogram).
 struct LineBatchStats {
-  std::size_t faults = 0;      ///< line faults routed through the kernel
-  std::size_t groups = 0;      ///< kernel invocations
-  std::size_t lane_slots = 0;  ///< groups x kBatchLanes (lane capacity)
+  std::size_t faults = 0;      ///< line faults handled (counted once each)
+  std::size_t groups = 0;      ///< kernel invocations (strips re-group, so a
+                               ///< fault can ride several invocations)
+  /// Lanes that actually carried a fault, summed over invocations — NOT
+  /// groups x kBatchLanes: a partially filled group contributes only its
+  /// occupied lanes, so occupancy = lane_slots / (groups * kBatchLanes).
+  std::size_t lane_slots = 0;
   std::size_t words = 0;       ///< pattern words evaluated (post early-exit)
-  /// fill[k]: groups that carried k+1 faults.
+  /// Line faults resolved by critical-path tracing alone (no kernel pass).
+  std::size_t cpt_faults = 0;
+  /// fill[k]: kernel invocations that carried k+1 faults.
   std::array<std::size_t, logic::CompiledCircuit::kBatchLanes> fill{};
 
   void merge(const LineBatchStats& o) {
@@ -75,6 +123,7 @@ struct LineBatchStats {
     groups += o.groups;
     lane_slots += o.lane_slots;
     words += o.words;
+    cpt_faults += o.cpt_faults;
     for (std::size_t k = 0; k < fill.size(); ++k) fill[k] += o.fill[k];
   }
 };
@@ -178,10 +227,15 @@ class FaultSimulator {
   /// Batched line-fault path of run_range: validates and gathers the line
   /// faults of [begin, end), sorts them by injection position, and feeds
   /// kBatchLanes-sized groups through eval_packed_line_batch, deriving
-  /// each fault's DetectionRecord from its detection words.
+  /// each fault's DetectionRecord from its detection words.  With
+  /// critical-path tracing available the whole range resolves from the
+  /// good planes instead; with dropping on, the word range is walked in
+  /// strips and detected faults leave the groups between strips (freed
+  /// lanes refill from the surviving faults).  All shapes bit-identical.
   void run_line_faults_batched(const EvalContext& ctx,
                                const std::vector<Fault>& faults,
                                std::size_t begin, std::size_t end,
+                               const FaultSimOptions& options,
                                std::vector<DetectionRecord>& records,
                                LineBatchStats* stats) const;
 

@@ -48,6 +48,7 @@ TEST(TestFlow, OutcomesCoverEveryFault) {
   const TestSuite suite = run_test_flow(ckt);
   faults::FaultListOptions flo;
   flo.collapse = true;
+  flo.observe_iddq = true;  // the default flow targets IDDQ tests
   const auto universe = generate_fault_list(ckt, flo);
   EXPECT_EQ(suite.outcomes.size(), universe.size());
   EXPECT_EQ(suite.covered_count(),

@@ -50,7 +50,7 @@ TEST(Campaign, MatchesSerialFaultSimulatorExactly) {
     // Reconstruct exactly what the campaign simulated...
     const logic::Circuit& ckt = spec.jobs[j].circuit;
     const std::vector<CampaignFault> universe =
-        build_universe(ckt, spec.models);
+        build_universe(ckt, spec.models, spec.sim.observe_iddq);
     const std::vector<logic::Pattern> patterns = build_patterns(
         ckt, spec.patterns, campaign_rng.fork(2 * j));
 

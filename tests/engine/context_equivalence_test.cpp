@@ -52,7 +52,7 @@ TEST(ContextEquivalence, SharedContextShardsMatchLegacyPerShardEntryPoint) {
   const logic::Circuit ckt = logic::full_adder();
   CampaignSpec spec = all_classes_spec();
   const std::vector<CampaignFault> universe =
-      build_universe(ckt, spec.models);
+      build_universe(ckt, spec.models, spec.sim.observe_iddq);
   const std::vector<logic::Pattern> patterns = build_patterns(
       ckt, spec.patterns, util::SplitMix64(7));
   const std::vector<Shard> shards =
@@ -101,7 +101,9 @@ TEST(ContextEquivalence, ShardFailureSurfacesOnReportErrorSlot) {
   // The failed shard's faults stay in the totals as undetected, keeping
   // every count a lower bound rather than silently shrinking the universe.
   const std::size_t universe_size =
-      build_universe(logic::c17(), FaultModelSelection{}).size();
+      build_universe(logic::c17(), FaultModelSelection{},
+                     spec.sim.observe_iddq)
+          .size();
   ASSERT_EQ(report.jobs.size(), 1u);
   EXPECT_EQ(report.jobs[0].totals().total,
             static_cast<int>(universe_size));
