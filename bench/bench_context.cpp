@@ -34,6 +34,16 @@
 //     layer (fault dropping + critical-path tracing) vs the PR-7 batched
 //     path, same universe, bit-identical records required.  Gate: >= 1.5x.
 //
+//  5. "large_circuit" (a sub-object of BENCH_compiled.json): the first
+//     circuit-scale leg — alu_array(64) exported to `.bench` and
+//     re-ingested through the foreign-netlist front end (~2.1k CP gates
+//     after MAJ3 decomposition), so the measured circuit is the parser's
+//     output, not the generator's.  Checks: parsed circuit functionally
+//     matches the generator; a five-class fault campaign (line stuck-at,
+//     both polarity faults, stuck-open, stuck-on) produces byte-identical
+//     stable JSON at 1, 2, and 8 threads; and the batched line kernel
+//     holds its >= 1.5x win over the single-fault walk at this scale.
+//
 // The last line printed is the concatenation marker-free JSON object of
 // the *compiled* leg (with the batched sub-object merged in); both
 // objects are written to their BENCH_*.json.
@@ -45,9 +55,11 @@
 #include <string>
 #include <vector>
 
+#include "engine/campaign.hpp"
 #include "faults/eval_context.hpp"
 #include "faults/fault_sim.hpp"
 #include "gates/fault_dictionary.hpp"
+#include "logic/bench_format.hpp"
 #include "logic/benchmarks.hpp"
 #include "logic/simd.hpp"
 #include "util/rng.hpp"
@@ -950,6 +962,154 @@ int run_dropping_leg(std::string& json_out) {
   return identical && speedup >= 1.5 ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// Leg 5: circuit scale through the ingestion front end.  Everything the
+// engine sees went through write_bench -> read_bench, so foreign-gate
+// decomposition, net-name mangling, and PI/PO ordering are all on the
+// measured path.
+
+int run_large_circuit_leg(std::string& json_out) {
+  const logic::Circuit native = logic::alu_array(64);
+  const logic::Circuit ckt =
+      logic::read_bench_string(logic::to_bench_string(native));
+  const bool big_enough = ckt.gate_count() >= 1000;
+
+  std::cout << "=== Large circuit via .bench ingestion (alu_array_64: "
+            << native.gate_count() << " native -> " << ckt.gate_count()
+            << " parsed gates) ===\n";
+
+  // Functional check: the parsed circuit is the generator's circuit.
+  bool equivalent = ckt.primary_inputs().size() ==
+                        native.primary_inputs().size() &&
+                    ckt.primary_outputs().size() ==
+                        native.primary_outputs().size();
+  if (equivalent) {
+    const logic::Simulator sim_native(native);
+    const logic::Simulator sim_parsed(ckt);
+    const std::vector<logic::Pattern> checks = random_patterns(native, 32, 71);
+    for (const logic::Pattern& p : checks) {
+      const logic::SimResult ra = sim_native.simulate(p);
+      const logic::SimResult rb = sim_parsed.simulate(p);
+      for (std::size_t k = 0;
+           equivalent && k < native.primary_outputs().size(); ++k)
+        equivalent = ra.value(native.primary_outputs()[k]) ==
+                     rb.value(ckt.primary_outputs()[k]);
+      if (!equivalent) break;
+    }
+  }
+
+  // Five-class campaign (line stuck-at + polarity n/p + stuck-open +
+  // stuck-on), byte-identical stable JSON across thread counts.
+  std::string reference_json;
+  bool campaign_identical = true;
+  std::size_t campaign_faults = 0;
+  double campaign_s = 0.0;
+  for (const int threads : {1, 2, 8}) {
+    engine::CampaignSpec spec;
+    spec.jobs.push_back({"alu_array_64_bench", ckt});
+    spec.patterns.kind = engine::PatternSourceSpec::Kind::kRandom;
+    spec.patterns.random_count = 128;
+    spec.seed = 97;
+    spec.threads = threads;
+    const auto t0 = Clock::now();
+    const engine::CampaignReport report = engine::run_campaign(spec);
+    if (threads == 1) {
+      campaign_s = seconds_since(t0);
+      reference_json = report.to_json();
+      campaign_faults = engine::build_universe(ckt, spec.models).size();
+    } else {
+      campaign_identical =
+          campaign_identical && report.to_json() == reference_json;
+    }
+  }
+
+  // Perf gate at scale: batched line kernel vs the single-fault packed
+  // walk (work reduction off on both sides, as in the batched leg), on a
+  // slice of the packed-eligible universe.
+  faults::FaultSimOptions single;
+  single.batch_line_faults = false;
+  single.drop_detected = false;
+  single.critical_path_tracing = false;
+  faults::FaultSimOptions batched;
+  batched.batch_line_faults = true;
+  batched.drop_detected = false;
+  batched.critical_path_tracing = false;
+
+  const std::vector<faults::Fault> all = faults::generate_fault_list(ckt, {});
+  std::vector<faults::Fault> universe;
+  for (const faults::Fault& f : all) {
+    if (f.site != faults::FaultSite::kGateTransistor) {
+      universe.push_back(f);
+      continue;
+    }
+    const gates::FaultAnalysis& fa = gates::DictionaryCache::global().lookup(
+        ckt.gate(f.gate).kind, f.cell_fault);
+    if (fa.compiled_binary) universe.push_back(f);
+  }
+  const std::size_t slice = std::min<std::size_t>(universe.size(), 1536);
+  const std::vector<logic::Pattern> patterns = random_patterns(ckt, 256, 73);
+  const faults::FaultSimulator fsim(ckt);
+  const faults::EvalContext ctx(ckt, patterns);
+
+  const std::vector<faults::DetectionRecord> reference =
+      fsim.run_range(ctx, universe, 0, slice, single);
+  const std::vector<faults::DetectionRecord> after =
+      fsim.run_range(ctx, universe, 0, slice, batched);
+  bool identical = after.size() == reference.size();
+  for (std::size_t i = 0; identical && i < reference.size(); ++i)
+    identical = records_identical(reference[i], after[i]);
+
+  auto t0 = Clock::now();
+  (void)fsim.run_range(ctx, universe, 0, slice, batched);
+  const double pilot_s = seconds_since(t0);
+  const int reps = std::max(
+      1, static_cast<int>(std::ceil(0.03 / std::max(pilot_s, 1e-7))));
+
+  double before_s = 1e30;
+  double after_s = 1e30;
+  for (int round = 0; round < 9; ++round) {
+    t0 = Clock::now();
+    for (int r = 0; r < reps; ++r)
+      (void)fsim.run_range(ctx, universe, 0, slice, single);
+    before_s = std::min(before_s, seconds_since(t0) / reps);
+
+    t0 = Clock::now();
+    for (int r = 0; r < reps; ++r)
+      (void)fsim.run_range(ctx, universe, 0, slice, batched);
+    after_s = std::min(after_s, seconds_since(t0) / reps);
+  }
+  const double speedup = after_s > 0.0 ? before_s / after_s : 0.0;
+
+  std::cout << "campaign: " << campaign_faults << " classified faults, "
+            << campaign_s * 1e3 << " ms at 1 thread, 1/2/8-thread JSON "
+            << (campaign_identical ? "byte-identical" : "MISMATCH") << "\n";
+  std::cout << "batched kernel: " << slice << " faults x 256 patterns, "
+            << before_s * 1e3 << " ms -> " << after_s * 1e3 << " ms ("
+            << speedup << "x, "
+            << (identical ? "bit-identical" : "MISMATCH") << ", generator "
+            << (equivalent ? "equivalent" : "MISMATCH") << ")\n\n";
+
+  json_out =
+      "{\"circuit\":\"alu_array_64_bench\",\"gates\":" +
+      std::to_string(ckt.gate_count()) +
+      ",\"native_gates\":" + std::to_string(native.gate_count()) +
+      ",\"campaign_faults\":" + std::to_string(campaign_faults) +
+      ",\"campaign_s\":" + std::to_string(campaign_s) +
+      ",\"threads_identical\":" + (campaign_identical ? "true" : "false") +
+      ",\"generator_equivalent\":" + (equivalent ? "true" : "false") +
+      ",\"bench_faults\":" + std::to_string(slice) +
+      ",\"before_s\":" + std::to_string(before_s) +
+      ",\"after_s\":" + std::to_string(after_s) +
+      ",\"speedup\":" + std::to_string(speedup) +
+      ",\"identical\":" + (identical ? "true" : "false") +
+      ",\"threshold\":1.5}";
+
+  return big_enough && equivalent && campaign_identical && identical &&
+                 speedup >= 1.5
+             ? 0
+             : 1;
+}
+
 }  // namespace
 
 int main() {
@@ -957,20 +1117,24 @@ int main() {
   std::string compiled_json;
   std::string batched_json;
   std::string dropping_json;
+  std::string large_json;
   const int compiled_rc = run_compiled_leg(compiled_json);
   const int batched_rc = run_batched_leg(batched_json);
   const int dropping_rc = run_dropping_leg(dropping_json);
+  const int large_rc = run_large_circuit_leg(large_json);
 
-  // One BENCH_compiled.json: the compiled-leg object with the batched and
-  // dropping legs merged in as sub-objects, so the bench trajectory stays
-  // a single file per commit.
+  // One BENCH_compiled.json: the compiled-leg object with the batched,
+  // dropping, and large-circuit legs merged in as sub-objects, so the
+  // bench trajectory stays a single file per commit.
   const std::string json = compiled_json.substr(0, compiled_json.size() - 1) +
                            ",\"batched\":" + batched_json +
-                           ",\"dropping\":" + dropping_json + "}";
+                           ",\"dropping\":" + dropping_json +
+                           ",\"large_circuit\":" + large_json + "}";
   std::ofstream("BENCH_compiled.json") << json << "\n";
   std::cout << json << "\n";
 
   if (context_rc != 0) return context_rc;
   if (compiled_rc != 0) return compiled_rc;
-  return batched_rc != 0 ? batched_rc : dropping_rc;
+  if (batched_rc != 0) return batched_rc;
+  return dropping_rc != 0 ? dropping_rc : large_rc;
 }

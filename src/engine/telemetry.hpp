@@ -108,16 +108,21 @@ class Histogram {
 
 // ----------------------------------------------------------- snapshots
 
+/// One counter's name and value as read at snapshot time.
 struct CounterValue {
   std::string name;
   std::uint64_t value = 0;
 };
 
+/// One gauge's name and value as read at snapshot time.
 struct GaugeValue {
   std::string name;
   std::int64_t value = 0;
 };
 
+/// One histogram's name, totals, and raw buckets as read at snapshot
+/// time (quantiles are derived from the frozen buckets, not the live
+/// metric).
 struct HistogramValue {
   std::string name;
   std::uint64_t count = 0;

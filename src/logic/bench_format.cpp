@@ -1,0 +1,261 @@
+#include "logic/bench_format.hpp"
+
+#include <cctype>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "logic/cell_mapping.hpp"
+#include "logic/net_registry.hpp"
+
+namespace cpsinw::logic {
+
+namespace {
+
+bool is_word_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+         c == '[' || c == ']' || c == '.';
+}
+
+std::string upper(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s)
+    out.push_back(
+        static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+  return out;
+}
+
+/// One-line scanner with column tracking (statements never span lines in
+/// `.bench`).  Tokens: words, '(', ')', '=', ','.
+class LineScanner {
+ public:
+  LineScanner(const NetRegistry& reg, const std::string& line, int line_no)
+      : reg_(reg), line_(line), line_no_(line_no) {}
+
+  [[nodiscard]] SourceLoc here() const {
+    return {line_no_, static_cast<int>(pos_) + 1};
+  }
+
+  /// Skips whitespace; true when the line still has tokens.
+  bool more() {
+    while (pos_ < line_.size() &&
+           std::isspace(static_cast<unsigned char>(line_[pos_])) != 0)
+      ++pos_;
+    return pos_ < line_.size();
+  }
+
+  /// Next token must be a word; returns it and its location.
+  std::string word(SourceLoc* loc = nullptr) {
+    if (!more()) reg_.fail(here(), "unexpected end of line, expected a name");
+    const SourceLoc at = here();
+    if (!is_word_char(line_[pos_])) {
+      if (line_[pos_] == '$')
+        reg_.fail(at, "unexpected character '$' "
+                      "(reserved for synthesized nets)");
+      reg_.fail(at, std::string("unexpected character '") + line_[pos_] +
+                        "', expected a name");
+    }
+    std::string out;
+    while (pos_ < line_.size() && is_word_char(line_[pos_]))
+      out.push_back(line_[pos_++]);
+    if (loc != nullptr) *loc = at;
+    return out;
+  }
+
+  /// Next token must be the symbol `c`.
+  void sym(char c) {
+    if (!more())
+      reg_.fail(here(), std::string("unexpected end of line, expected '") +
+                            c + "'");
+    if (line_[pos_] != c) {
+      if (line_[pos_] == '$')
+        reg_.fail(here(), "unexpected character '$' "
+                          "(reserved for synthesized nets)");
+      reg_.fail(here(), std::string("expected '") + c + "', got '" +
+                            line_[pos_] + "'");
+    }
+    ++pos_;
+  }
+
+  /// True (and consumes) when the next token is the symbol `c`.
+  bool accept(char c) {
+    if (!more() || line_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  /// Fails unless the line is exhausted.
+  void end() {
+    if (more())
+      reg_.fail(here(), std::string("trailing text '") +
+                            line_.substr(pos_) + "'");
+  }
+
+ private:
+  const NetRegistry& reg_;
+  const std::string& line_;
+  int line_no_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Circuit read_bench(std::istream& is) {
+  NetRegistry reg("bench");
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    LineScanner scan(reg, line, line_no);
+    if (!scan.more()) continue;
+
+    SourceLoc head_loc;
+    const std::string head = scan.word(&head_loc);
+    const std::string head_up = upper(head);
+    if (head_up == "INPUT" || head_up == "OUTPUT") {
+      scan.sym('(');
+      const std::string name = scan.word();
+      scan.sym(')');
+      scan.end();
+      if (head_up == "INPUT")
+        reg.add_input(name, head_loc);
+      else
+        reg.add_output(name, head_loc);
+      continue;
+    }
+
+    // dest = GATE(a, b, ...)
+    scan.sym('=');
+    SourceLoc gate_loc;
+    const std::string gate_name = scan.word(&gate_loc);
+    const std::string gate_up = upper(gate_name);
+    if (gate_up == "DFF" || gate_up == "DFFSR" || gate_up == "LATCH")
+      reg.fail(gate_loc, "sequential element '" + gate_name +
+                             "' is not supported (the reader accepts the "
+                             "combinational subset only)");
+    const auto gate = foreign_gate_from(gate_name);
+    if (!gate)
+      reg.fail(gate_loc, "unsupported gate '" + gate_name +
+                             "' (supported: AND NAND OR NOR XOR XNOR NOT "
+                             "BUF)");
+    scan.sym('(');
+    std::vector<std::string> ins;
+    if (!scan.accept(')')) {
+      ins.push_back(scan.word());
+      while (scan.accept(',')) ins.push_back(scan.word());
+      scan.sym(')');
+    }
+    scan.end();
+    reg.add_foreign_gate(*gate, head, ins, head_loc);
+  }
+  return reg.finish();
+}
+
+Circuit read_bench_string(const std::string& text) {
+  std::istringstream iss(text);
+  return read_bench(iss);
+}
+
+namespace {
+
+/// Per-writer name table: mangles names into the `.bench` charset and
+/// keeps them unique.
+class BenchNames {
+ public:
+  explicit BenchNames(const Circuit& ckt) : names_(ckt.net_count()) {
+    for (NetId n = 0; n < ckt.net_count(); ++n)
+      names_[static_cast<std::size_t>(n)] = claim(ckt.net_name(n));
+  }
+
+  [[nodiscard]] const std::string& of(NetId n) const {
+    return names_[static_cast<std::size_t>(n)];
+  }
+
+  /// Reserves a fresh name derived from `hint` (for MAJ3 expansion nets).
+  std::string fresh(const std::string& hint) { return claim(hint); }
+
+ private:
+  std::string claim(const std::string& raw) {
+    std::string name;
+    name.reserve(raw.size());
+    for (const char c : raw) name.push_back(is_word_char(c) ? c : '_');
+    if (name.empty()) name = "n";
+    while (!used_.insert(name).second) name += "_";
+    return name;
+  }
+
+  std::vector<std::string> names_;
+  std::unordered_set<std::string> used_;
+};
+
+}  // namespace
+
+void write_bench(std::ostream& os, const Circuit& ckt) {
+  for (NetId n = 0; n < ckt.net_count(); ++n)
+    if (ckt.constant_of(n) != LogicV::kX)
+      throw std::invalid_argument(
+          "write_bench: constant net '" + ckt.net_name(n) +
+          "' is not representable in .bench");
+
+  BenchNames names(ckt);
+  os << "# cpsinw .bench export: " << ckt.gate_count() << " gates, "
+     << ckt.net_count() << " nets\n";
+  for (const NetId n : ckt.primary_inputs())
+    os << "INPUT(" << names.of(n) << ")\n";
+  for (const NetId n : ckt.primary_outputs())
+    os << "OUTPUT(" << names.of(n) << ")\n";
+
+  using gates::CellKind;
+  for (const int gid : ckt.topo_order()) {
+    const GateInst& g = ckt.gate(gid);
+    const std::string& out = names.of(g.out);
+    const auto in = [&](int i) -> const std::string& {
+      return names.of(g.in[static_cast<std::size_t>(i)]);
+    };
+    switch (g.kind) {
+      case CellKind::kInv:
+        os << out << " = NOT(" << in(0) << ")\n";
+        break;
+      case CellKind::kBuf:
+        os << out << " = BUFF(" << in(0) << ")\n";
+        break;
+      case CellKind::kNand2:
+        os << out << " = NAND(" << in(0) << ", " << in(1) << ")\n";
+        break;
+      case CellKind::kNor2:
+        os << out << " = NOR(" << in(0) << ", " << in(1) << ")\n";
+        break;
+      case CellKind::kXor2:
+        os << out << " = XOR(" << in(0) << ", " << in(1) << ")\n";
+        break;
+      case CellKind::kXor3:
+        os << out << " = XOR(" << in(0) << ", " << in(1) << ", " << in(2)
+           << ")\n";
+        break;
+      case CellKind::kMaj3: {
+        // MAJ(a,b,c) = ab + ac + bc — no .bench equivalent.
+        const std::string m0 = names.fresh(out + "_m0");
+        const std::string m1 = names.fresh(out + "_m1");
+        const std::string m2 = names.fresh(out + "_m2");
+        os << m0 << " = AND(" << in(0) << ", " << in(1) << ")\n";
+        os << m1 << " = AND(" << in(0) << ", " << in(2) << ")\n";
+        os << m2 << " = AND(" << in(1) << ", " << in(2) << ")\n";
+        os << out << " = OR(" << m0 << ", " << m1 << ", " << m2 << ")\n";
+        break;
+      }
+    }
+  }
+}
+
+std::string to_bench_string(const Circuit& ckt) {
+  std::ostringstream oss;
+  write_bench(oss, ckt);
+  return oss.str();
+}
+
+}  // namespace cpsinw::logic

@@ -1,0 +1,46 @@
+// ISCAS-85/89-style `.bench` netlist format.  Example:
+//
+//   # c17-like fragment
+//   INPUT(G1)
+//   INPUT(G2)
+//   OUTPUT(G22)
+//   G10 = NAND(G1, G3)
+//   G22 = NAND(G10, G16)
+//
+// The reader accepts the combinational subset: `INPUT(x)`, `OUTPUT(y)`,
+// `dest = GATE(a, b, ...)` with GATE in
+// AND/NAND/OR/NOR/XOR/XNOR/NOT/BUF(F) at any arity, `#` comments, and one
+// statement per line.  Sequential elements (DFF) are rejected with a
+// clear diagnostic.  Foreign gates are decomposed onto the CP cell
+// library per logic/cell_mapping.hpp; every diagnostic is a
+// logic::ParseError carrying the 1-based line and column.
+//
+// The writer emits any finalized Circuit (gates in topo order); MAJ3 has
+// no `.bench` equivalent and is expanded to AND/AND/AND + OR.  Constant
+// nets are not representable and raise std::invalid_argument.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "logic/circuit.hpp"
+
+namespace cpsinw::logic {
+
+/// Parses a `.bench` netlist and returns the finalized circuit.
+/// @throws ParseError ("bench line L:C: ...") on malformed input
+[[nodiscard]] Circuit read_bench(std::istream& is);
+
+/// Parses a `.bench` netlist held in a string (test/tool convenience).
+[[nodiscard]] Circuit read_bench_string(const std::string& text);
+
+/// Writes a circuit in `.bench` format.  Net names outside the `.bench`
+/// charset ([A-Za-z0-9_\[\].], e.g. synthesized "<out>$k" nets) are
+/// mangled to '_' and uniquified, so the output always reads back.
+/// @throws std::invalid_argument when the circuit has constant nets
+void write_bench(std::ostream& os, const Circuit& ckt);
+
+/// Round-trip helper used by tests and the CLI.
+[[nodiscard]] std::string to_bench_string(const Circuit& ckt);
+
+}  // namespace cpsinw::logic

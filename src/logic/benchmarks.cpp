@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "util/rng.hpp"
 
@@ -249,6 +250,148 @@ Circuit alu_slice() {
 
   c.mark_primary_output(out);
   c.mark_primary_output(cout);
+  c.finalize();
+  return c;
+}
+
+Circuit alu_array(int slices) {
+  if (slices < 1) throw std::invalid_argument("alu_array: slices >= 1");
+  Circuit c;
+  std::vector<NetId> a(static_cast<std::size_t>(slices));
+  std::vector<NetId> b(static_cast<std::size_t>(slices));
+  for (int i = 0; i < slices; ++i)
+    a[static_cast<std::size_t>(i)] =
+        c.add_primary_input("a" + std::to_string(i));
+  for (int i = 0; i < slices; ++i)
+    b[static_cast<std::size_t>(i)] =
+        c.add_primary_input("b" + std::to_string(i));
+  NetId carry = c.add_primary_input("cin");
+  const NetId s0 = c.add_primary_input("s0");
+  const NetId s1 = c.add_primary_input("s1");
+
+  // Shared inverted select bus.
+  const NetId s0n = c.add_net("s0n");
+  c.add_gate(CellKind::kInv, {s0}, s0n, "inv_s0");
+  const NetId s1n = c.add_net("s1n");
+  c.add_gate(CellKind::kInv, {s1}, s1n, "inv_s1");
+
+  for (int i = 0; i < slices; ++i) {
+    const std::string p = "u" + std::to_string(i) + "_";
+    const NetId ai = a[static_cast<std::size_t>(i)];
+    const NetId bi = b[static_cast<std::size_t>(i)];
+
+    // Function units (same structure as alu_slice()).
+    const NetId nand_ab = c.add_net(p + "nand_ab");
+    c.add_gate(CellKind::kNand2, {ai, bi}, nand_ab, p + "u_nand");
+    const NetId and_ab = c.add_net(p + "and_ab");
+    c.add_gate(CellKind::kInv, {nand_ab}, and_ab, p + "u_and");
+    const NetId nor_ab = c.add_net(p + "nor_ab");
+    c.add_gate(CellKind::kNor2, {ai, bi}, nor_ab, p + "u_nor");
+    const NetId or_ab = c.add_net(p + "or_ab");
+    c.add_gate(CellKind::kInv, {nor_ab}, or_ab, p + "u_or");
+    const NetId xor_ab = c.add_net(p + "xor_ab");
+    c.add_gate(CellKind::kXor2, {ai, bi}, xor_ab, p + "u_xor");
+    const NetId sum = c.add_net(p + "sum");
+    c.add_gate(CellKind::kXor3, {ai, bi, carry}, sum, p + "u_sum");
+    const NetId cout = c.add_net(p + "cout");
+    c.add_gate(CellKind::kMaj3, {ai, bi, carry}, cout, p + "u_cout");
+
+    const auto gated = [&c](NetId x, NetId g0, NetId g1,
+                            const std::string& name) {
+      const NetId gn = c.add_net(name + "_gn");
+      c.add_gate(CellKind::kNand2, {g0, g1}, gn, name + "_gnand");
+      const NetId ga = c.add_net(name + "_ga");
+      c.add_gate(CellKind::kInv, {gn}, ga, name + "_ginv");
+      const NetId term = c.add_net(name + "_t");
+      c.add_gate(CellKind::kNand2, {x, ga}, term, name + "_term");
+      return term;  // active-low product term
+    };
+
+    const NetId t0 = gated(and_ab, s0n, s1n, p + "m_and");
+    const NetId t1 = gated(or_ab, s0, s1n, p + "m_or");
+    const NetId t2 = gated(xor_ab, s0n, s1, p + "m_xor");
+    const NetId t3 = gated(sum, s0, s1, p + "m_sum");
+
+    const NetId u = c.add_net(p + "mux_u");
+    c.add_gate(CellKind::kNand2, {t0, t1}, u, p + "mux_u_nand");
+    const NetId v = c.add_net(p + "mux_v");
+    c.add_gate(CellKind::kNand2, {t2, t3}, v, p + "mux_v_nand");
+    const NetId un = c.add_net(p + "mux_un");
+    c.add_gate(CellKind::kInv, {u}, un, p + "mux_u_inv");
+    const NetId vn = c.add_net(p + "mux_vn");
+    c.add_gate(CellKind::kInv, {v}, vn, p + "mux_v_inv");
+    const NetId out = c.add_net(p + "out");
+    c.add_gate(CellKind::kNand2, {un, vn}, out, p + "mux_out");
+
+    c.mark_primary_output(out);
+    carry = cout;
+  }
+  c.mark_primary_output(carry);
+  c.finalize();
+  return c;
+}
+
+Circuit adder_tree(int operands, int bits) {
+  if (operands < 2) throw std::invalid_argument("adder_tree: operands >= 2");
+  if (bits < 1) throw std::invalid_argument("adder_tree: bits >= 1");
+  Circuit c;
+
+  const auto make_and = [&c](NetId x, NetId y, const std::string& name) {
+    const NetId n = c.add_net(name + "_n");
+    c.add_gate(CellKind::kNand2, {x, y}, n);
+    const NetId o = c.add_net(name);
+    c.add_gate(CellKind::kInv, {n}, o);
+    return o;
+  };
+
+  // Adds two words (LSB first, possibly different widths); no constants.
+  int adder_id = 0;
+  const auto add_words = [&](std::vector<NetId> x, std::vector<NetId> y) {
+    if (x.size() < y.size()) std::swap(x, y);
+    const std::string p = "add" + std::to_string(adder_id++) + "_";
+    std::vector<NetId> out;
+    NetId carry = -1;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const std::string s = p + std::to_string(i);
+      const bool has_y = i < y.size();
+      if (has_y && carry >= 0) {
+        const NetId sum = c.add_net(s + "_s");
+        c.add_gate(CellKind::kXor3, {x[i], y[i], carry}, sum);
+        const NetId cout = c.add_net(s + "_c");
+        c.add_gate(CellKind::kMaj3, {x[i], y[i], carry}, cout);
+        out.push_back(sum);
+        carry = cout;
+      } else if (has_y || carry >= 0) {
+        const NetId other = has_y ? y[i] : carry;
+        const NetId sum = c.add_net(s + "_s");
+        c.add_gate(CellKind::kXor2, {x[i], other}, sum);
+        carry = make_and(x[i], other, s + "_c");
+        out.push_back(sum);
+      } else {
+        out.push_back(x[i]);  // nothing left to add into this bit
+      }
+    }
+    if (carry >= 0) out.push_back(carry);
+    return out;
+  };
+
+  std::vector<std::vector<NetId>> words(
+      static_cast<std::size_t>(operands));
+  for (int w = 0; w < operands; ++w)
+    for (int i = 0; i < bits; ++i)
+      words[static_cast<std::size_t>(w)].push_back(c.add_primary_input(
+          "x" + std::to_string(w) + "_" + std::to_string(i)));
+
+  // Balanced pairwise reduction.
+  while (words.size() > 1) {
+    std::vector<std::vector<NetId>> next;
+    std::size_t i = 0;
+    for (; i + 1 < words.size(); i += 2)
+      next.push_back(add_words(std::move(words[i]), std::move(words[i + 1])));
+    if (i < words.size()) next.push_back(std::move(words[i]));
+    words = std::move(next);
+  }
+  for (const NetId n : words.front()) c.mark_primary_output(n);
   c.finalize();
   return c;
 }

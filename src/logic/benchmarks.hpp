@@ -35,6 +35,20 @@ namespace cpsinw::logic {
 /// folded in (uses NAND, NOR, XOR2, XOR3, MAJ3 and INV cells).
 [[nodiscard]] Circuit alu_slice();
 
+/// Array of carry-chained ALU bit-slices sharing one select bus: slice i
+/// adds PIs a<i>/b<i>, the carry ripples slice to slice (~24 gates per
+/// slice).  64 slices lands ~1.5k gates, 384 ~9k — the circuit-scale
+/// workloads behind the large `.bench` fixtures.
+/// @param slices number of bit-slices (>= 1)
+[[nodiscard]] Circuit alu_array(int slices);
+
+/// Multi-operand adder: sums `operands` words of `bits` bits through a
+/// balanced tree of ripple adders (XOR3/MAJ3 full adders, half adders at
+/// the chain ends — no constant nets, so the circuit exports to .bench).
+/// @param operands number of input words (>= 2)
+/// @param bits word width (>= 1)
+[[nodiscard]] Circuit adder_tree(int operands, int bits);
+
 /// Odd-parity checker with dynamic-polarity XOR3 cells only.
 /// @param inputs number of leaves, must satisfy inputs % 2 == 1 and >= 3
 [[nodiscard]] Circuit xor3_parity_chain(int inputs);

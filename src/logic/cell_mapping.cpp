@@ -1,0 +1,184 @@
+#include "logic/cell_mapping.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace cpsinw::logic {
+
+using gates::CellKind;
+
+const char* to_string(ForeignGate gate) {
+  switch (gate) {
+    case ForeignGate::kAnd: return "AND";
+    case ForeignGate::kNand: return "NAND";
+    case ForeignGate::kOr: return "OR";
+    case ForeignGate::kNor: return "NOR";
+    case ForeignGate::kXor: return "XOR";
+    case ForeignGate::kXnor: return "XNOR";
+    case ForeignGate::kNot: return "NOT";
+    case ForeignGate::kBuf: return "BUF";
+  }
+  return "?";
+}
+
+std::optional<ForeignGate> foreign_gate_from(std::string_view token) {
+  std::string up;
+  up.reserve(token.size());
+  for (const char c : token)
+    up.push_back(static_cast<char>(
+        std::toupper(static_cast<unsigned char>(c))));
+  if (up == "AND") return ForeignGate::kAnd;
+  if (up == "NAND") return ForeignGate::kNand;
+  if (up == "OR") return ForeignGate::kOr;
+  if (up == "NOR") return ForeignGate::kNor;
+  if (up == "XOR") return ForeignGate::kXor;
+  if (up == "XNOR") return ForeignGate::kXnor;
+  if (up == "NOT" || up == "INV") return ForeignGate::kNot;
+  if (up == "BUF" || up == "BUFF") return ForeignGate::kBuf;
+  return std::nullopt;
+}
+
+const std::vector<CellMappingRow>& cell_mapping_table() {
+  static const std::vector<CellMappingRow> kTable = {
+      {"NOT / INV", "1", "INV"},
+      {"BUF / BUFF", "1", "BUF"},
+      {"AND", ">= 1", "balanced NAND2+INV tree (1 input: BUF)"},
+      {"NAND", ">= 1", "AND halves + final NAND2 (1 input: INV)"},
+      {"OR", ">= 1", "balanced NOR2+INV tree (1 input: BUF)"},
+      {"NOR", ">= 1", "OR halves + final NOR2 (1 input: INV)"},
+      {"XOR", ">= 1", "balanced XOR3/XOR2 parity tree (1 input: BUF)"},
+      {"XNOR", ">= 1", "XOR tree + final INV (1 input: INV)"},
+  };
+  return kTable;
+}
+
+namespace {
+
+/// Fresh-net factory for one expansion: "<prefix>$0", "<prefix>$1", ...
+struct FreshNets {
+  Circuit& ckt;
+  const std::string& prefix;
+  int next = 0;
+
+  NetId make() {
+    return ckt.add_net(prefix + "$" + std::to_string(next++));
+  }
+};
+
+// AND/OR reduction of [begin, end) to a single fresh net.  `nand_kind`
+// selects the dual: kNand2 builds AND (INV(NAND2)), kNor2 builds OR.
+NetId and_or_reduce(FreshNets& fresh, const std::vector<NetId>& ins,
+                    std::size_t begin, std::size_t end,
+                    CellKind nand_kind) {
+  if (end - begin == 1) return ins[begin];
+  const std::size_t mid = begin + (end - begin + 1) / 2;
+  const NetId l = and_or_reduce(fresh, ins, begin, mid, nand_kind);
+  const NetId r = and_or_reduce(fresh, ins, mid, end, nand_kind);
+  const NetId n = fresh.make();
+  fresh.ckt.add_gate(nand_kind, {l, r}, n);
+  const NetId o = fresh.make();
+  fresh.ckt.add_gate(CellKind::kInv, {n}, o);
+  return o;
+}
+
+}  // namespace
+
+void emit_foreign_gate(Circuit& ckt, ForeignGate gate,
+                       const std::vector<NetId>& ins, NetId out,
+                       const std::string& prefix) {
+  const std::size_t n = ins.size();
+  if (n == 0)
+    throw std::invalid_argument("emit_foreign_gate: arity 0");
+  if ((gate == ForeignGate::kNot || gate == ForeignGate::kBuf) && n != 1)
+    throw std::invalid_argument("emit_foreign_gate: NOT/BUF need arity 1");
+  FreshNets fresh{ckt, prefix};
+
+  switch (gate) {
+    case ForeignGate::kNot:
+      ckt.add_gate(CellKind::kInv, {ins[0]}, out);
+      return;
+    case ForeignGate::kBuf:
+      ckt.add_gate(CellKind::kBuf, {ins[0]}, out);
+      return;
+
+    case ForeignGate::kAnd:
+    case ForeignGate::kOr: {
+      if (n == 1) {
+        ckt.add_gate(CellKind::kBuf, {ins[0]}, out);
+        return;
+      }
+      const CellKind dual =
+          gate == ForeignGate::kAnd ? CellKind::kNand2 : CellKind::kNor2;
+      const std::size_t mid = (n + 1) / 2;
+      const NetId l = and_or_reduce(fresh, ins, 0, mid, dual);
+      const NetId r = and_or_reduce(fresh, ins, mid, n, dual);
+      const NetId neg = fresh.make();
+      ckt.add_gate(dual, {l, r}, neg);
+      ckt.add_gate(CellKind::kInv, {neg}, out);
+      return;
+    }
+
+    case ForeignGate::kNand:
+    case ForeignGate::kNor: {
+      const CellKind dual =
+          gate == ForeignGate::kNand ? CellKind::kNand2 : CellKind::kNor2;
+      if (n == 1) {
+        ckt.add_gate(CellKind::kInv, {ins[0]}, out);
+        return;
+      }
+      const std::size_t mid = (n + 1) / 2;
+      const NetId l = and_or_reduce(fresh, ins, 0, mid, dual);
+      const NetId r = and_or_reduce(fresh, ins, mid, n, dual);
+      ckt.add_gate(dual, {l, r}, out);
+      return;
+    }
+
+    case ForeignGate::kXor:
+    case ForeignGate::kXnor: {
+      if (n == 1) {
+        ckt.add_gate(gate == ForeignGate::kXor ? CellKind::kBuf
+                                               : CellKind::kInv,
+                     {ins[0]}, out);
+        return;
+      }
+      // Reduce to <= 3 nets, then land the final XOR directly on `out`
+      // (XNOR lands on a fresh net and inverts into `out`).
+      std::vector<NetId> level(ins.begin(), ins.end());
+      while (level.size() > 3) {
+        // One reduction step over the level keeps the tree balanced.
+        std::vector<NetId> next;
+        std::size_t i = 0;
+        while (i < level.size()) {
+          const std::size_t remaining = level.size() - i;
+          if (remaining >= 3) {
+            const NetId o = fresh.make();
+            ckt.add_gate(CellKind::kXor3,
+                         {level[i], level[i + 1], level[i + 2]}, o);
+            next.push_back(o);
+            i += 3;
+          } else if (remaining == 2) {
+            const NetId o = fresh.make();
+            ckt.add_gate(CellKind::kXor2, {level[i], level[i + 1]}, o);
+            next.push_back(o);
+            i += 2;
+          } else {
+            next.push_back(level[i]);
+            i += 1;
+          }
+        }
+        level = std::move(next);
+      }
+      const NetId dst = gate == ForeignGate::kXor ? out : fresh.make();
+      if (level.size() == 3) {
+        ckt.add_gate(CellKind::kXor3, {level[0], level[1], level[2]}, dst);
+      } else {
+        ckt.add_gate(CellKind::kXor2, {level[0], level[1]}, dst);
+      }
+      if (gate == ForeignGate::kXnor)
+        ckt.add_gate(CellKind::kInv, {dst}, out);
+      return;
+    }
+  }
+}
+
+}  // namespace cpsinw::logic

@@ -1,0 +1,77 @@
+// The documented mapping from foreign gate vocabularies (ISCAS `.bench`,
+// Verilog gate primitives) onto the CP cell library, so the fault
+// universe of an ingested circuit is well-defined: every foreign gate
+// lowers to a fixed composition of the seven Fig. 2 cells, and the fault
+// models then apply to those cells exactly as they do to native circuits.
+//
+//   foreign    arity   CP expansion
+//   ---------  ------  ----------------------------------------------
+//   NOT        1       INV
+//   BUF/BUFF   1       BUF
+//   AND        n >= 1  balanced NAND2/INV tree, final INV(NAND2(l, r))
+//   NAND       n >= 1  AND halves, final NAND2 (1 input: INV)
+//   OR         n >= 1  balanced NOR2/INV tree, final INV(NOR2(l, r))
+//   NOR        n >= 1  OR halves, final NOR2 (1 input: INV)
+//   XOR        n >= 1  balanced XOR3/XOR2 parity tree
+//   XNOR       n >= 1  XOR tree, final INV (1 input: INV)
+//
+// Single-input AND/OR/XOR degenerate to BUF.  Decomposition is balanced
+// (tree depth ceil(log of arity)), deterministic, and synthesized
+// intermediate nets are named "<out>$k" — '$' cannot appear in a `.bench`
+// or Verilog-subset net name, so synthesized names never collide with
+// user nets (they do survive `.cpn` round trips, by design).
+// docs/FORMATS.md renders this table for users.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "logic/circuit.hpp"
+
+namespace cpsinw::logic {
+
+/// Gate vocabulary accepted from foreign netlist formats.
+enum class ForeignGate {
+  kAnd,
+  kNand,
+  kOr,
+  kNor,
+  kXor,
+  kXnor,
+  kNot,
+  kBuf,
+};
+
+/// Canonical upper-case name ("AND", "XNOR", ...).
+[[nodiscard]] const char* to_string(ForeignGate gate);
+
+/// Parses a foreign gate name case-insensitively ("BUFF" is accepted as
+/// BUF — the ISCAS-85 spelling); nullopt when unknown.
+[[nodiscard]] std::optional<ForeignGate> foreign_gate_from(
+    std::string_view token);
+
+/// One row of the documented mapping table (what docs/FORMATS.md and the
+/// CLI print; the authoritative behavior is emit_foreign_gate).
+struct CellMappingRow {
+  const char* foreign;    ///< foreign gate name(s)
+  const char* arity;      ///< accepted arity, human-readable
+  const char* expansion;  ///< CP cell composition
+};
+
+/// The full foreign-to-CP mapping table, in a stable order.
+[[nodiscard]] const std::vector<CellMappingRow>& cell_mapping_table();
+
+/// Appends the CP expansion of one foreign gate to `ckt`: inputs `ins`,
+/// result driving `out`.  Intermediate nets are created as
+/// "<prefix>$0", "<prefix>$1", ... (the caller guarantees the '$'
+/// namespace is free of user nets).  Gate count grows by the expansion
+/// size; exactly one gate drives `out`.
+/// @throws std::invalid_argument on arity 0, or NOT/BUF with arity != 1
+///   (parsers check first and report with source locations)
+void emit_foreign_gate(Circuit& ckt, ForeignGate gate,
+                       const std::vector<NetId>& ins, NetId out,
+                       const std::string& prefix);
+
+}  // namespace cpsinw::logic

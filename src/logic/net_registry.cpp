@@ -1,0 +1,153 @@
+#include "logic/net_registry.hpp"
+
+#include <utility>
+
+namespace cpsinw::logic {
+
+namespace {
+
+std::string format_what(const std::string& format, SourceLoc loc,
+                        const std::string& message) {
+  std::string out = format + " line " + std::to_string(loc.line);
+  if (loc.column > 0) out += ":" + std::to_string(loc.column);
+  out += ": " + message;
+  return out;
+}
+
+}  // namespace
+
+ParseError::ParseError(const std::string& format, SourceLoc loc,
+                       const std::string& message)
+    : std::runtime_error(format_what(format, loc, message)), loc_(loc) {}
+
+NetRegistry::NetRegistry(std::string format) : format_(std::move(format)) {}
+
+void NetRegistry::fail(SourceLoc loc, const std::string& message) const {
+  throw ParseError(format_, loc, message);
+}
+
+NetRegistry::NetEntry& NetRegistry::touch(const std::string& name,
+                                          SourceLoc loc) {
+  auto [it, inserted] = nets_.try_emplace(name);
+  if (inserted) {
+    it->second.first_use = loc;
+    net_order_.push_back(name);
+  }
+  return it->second;
+}
+
+void NetRegistry::claim_driver(const std::string& name, SourceLoc loc) {
+  NetEntry& entry = touch(name, loc);
+  if (entry.is_input)
+    fail(loc, "net '" + name + "' is a declared input and cannot be driven "
+                               "by a gate (input declared at line " +
+                  std::to_string(entry.driver_loc.line) + ")");
+  if (entry.driven)
+    fail(loc, "net '" + name + "' already has a driver (line " +
+                  std::to_string(entry.driver_loc.line) + ")");
+  entry.driven = true;
+  entry.driver_loc = loc;
+}
+
+void NetRegistry::add_input(const std::string& name, SourceLoc loc) {
+  NetEntry& entry = touch(name, loc);
+  if (entry.is_input)
+    fail(loc, "input '" + name + "' declared twice (first at line " +
+                  std::to_string(entry.driver_loc.line) + ")");
+  if (entry.driven)
+    fail(loc, "net '" + name + "' is driven by a gate (line " +
+                  std::to_string(entry.driver_loc.line) +
+                  ") and cannot also be an input");
+  entry.is_input = true;
+  entry.driven = true;
+  entry.driver_loc = loc;
+  inputs_.push_back(name);
+}
+
+void NetRegistry::add_output(const std::string& name, SourceLoc loc) {
+  touch(name, loc);
+  outputs_.emplace_back(name, loc);
+}
+
+void NetRegistry::add_foreign_gate(ForeignGate gate, const std::string& out,
+                                   const std::vector<std::string>& ins,
+                                   SourceLoc loc) {
+  if (ins.empty())
+    fail(loc, std::string(to_string(gate)) + " gate '" + out +
+                  "' has no inputs");
+  if ((gate == ForeignGate::kNot || gate == ForeignGate::kBuf) &&
+      ins.size() != 1)
+    fail(loc, std::string(to_string(gate)) + " gate '" + out + "' takes 1 "
+                  "input, got " + std::to_string(ins.size()));
+  claim_driver(out, loc);
+  for (const std::string& in : ins) touch(in, loc);
+  GateEntry entry;
+  entry.foreign = true;
+  entry.fg = gate;
+  entry.out = out;
+  entry.ins = ins;
+  entry.loc = loc;
+  gates_.push_back(std::move(entry));
+}
+
+void NetRegistry::add_cp_gate(gates::CellKind kind, const std::string& out,
+                              const std::vector<std::string>& ins,
+                              SourceLoc loc) {
+  const std::size_t want = static_cast<std::size_t>(gates::input_count(kind));
+  if (ins.size() != want)
+    fail(loc, std::string(gates::to_string(kind)) + " cell '" + out +
+                  "' takes " + std::to_string(want) + " input" +
+                  (want == 1 ? "" : "s") + ", got " +
+                  std::to_string(ins.size()));
+  claim_driver(out, loc);
+  for (const std::string& in : ins) touch(in, loc);
+  GateEntry entry;
+  entry.cp = kind;
+  entry.out = out;
+  entry.ins = ins;
+  entry.loc = loc;
+  gates_.push_back(std::move(entry));
+}
+
+Circuit NetRegistry::finish() {
+  Circuit ckt;
+
+  // Primary inputs first, in declaration order, then every other
+  // referenced net in first-reference order.  Ids are therefore stable
+  // for a given file, independent of gate ordering.
+  for (const std::string& name : inputs_) ckt.add_primary_input(name);
+  for (const std::string& name : net_order_) {
+    if (!nets_.at(name).is_input) ckt.add_net(name);
+  }
+
+  for (const GateEntry& gate : gates_) {
+    std::vector<NetId> ins;
+    ins.reserve(gate.ins.size());
+    for (const std::string& in : gate.ins) ins.push_back(ckt.find_net(in));
+    const NetId out = ckt.find_net(gate.out);
+    if (gate.foreign) {
+      emit_foreign_gate(ckt, gate.fg, ins, out, gate.out);
+    } else {
+      ckt.add_gate(gate.cp, ins, out);
+    }
+  }
+
+  for (const auto& [name, loc] : outputs_) {
+    const NetEntry& entry = nets_.at(name);
+    if (!entry.driven)
+      fail(loc, "output '" + name + "' is never driven");
+    ckt.mark_primary_output(ckt.find_net(name));
+  }
+
+  // Undriven interior nets: report at the first place the file used them.
+  for (const std::string& name : net_order_) {
+    const NetEntry& entry = nets_.at(name);
+    if (!entry.driven)
+      fail(entry.first_use, "net '" + name + "' is never driven");
+  }
+
+  ckt.finalize();  // cycles propagate as std::runtime_error
+  return ckt;
+}
+
+}  // namespace cpsinw::logic

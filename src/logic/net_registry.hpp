@@ -1,0 +1,122 @@
+// Name-keyed netlist construction shared by the foreign-format readers
+// (.bench, structural Verilog).  The registry is a two-phase builder:
+// parsers record declarations and gate instantiations against *names*
+// (forward references are legal in both formats), and finish() resolves
+// everything into the repo's id-based logic::Circuit — primary inputs in
+// declaration order, referenced nets in first-reference order, gates in
+// file order, foreign gates decomposed onto the CP cell library through
+// logic::cell_mapping.  Every diagnostic carries the 1-based line and
+// column of the offending token (ParseError), matching the line-numbered
+// contract of the `.cpn` reader in logic/netlist_format.hpp.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "gates/cell.hpp"
+#include "logic/cell_mapping.hpp"
+#include "logic/circuit.hpp"
+
+namespace cpsinw::logic {
+
+/// Source location of a token inside a netlist file (1-based; column 0 =
+/// whole line).
+struct SourceLoc {
+  int line = 0;
+  int column = 0;
+};
+
+/// Parse failure with source coordinates.  what() is preformatted as
+/// "<format> line L:C: message" so callers that only know
+/// std::runtime_error (the `.cpn` contract) still surface a line-numbered
+/// diagnostic.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& format, SourceLoc loc,
+             const std::string& message);
+
+  [[nodiscard]] int line() const { return loc_.line; }
+  [[nodiscard]] int column() const { return loc_.column; }
+
+ private:
+  SourceLoc loc_;
+};
+
+/// Collects a netlist by name and materializes it as a logic::Circuit.
+///
+/// Duplicate-driver, duplicate-declaration, and undriven-net conditions
+/// are diagnosed with the location of both the offense and the earlier
+/// conflicting statement.  Foreign gates of any arity are accepted and
+/// decomposed at finish() (see cell_mapping.hpp); CP cells are
+/// arity-checked at add time.
+class NetRegistry {
+ public:
+  /// @param format short reader name used as the diagnostic prefix
+  ///   ("bench", "verilog")
+  explicit NetRegistry(std::string format);
+
+  /// Declares a primary input (PI order = declaration order).
+  /// @throws ParseError on a duplicate declaration or an already-driven net
+  void add_input(const std::string& name, SourceLoc loc);
+
+  /// Declares a primary output (resolved at finish(); the net may be
+  /// defined later in the file).
+  void add_output(const std::string& name, SourceLoc loc);
+
+  /// Records a foreign gate driving `out` (decomposed at finish()).
+  /// @throws ParseError on arity 0, NOT/BUF arity != 1, or a duplicate
+  ///   driver for `out`
+  void add_foreign_gate(ForeignGate gate, const std::string& out,
+                        const std::vector<std::string>& ins, SourceLoc loc);
+
+  /// Records a CP library cell driving `out`.
+  /// @throws ParseError on an arity mismatch or a duplicate driver
+  void add_cp_gate(gates::CellKind kind, const std::string& out,
+                   const std::vector<std::string>& ins, SourceLoc loc);
+
+  /// Number of gate statements recorded so far (pre-decomposition).
+  [[nodiscard]] std::size_t statement_count() const {
+    return gates_.size();
+  }
+
+  /// Resolves names, decomposes foreign gates, marks outputs, and returns
+  /// the finalized circuit.
+  /// @throws ParseError on an undriven net or an undefined output;
+  ///   std::runtime_error on a combinational cycle (no single source line
+  ///   owns a cycle)
+  [[nodiscard]] Circuit finish();
+
+  /// Raises a ParseError with this registry's format prefix (shared by
+  /// the parsers so every diagnostic is formatted one way).
+  [[noreturn]] void fail(SourceLoc loc, const std::string& message) const;
+
+ private:
+  struct NetEntry {
+    SourceLoc first_use;          ///< earliest reference (any role)
+    SourceLoc driver_loc;         ///< valid when driven
+    bool is_input = false;
+    bool driven = false;
+  };
+  struct GateEntry {
+    bool foreign = false;
+    ForeignGate fg = ForeignGate::kAnd;
+    gates::CellKind cp = gates::CellKind::kInv;
+    std::string out;
+    std::vector<std::string> ins;
+    SourceLoc loc;
+  };
+
+  NetEntry& touch(const std::string& name, SourceLoc loc);
+  void claim_driver(const std::string& name, SourceLoc loc);
+
+  std::string format_;
+  std::unordered_map<std::string, NetEntry> nets_;
+  std::vector<std::string> net_order_;  ///< first-reference order
+  std::vector<std::string> inputs_;
+  std::vector<std::pair<std::string, SourceLoc>> outputs_;
+  std::vector<GateEntry> gates_;
+};
+
+}  // namespace cpsinw::logic

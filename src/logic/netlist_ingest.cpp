@@ -1,0 +1,117 @@
+#include "logic/netlist_ingest.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "gates/cell.hpp"
+#include "logic/bench_format.hpp"
+#include "logic/netlist_format.hpp"
+#include "logic/verilog_format.hpp"
+
+namespace cpsinw::logic {
+
+const char* to_string(NetlistFormat format) {
+  switch (format) {
+    case NetlistFormat::kCpn: return "cpn";
+    case NetlistFormat::kBench: return "bench";
+    case NetlistFormat::kVerilog: return "verilog";
+  }
+  return "?";
+}
+
+NetlistFormat format_from_path(const std::string& path) {
+  const auto dot = path.rfind('.');
+  std::string ext =
+      dot == std::string::npos ? std::string() : path.substr(dot);
+  std::transform(ext.begin(), ext.end(), ext.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  if (ext == ".cpn") return NetlistFormat::kCpn;
+  if (ext == ".bench") return NetlistFormat::kBench;
+  if (ext == ".v" || ext == ".sv") return NetlistFormat::kVerilog;
+  throw std::invalid_argument(
+      "unrecognized netlist extension on '" + path +
+      "' (expected .cpn, .bench, .v, or .sv)");
+}
+
+Circuit load_circuit_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is)
+    throw std::runtime_error("cannot open '" + path + "' for reading");
+  switch (format_from_path(path)) {
+    case NetlistFormat::kCpn: return read_netlist(is);
+    case NetlistFormat::kBench: return read_bench(is);
+    case NetlistFormat::kVerilog: return read_verilog(is);
+  }
+  throw std::logic_error("unreachable");
+}
+
+void save_circuit_file(const Circuit& ckt, const std::string& path) {
+  const NetlistFormat format = format_from_path(path);
+  std::ofstream os(path);
+  if (!os)
+    throw std::runtime_error("cannot open '" + path + "' for writing");
+  switch (format) {
+    case NetlistFormat::kCpn: write_netlist(os, ckt); break;
+    case NetlistFormat::kBench: write_bench(os, ckt); break;
+    case NetlistFormat::kVerilog: write_verilog(os, ckt); break;
+  }
+  os.flush();
+  if (!os) throw std::runtime_error("write to '" + path + "' failed");
+}
+
+CircuitStats circuit_stats(const Circuit& ckt) {
+  CircuitStats stats;
+  stats.gates = ckt.gate_count();
+  stats.nets = ckt.net_count();
+  stats.primary_inputs = static_cast<int>(ckt.primary_inputs().size());
+  stats.primary_outputs = static_cast<int>(ckt.primary_outputs().size());
+  stats.transistors = ckt.transistor_count();
+
+  const auto& kinds = gates::all_cell_kinds();
+  for (const GateInst& g : ckt.gates()) {
+    for (std::size_t i = 0; i < kinds.size() && i < stats.per_cell.size();
+         ++i) {
+      if (kinds[i] == g.kind) {
+        ++stats.per_cell[i];
+        break;
+      }
+    }
+  }
+
+  // Logic depth: longest gate chain, following the topo order.
+  std::vector<int> depth(static_cast<std::size_t>(ckt.net_count()), 0);
+  for (const int gid : ckt.topo_order()) {
+    const GateInst& g = ckt.gate(gid);
+    int d = 0;
+    for (int i = 0; i < g.input_count(); ++i)
+      d = std::max(d, depth[static_cast<std::size_t>(
+                       g.in[static_cast<std::size_t>(i)])]);
+    depth[static_cast<std::size_t>(g.out)] = d + 1;
+    stats.levels = std::max(stats.levels, d + 1);
+  }
+  return stats;
+}
+
+std::string stats_json(const CircuitStats& stats) {
+  std::ostringstream os;
+  os << "{\"gates\":" << stats.gates << ",\"nets\":" << stats.nets
+     << ",\"primary_inputs\":" << stats.primary_inputs
+     << ",\"primary_outputs\":" << stats.primary_outputs
+     << ",\"levels\":" << stats.levels
+     << ",\"transistors\":" << stats.transistors << ",\"per_cell\":{";
+  const auto& kinds = gates::all_cell_kinds();
+  for (std::size_t i = 0; i < kinds.size() && i < stats.per_cell.size();
+       ++i) {
+    if (i != 0) os << ',';
+    os << '"' << gates::to_string(kinds[i]) << "\":" << stats.per_cell[i];
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace cpsinw::logic

@@ -1,0 +1,60 @@
+// Format-dispatching netlist ingestion: one entry point over the three
+// accepted on-disk formats (.cpn native, ISCAS-85 `.bench`, structural
+// Verilog subset), selected by file extension.  This is what the
+// `cpsinw_netlist` CLI and the fixture-driven tests use; the per-format
+// readers/writers live in netlist_format.hpp, bench_format.hpp, and
+// verilog_format.hpp.  docs/FORMATS.md is the user-facing reference.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "logic/circuit.hpp"
+
+namespace cpsinw::logic {
+
+/// On-disk netlist format.
+enum class NetlistFormat {
+  kCpn,      ///< native .cpn (netlist_format.hpp)
+  kBench,    ///< ISCAS-85 .bench (bench_format.hpp)
+  kVerilog,  ///< structural-Verilog subset (verilog_format.hpp)
+};
+
+/// Short format name ("cpn", "bench", "verilog").
+[[nodiscard]] const char* to_string(NetlistFormat format);
+
+/// Infers the format from a path's extension: .cpn, .bench, .v / .sv.
+/// @throws std::invalid_argument on an unrecognized extension
+[[nodiscard]] NetlistFormat format_from_path(const std::string& path);
+
+/// Reads and finalizes a circuit from `path`, dispatching on extension.
+/// @throws std::runtime_error on I/O failure or malformed input (parse
+///   failures are ParseError with a line:column prefix)
+[[nodiscard]] Circuit load_circuit_file(const std::string& path);
+
+/// Writes `ckt` to `path` in the format implied by its extension.
+/// @throws std::runtime_error on I/O failure; std::invalid_argument when
+///   the circuit cannot be expressed in the target format
+void save_circuit_file(const Circuit& ckt, const std::string& path);
+
+/// Summary statistics of a finalized circuit (the `cpsinw_netlist stats`
+/// payload).
+struct CircuitStats {
+  int gates = 0;
+  int nets = 0;
+  int primary_inputs = 0;
+  int primary_outputs = 0;
+  int levels = 0;       ///< longest gate path (logic depth)
+  int transistors = 0;  ///< sum over cell templates
+  /// Gate count per CellKind, indexed by all_cell_kinds() order.
+  std::array<int, 7> per_cell = {};
+};
+
+/// Computes summary statistics (the circuit must be finalized).
+[[nodiscard]] CircuitStats circuit_stats(const Circuit& ckt);
+
+/// Renders stats as a stable single-object JSON string (keys: file-free;
+/// callers add context).  Used by the CLI and the CI artifact.
+[[nodiscard]] std::string stats_json(const CircuitStats& stats);
+
+}  // namespace cpsinw::logic

@@ -30,6 +30,10 @@ namespace cpsinw::logic::kernels {
 
 // ---- portable vector ------------------------------------------------------
 
+/// The vector concept's reference model: 4x64 bits as a plain struct,
+/// every op a 4-iteration loop the compiler unrolls (and, where the
+/// baseline ISA allows, auto-vectorizes).  Always built; the backend the
+/// SIMD instantiations are pinned bit-identical against.
 struct U64x4 {
   std::uint64_t w[4];
 
@@ -65,8 +69,8 @@ struct U64x4 {
 
 #if defined(__aarch64__)
 
-// Two NEON q registers; lane ops need immediate indices, hence the
-// switches (cold paths only).
+/// The NEON shape of the vector concept: two uint64x2_t q registers.
+/// Lane ops need immediate indices, hence the switches (cold paths only).
 struct U64x2x2 {
   uint64x2_t v[2];
 
@@ -529,6 +533,11 @@ void eval_faulty_planes_t(const CompiledCircuit& cc, const std::uint64_t* good,
 
 // ---- AVX2 entry points (defined in compiled_circuit_avx2.cpp) -------------
 
+// The __m256i instantiations of the three template kernels above, behind
+// out-of-line entry points so -mavx2 code exists in exactly one TU.
+// Contracts (arguments, results, scratch reuse) are identical to the
+// templates'; compiled_circuit.cpp dispatches here when the running CPU
+// reports AVX2.
 #if defined(CPSINW_SIMD_AVX2)
 void eval_planes_avx2(const CompiledCircuit& cc, std::uint64_t* planes,
                       std::size_t stride);
@@ -549,6 +558,9 @@ void eval_faulty_planes_avx2(const CompiledCircuit& cc,
 
 // ---- AVX-512VL entry points (defined in compiled_circuit_avx512.cpp) ------
 
+// Same 256-bit planes as AVX2, but eval_cell_vec collapses every gate to
+// one VPTERNLOGQ; the only TU built with -mavx512f -mavx512vl.  Taken
+// when the CPU reports AVX512F + AVX512VL.
 #if defined(CPSINW_SIMD_AVX512)
 void eval_planes_avx512(const CompiledCircuit& cc, std::uint64_t* planes,
                         std::size_t stride);

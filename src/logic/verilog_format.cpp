@@ -1,0 +1,503 @@
+#include "logic/verilog_format.hpp"
+
+#include <cctype>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "gates/cell.hpp"
+#include "logic/cell_mapping.hpp"
+#include "logic/net_registry.hpp"
+
+namespace cpsinw::logic {
+
+namespace {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string upper(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s)
+    out.push_back(
+        static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+  return out;
+}
+
+bool is_all_lower(const std::string& s) {
+  for (const char c : s)
+    if (std::isupper(static_cast<unsigned char>(c)) != 0) return false;
+  return true;
+}
+
+/// One token of the Verilog subset: an identifier (plain or escaped) or a
+/// single-character symbol.
+struct Tok {
+  bool end = false;   ///< end of input
+  bool word = false;  ///< identifier (text set) vs. symbol (sym set)
+  std::string text;
+  char sym = 0;
+  SourceLoc loc;
+};
+
+/// Whole-stream scanner with line/column tracking, `//` and `/* */`
+/// comments, and escaped identifiers (`\name `).
+class Lexer {
+ public:
+  Lexer(const NetRegistry& reg, std::string text)
+      : reg_(reg), text_(std::move(text)) {}
+
+  const Tok& peek() {
+    if (!has_peek_) {
+      peeked_ = lex();
+      has_peek_ = true;
+    }
+    return peeked_;
+  }
+
+  Tok next() {
+    if (has_peek_) {
+      has_peek_ = false;
+      return peeked_;
+    }
+    return lex();
+  }
+
+  /// Next token must be a plain/escaped identifier.
+  Tok expect_word(const char* what) {
+    Tok t = next();
+    if (!t.word)
+      reg_.fail(t.loc, std::string("expected ") + what +
+                           (t.end ? ", got end of file"
+                                  : std::string(", got '") + t.sym + "'"));
+    return t;
+  }
+
+  /// Next token must be the symbol `c`.
+  Tok expect_sym(char c) {
+    Tok t = next();
+    if (t.end)
+      reg_.fail(t.loc, std::string("unexpected end of file, expected '") +
+                           c + "'");
+    if (t.word || t.sym != c)
+      reg_.fail(t.loc, std::string("expected '") + c + "', got '" +
+                           (t.word ? t.text : std::string(1, t.sym)) + "'");
+    return t;
+  }
+
+ private:
+  [[nodiscard]] SourceLoc here() const { return {line_, col_}; }
+
+  char cur() const { return text_[pos_]; }
+  bool done() const { return pos_ >= text_.size(); }
+
+  void advance() {
+    if (text_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+
+  void skip_space_and_comments() {
+    while (!done()) {
+      if (std::isspace(static_cast<unsigned char>(cur())) != 0) {
+        advance();
+      } else if (cur() == '/' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '/') {
+        while (!done() && cur() != '\n') advance();
+      } else if (cur() == '/' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '*') {
+        const SourceLoc open = here();
+        advance();
+        advance();
+        while (true) {
+          if (done()) reg_.fail(open, "unterminated block comment");
+          if (cur() == '*' && pos_ + 1 < text_.size() &&
+              text_[pos_ + 1] == '/') {
+            advance();
+            advance();
+            break;
+          }
+          advance();
+        }
+      } else {
+        return;
+      }
+    }
+  }
+
+  Tok lex() {
+    skip_space_and_comments();
+    Tok t;
+    t.loc = here();
+    if (done()) {
+      t.end = true;
+      return t;
+    }
+    const char c = cur();
+    if (c == '\\') {
+      advance();
+      while (!done() &&
+             std::isspace(static_cast<unsigned char>(cur())) == 0) {
+        t.text.push_back(cur());
+        advance();
+      }
+      if (t.text.empty()) reg_.fail(t.loc, "empty escaped identifier");
+      t.word = true;
+      return t;
+    }
+    if (is_ident_char(c)) {
+      while (!done() && is_ident_char(cur())) {
+        t.text.push_back(cur());
+        advance();
+      }
+      t.word = true;
+      return t;
+    }
+    if (c == '[')
+      reg_.fail(t.loc,
+                "vector/bit-select syntax is not supported (scalar nets "
+                "only)");
+    if (c == '(' || c == ')' || c == ',' || c == ';' || c == '.' ||
+        c == '=') {
+      t.sym = c;
+      advance();
+      return t;
+    }
+    reg_.fail(t.loc, std::string("unexpected character '") + c + "'");
+  }
+
+  const NetRegistry& reg_;
+  std::string text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+  bool has_peek_ = false;
+  Tok peeked_;
+};
+
+std::optional<gates::CellKind> cp_cell_from(const std::string& token) {
+  const std::string up = upper(token);
+  for (const gates::CellKind kind : gates::all_cell_kinds())
+    if (up == gates::to_string(kind)) return kind;
+  return std::nullopt;
+}
+
+}  // namespace
+
+Circuit read_verilog(std::istream& is) {
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  NetRegistry reg("verilog");
+  Lexer lex(reg, buf.str());
+  std::unordered_set<std::string> declared;
+
+  const auto require_declared = [&](const Tok& t) {
+    if (declared.count(t.text) == 0)
+      reg.fail(t.loc, "undeclared net '" + t.text +
+                          "' (declare it as input, output, or wire)");
+  };
+
+  // module <name> ( port, list ) ;
+  {
+    const Tok kw = lex.expect_word("'module'");
+    if (kw.text != "module")
+      reg.fail(kw.loc, "expected 'module', got '" + kw.text + "'");
+    lex.expect_word("a module name");
+    lex.expect_sym('(');
+    if (!(!lex.peek().word && lex.peek().sym == ')')) {
+      while (true) {
+        const Tok port = lex.expect_word("a port name");
+        if (port.text == "input" || port.text == "output" ||
+            port.text == "wire")
+          reg.fail(port.loc,
+                   "ANSI-style port declarations are not supported; use a "
+                   "plain port list and declare directions in the body");
+        const Tok sep = lex.next();
+        if (!sep.word && sep.sym == ')') break;
+        if (sep.word || sep.sym != ',')
+          reg.fail(sep.loc, "expected ',' or ')' in the port list");
+      }
+    } else {
+      lex.next();  // consume ')'
+    }
+    lex.expect_sym(';');
+  }
+
+  // Body statements until endmodule.
+  while (true) {
+    const Tok head = lex.next();
+    if (head.end)
+      reg.fail(head.loc, "unexpected end of file, expected 'endmodule'");
+    if (!head.word)
+      reg.fail(head.loc, std::string("unexpected '") + head.sym + "'");
+    if (head.text == "endmodule") break;
+
+    if (head.text == "input" || head.text == "output" ||
+        head.text == "wire") {
+      while (true) {
+        const Tok name = lex.expect_word("a net name");
+        declared.insert(name.text);
+        if (head.text == "input")
+          reg.add_input(name.text, name.loc);
+        else if (head.text == "output")
+          reg.add_output(name.text, name.loc);
+        const Tok sep = lex.next();
+        if (!sep.word && sep.sym == ';') break;
+        if (sep.word || sep.sym != ',')
+          reg.fail(sep.loc, "expected ',' or ';' in the declaration");
+      }
+      continue;
+    }
+
+    if (head.text == "assign")
+      reg.fail(head.loc,
+               "'assign' is not supported (structural subset: gate "
+               "primitives and cell instantiations only)");
+    if (head.text == "always" || head.text == "initial")
+      reg.fail(head.loc, "'" + head.text +
+                             "' blocks are not supported (structural "
+                             "subset only)");
+    if (head.text == "reg")
+      reg.fail(head.loc,
+               "'reg' declarations are not supported (combinational "
+               "subset only)");
+
+    const auto primitive = foreign_gate_from(head.text);
+    const auto cp = cp_cell_from(head.text);
+    if (primitive && is_all_lower(head.text) && !cp) {
+      // Gate primitive: [instance] ( out, in... ) ;
+      if (lex.peek().word) lex.next();  // optional instance name
+      lex.expect_sym('(');
+      std::vector<Tok> terms;
+      while (true) {
+        terms.push_back(lex.expect_word("a net name"));
+        const Tok sep = lex.next();
+        if (!sep.word && sep.sym == ')') break;
+        if (sep.word || sep.sym != ',')
+          reg.fail(sep.loc, "expected ',' or ')' in the terminal list");
+      }
+      lex.expect_sym(';');
+      if (terms.size() < 2)
+        reg.fail(head.loc, "gate primitive '" + head.text +
+                               "' needs an output and at least one input");
+      for (const Tok& t : terms) require_declared(t);
+      std::vector<std::string> ins;
+      for (std::size_t i = 1; i < terms.size(); ++i)
+        ins.push_back(terms[i].text);
+      reg.add_foreign_gate(*primitive, terms[0].text, ins, head.loc);
+      continue;
+    }
+
+    if (cp) {
+      // Named cell: CELL [instance] ( .Y(y), .A(a)... | y, a... ) ;
+      const int arity = gates::input_count(*cp);
+      if (lex.peek().word) lex.next();  // optional instance name
+      lex.expect_sym('(');
+      std::string out;
+      std::vector<std::string> ins(static_cast<std::size_t>(arity));
+      std::vector<bool> seen(static_cast<std::size_t>(arity), false);
+      bool out_seen = false;
+      if (!lex.peek().word && lex.peek().sym == '.') {
+        while (true) {
+          lex.expect_sym('.');
+          const Tok port = lex.expect_word("a port name");
+          lex.expect_sym('(');
+          const Tok net = lex.expect_word("a net name");
+          lex.expect_sym(')');
+          require_declared(net);
+          const std::string pu = upper(port.text);
+          if (pu == "Y") {
+            if (out_seen)
+              reg.fail(port.loc, "port 'Y' connected twice");
+            out = net.text;
+            out_seen = true;
+          } else if (pu.size() == 1 && pu[0] >= 'A' &&
+                     pu[0] < 'A' + arity) {
+            const auto idx = static_cast<std::size_t>(pu[0] - 'A');
+            if (seen[idx])
+              reg.fail(port.loc,
+                       "port '" + port.text + "' connected twice");
+            ins[idx] = net.text;
+            seen[idx] = true;
+          } else {
+            reg.fail(port.loc,
+                     std::string(gates::to_string(*cp)) + " has no port '" +
+                         port.text + "' (ports: Y = output, inputs A" +
+                         (arity > 1 ? ".." : "") +
+                         (arity > 1
+                              ? std::string(1, static_cast<char>(
+                                                   'A' + arity - 1))
+                              : "") +
+                         ")");
+          }
+          const Tok sep = lex.next();
+          if (!sep.word && sep.sym == ')') break;
+          if (sep.word || sep.sym != ',')
+            reg.fail(sep.loc, "expected ',' or ')' in the port list");
+        }
+        if (!out_seen)
+          reg.fail(head.loc, "output port 'Y' is not connected");
+        for (int i = 0; i < arity; ++i)
+          if (!seen[static_cast<std::size_t>(i)])
+            reg.fail(head.loc,
+                     std::string("input port '") +
+                         static_cast<char>('A' + i) + "' is not connected");
+      } else {
+        // Positional: output first, then inputs.
+        std::vector<Tok> terms;
+        while (true) {
+          terms.push_back(lex.expect_word("a net name"));
+          const Tok sep = lex.next();
+          if (!sep.word && sep.sym == ')') break;
+          if (sep.word || sep.sym != ',')
+            reg.fail(sep.loc, "expected ',' or ')' in the terminal list");
+        }
+        for (const Tok& t : terms) require_declared(t);
+        if (static_cast<int>(terms.size()) != arity + 1)
+          reg.fail(head.loc,
+                   std::string(gates::to_string(*cp)) + " takes " +
+                       std::to_string(arity + 1) +
+                       " terminals (output first), got " +
+                       std::to_string(terms.size()));
+        out = terms[0].text;
+        for (int i = 0; i < arity; ++i)
+          ins[static_cast<std::size_t>(i)] =
+              terms[static_cast<std::size_t>(i) + 1].text;
+      }
+      lex.expect_sym(';');
+      reg.add_cp_gate(*cp, out, ins, head.loc);
+      continue;
+    }
+
+    if (primitive) {
+      std::string lower;
+      for (const char c : head.text)
+        lower.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c))));
+      reg.fail(head.loc, "gate primitives are lowercase in Verilog (use '" +
+                             lower + "', not '" + head.text + "')");
+    }
+    reg.fail(head.loc,
+             "unsupported construct or unknown cell '" + head.text +
+                 "' (primitives: and nand or nor xor xnor not buf; cells: "
+                 "INV BUF NAND2 NOR2 XOR2 XOR3 MAJ3)");
+  }
+
+  const Tok tail = lex.next();
+  if (!tail.end)
+    reg.fail(tail.loc, "only a single module per file is supported");
+  return reg.finish();
+}
+
+Circuit read_verilog_string(const std::string& text) {
+  std::istringstream iss(text);
+  return read_verilog(iss);
+}
+
+namespace {
+
+/// Emits `name` as a legal Verilog identifier, escaping when needed.  The
+/// escaped form includes its terminating space.
+std::string vname(const std::string& name) {
+  bool simple = !name.empty() &&
+                (std::isalpha(static_cast<unsigned char>(name[0])) != 0 ||
+                 name[0] == '_');
+  if (simple)
+    for (const char c : name)
+      if (!is_ident_char(c)) {
+        simple = false;
+        break;
+      }
+  if (simple) return name;
+  return "\\" + name + " ";
+}
+
+}  // namespace
+
+void write_verilog(std::ostream& os, const Circuit& ckt,
+                   const std::string& module_name) {
+  for (NetId n = 0; n < ckt.net_count(); ++n)
+    if (ckt.constant_of(n) != LogicV::kX)
+      throw std::invalid_argument(
+          "write_verilog: constant net '" + ckt.net_name(n) +
+          "' is not representable in the structural subset");
+
+  std::unordered_set<NetId> port_nets;
+  std::vector<NetId> outputs;  // POs deduplicated, order preserved
+  for (const NetId n : ckt.primary_outputs())
+    if (port_nets.insert(n).second) outputs.push_back(n);
+  for (const NetId n : ckt.primary_inputs()) port_nets.insert(n);
+
+  os << "// cpsinw verilog export: " << ckt.gate_count() << " gates, "
+     << ckt.net_count() << " nets\n";
+  os << "module " << module_name << " (";
+  bool first = true;
+  for (const NetId n : ckt.primary_inputs()) {
+    os << (first ? "" : ", ") << vname(ckt.net_name(n));
+    first = false;
+  }
+  for (const NetId n : outputs) {
+    os << (first ? "" : ", ") << vname(ckt.net_name(n));
+    first = false;
+  }
+  os << ");\n";
+  for (const NetId n : ckt.primary_inputs())
+    os << "  input " << vname(ckt.net_name(n)) << ";\n";
+  for (const NetId n : outputs)
+    os << "  output " << vname(ckt.net_name(n)) << ";\n";
+  for (NetId n = 0; n < ckt.net_count(); ++n)
+    if (port_nets.count(n) == 0)
+      os << "  wire " << vname(ckt.net_name(n)) << ";\n";
+
+  using gates::CellKind;
+  for (const int gid : ckt.topo_order()) {
+    const GateInst& g = ckt.gate(gid);
+    const std::string out = vname(ckt.net_name(g.out));
+    const auto in = [&](int i) {
+      return vname(ckt.net_name(g.in[static_cast<std::size_t>(i)]));
+    };
+    switch (g.kind) {
+      case CellKind::kInv:
+        os << "  not (" << out << ", " << in(0) << ");\n";
+        break;
+      case CellKind::kBuf:
+        os << "  buf (" << out << ", " << in(0) << ");\n";
+        break;
+      case CellKind::kNand2:
+        os << "  nand (" << out << ", " << in(0) << ", " << in(1) << ");\n";
+        break;
+      case CellKind::kNor2:
+        os << "  nor (" << out << ", " << in(0) << ", " << in(1) << ");\n";
+        break;
+      case CellKind::kXor2:
+        os << "  xor (" << out << ", " << in(0) << ", " << in(1) << ");\n";
+        break;
+      case CellKind::kXor3:
+        os << "  xor (" << out << ", " << in(0) << ", " << in(1) << ", "
+           << in(2) << ");\n";
+        break;
+      case CellKind::kMaj3:
+        os << "  MAJ3 u" << gid << " (.Y(" << out << "), .A(" << in(0)
+           << "), .B(" << in(1) << "), .C(" << in(2) << "));\n";
+        break;
+    }
+  }
+  os << "endmodule\n";
+}
+
+std::string to_verilog_string(const Circuit& ckt,
+                              const std::string& module_name) {
+  std::ostringstream oss;
+  write_verilog(oss, ckt, module_name);
+  return oss.str();
+}
+
+}  // namespace cpsinw::logic

@@ -1,0 +1,51 @@
+// Structural-Verilog subset reader/writer.  Example:
+//
+//   // one-bit full adder on CP cells
+//   module full_adder (a, b, cin, sum, cout);
+//     input a, b, cin;
+//     output sum, cout;
+//     xor (sum, a, b, cin);
+//     MAJ3 u1 (.Y(cout), .A(a), .B(b), .C(cin));
+//   endmodule
+//
+// Accepted constructs: one module with a non-ANSI port list; `input` /
+// `output` / `wire` scalar declarations; gate primitives (and nand or
+// nor xor xnor not buf, optional instance name, positional terminals,
+// output first); CP named-cell instantiations (INV BUF NAND2 NOR2 XOR2
+// XOR3 MAJ3, case-insensitive, positional or named `.Y/.A/.B/.C` ports);
+// `//` and `/* */` comments; escaped identifiers (`\name `).  Every net
+// referenced by an instantiation must be declared.  `assign`, `always`,
+// `initial`, `reg`, vectors, and ANSI-style header declarations are
+// rejected with targeted diagnostics.  All diagnostics are
+// logic::ParseError ("verilog line L:C: ...").
+//
+// The writer emits structurally exact Verilog (MAJ3 as a named-cell
+// instantiation, XOR3 as a 3-input xor primitive); names outside the
+// identifier charset are emitted as escaped identifiers, so output
+// always reads back.  Constant nets raise std::invalid_argument.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "logic/circuit.hpp"
+
+namespace cpsinw::logic {
+
+/// Parses the structural-Verilog subset and returns the finalized circuit.
+/// @throws ParseError ("verilog line L:C: ...") on malformed input
+[[nodiscard]] Circuit read_verilog(std::istream& is);
+
+/// Parses Verilog held in a string (test/tool convenience).
+[[nodiscard]] Circuit read_verilog_string(const std::string& text);
+
+/// Writes a circuit as one structural-Verilog module named `module_name`.
+/// @throws std::invalid_argument when the circuit has constant nets
+void write_verilog(std::ostream& os, const Circuit& ckt,
+                   const std::string& module_name = "cpsinw_circuit");
+
+/// Round-trip helper used by tests and the CLI.
+[[nodiscard]] std::string to_verilog_string(
+    const Circuit& ckt, const std::string& module_name = "cpsinw_circuit");
+
+}  // namespace cpsinw::logic

@@ -1,0 +1,9 @@
+// One-bit full adder in the structural subset: sum via a gate primitive,
+// carry via a named CP cell (MAJ3 has no Verilog primitive).
+module full_adder (a, b, cin, sum, cout);
+  input a, b, cin;
+  output sum, cout;
+
+  xor (sum, a, b, cin);
+  MAJ3 u_carry (.Y(cout), .A(a), .B(b), .C(cin));
+endmodule

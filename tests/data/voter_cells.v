@@ -1,0 +1,14 @@
+/* Two-channel TMR voter written entirely with named CP cells —
+ * exercises positional terminals, named ports, and forward references
+ * (vote1 is used before its driver appears). */
+module voter_cells (x0, x1, x2, y0, y1, y2, vote0, vote1, good);
+  input x0, x1, x2;
+  input y0, y1, y2;
+  output vote0, vote1, good;
+  wire nboth;
+
+  MAJ3 m0 (vote0, x0, x1, x2);          // positional: output first
+  NAND2 g0 (.A(vote0), .B(vote1), .Y(nboth));
+  MAJ3 m1 (.Y(vote1), .A(y0), .B(y1), .C(y2));
+  INV g1 (good, nboth);
+endmodule

@@ -1,0 +1,387 @@
+// Coverage for the foreign-netlist front end: `.bench` and
+// structural-Verilog parsing, line/column-numbered error paths, the
+// foreign-gate cell mapping, cross-format round trips, and the committed
+// + generated fixtures under tests/data/.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "logic/bench_format.hpp"
+#include "logic/benchmarks.hpp"
+#include "logic/cell_mapping.hpp"
+#include "logic/logic_sim.hpp"
+#include "logic/net_registry.hpp"
+#include "logic/netlist_format.hpp"
+#include "logic/netlist_ingest.hpp"
+#include "logic/verilog_format.hpp"
+#include "util/rng.hpp"
+
+namespace cpsinw::logic {
+namespace {
+
+/// Drives both circuits with the same pattern and compares every primary
+/// output (index-aligned: all our readers/writers preserve PI/PO order).
+void expect_equivalent(const Circuit& a, const Circuit& b,
+                       std::uint64_t seed, int patterns) {
+  ASSERT_EQ(a.primary_inputs().size(), b.primary_inputs().size());
+  ASSERT_EQ(a.primary_outputs().size(), b.primary_outputs().size());
+  const Simulator sim_a(a);
+  const Simulator sim_b(b);
+  util::SplitMix64 rng(seed);
+  for (int t = 0; t < patterns; ++t) {
+    Pattern p;
+    for (std::size_t i = 0; i < a.primary_inputs().size(); ++i)
+      p.push_back(from_bool(rng.below(2) == 1));
+    const SimResult ra = sim_a.simulate(p);
+    const SimResult rb = sim_b.simulate(p);
+    for (std::size_t k = 0; k < a.primary_outputs().size(); ++k)
+      EXPECT_EQ(ra.value(a.primary_outputs()[k]),
+                rb.value(b.primary_outputs()[k]))
+          << "pattern " << t << ", output " << k;
+  }
+}
+
+// ------------------------------------------------------------- .bench
+
+TEST(BenchFormat, ParsesC17) {
+  const std::string text = R"(# c17
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+)";
+  const Circuit parsed = read_bench_string(text);
+  EXPECT_EQ(parsed.gate_count(), 6);
+  EXPECT_EQ(parsed.primary_inputs().size(), 5u);
+  EXPECT_EQ(parsed.primary_outputs().size(), 2u);
+  expect_equivalent(parsed, c17(), 7, 64);
+}
+
+TEST(BenchFormat, DecomposesForeignGatesFaithfully) {
+  // 4-input versions of every foreign gate, checked against the packed
+  // cell evaluator through a hand-rolled truth table.
+  const std::string text = R"(
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+OUTPUT(y_and)
+OUTPUT(y_nand)
+OUTPUT(y_or)
+OUTPUT(y_nor)
+OUTPUT(y_xor)
+OUTPUT(y_xnor)
+y_and = AND(a, b, c, d)
+y_nand = NAND(a, b, c, d)
+y_or = OR(a, b, c, d)
+y_nor = NOR(a, b, c, d)
+y_xor = XOR(a, b, c, d)
+y_xnor = XNOR(a, b, c, d)
+)";
+  const Circuit ckt = read_bench_string(text);
+  const Simulator sim(ckt);
+  for (unsigned v = 0; v < 16; ++v) {
+    Pattern p;
+    for (int i = 0; i < 4; ++i) p.push_back(from_bool((v >> i) & 1u));
+    const SimResult r = sim.simulate(p);
+    const bool all = v == 15;
+    const bool any = v != 0;
+    const bool parity = __builtin_popcount(v) % 2 == 1;
+    EXPECT_EQ(r.value(ckt.find_net("y_and")), from_bool(all)) << v;
+    EXPECT_EQ(r.value(ckt.find_net("y_nand")), from_bool(!all)) << v;
+    EXPECT_EQ(r.value(ckt.find_net("y_or")), from_bool(any)) << v;
+    EXPECT_EQ(r.value(ckt.find_net("y_nor")), from_bool(!any)) << v;
+    EXPECT_EQ(r.value(ckt.find_net("y_xor")), from_bool(parity)) << v;
+    EXPECT_EQ(r.value(ckt.find_net("y_xnor")), from_bool(!parity)) << v;
+  }
+}
+
+TEST(BenchFormat, ErrorPathsCarryLineAndColumn) {
+  const auto expect_error = [](const std::string& text,
+                               const std::string& needle, int line) {
+    try {
+      (void)read_bench_string(text);
+      FAIL() << "expected parse error for: " << text;
+    } catch (const ParseError& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+      EXPECT_EQ(e.line(), line) << e.what();
+      EXPECT_NE(std::string(e.what()).find("bench line "),
+                std::string::npos)
+          << e.what();
+    }
+  };
+  // Duplicate driver cites both statements.
+  expect_error("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUF(a)\n",
+               "already has a driver (line 3)", 4);
+  // Driving a declared input.
+  expect_error("INPUT(a)\nINPUT(b)\nOUTPUT(b)\nb = NOT(a)\n",
+               "declared input", 4);
+  // Sequential elements are rejected, not mis-mapped.
+  expect_error("INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n", "sequential element",
+               3);
+  // Unknown gate vocabulary.
+  expect_error("INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n", "unsupported gate",
+               3);
+  // Arity violations on the 1-input gates.
+  expect_error("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NOT(a, b)\n",
+               "takes 1 input", 4);
+  expect_error("INPUT(a)\nOUTPUT(y)\ny = AND()\n", "no inputs", 3);
+  // Truncated statement (file ends mid-argument-list).
+  expect_error("INPUT(a)\nOUTPUT(y)\ny = AND(a,", "unexpected end of line",
+               3);
+  // Undriven net, reported at its first use.
+  expect_error("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n", "never driven",
+               3);
+  // Undefined output.
+  expect_error("INPUT(a)\nOUTPUT(nowhere)\n", "never driven", 2);
+  // '$' is reserved for synthesized decomposition nets.
+  expect_error("INPUT(a$0)\n", "reserved for synthesized nets", 1);
+}
+
+TEST(BenchFormat, ColumnsPointAtTheOffendingToken) {
+  try {
+    (void)read_bench_string("INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n");
+    FAIL() << "expected parse error";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3);
+    EXPECT_EQ(e.column(), 5);  // "y = FROB(" — FROB starts at column 5
+  }
+}
+
+TEST(BenchFormat, WriterExpandsMaj3AndReadsBack) {
+  const Circuit original = full_adder();  // XOR3 + MAJ3
+  const std::string text = to_bench_string(original);
+  // MAJ3 is not .bench vocabulary: the writer must emit AND/OR instead.
+  EXPECT_EQ(text.find("MAJ"), std::string::npos) << text;
+  const Circuit parsed = read_bench_string(text);
+  expect_equivalent(original, parsed, 11, 32);
+}
+
+TEST(BenchFormat, WriterManglesForeignNamesUniquely) {
+  // A parsed foreign circuit carries synthesized "<out>$k" nets; writing
+  // it back must mangle them into the .bench charset without collisions.
+  const Circuit parsed = read_bench_string(
+      "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\ny = AND(a, b, c)\n");
+  const std::string text = to_bench_string(parsed);
+  EXPECT_EQ(text.find('$'), std::string::npos) << text;
+  expect_equivalent(parsed, read_bench_string(text), 13, 16);
+}
+
+// ------------------------------------------------------ cell mapping
+
+TEST(CellMapping, TableCoversEveryForeignGate) {
+  const auto& table = cell_mapping_table();
+  EXPECT_EQ(table.size(), 8u);
+  for (const ForeignGate g :
+       {ForeignGate::kAnd, ForeignGate::kNand, ForeignGate::kOr,
+        ForeignGate::kNor, ForeignGate::kXor, ForeignGate::kXnor,
+        ForeignGate::kNot, ForeignGate::kBuf}) {
+    bool found = false;
+    for (const CellMappingRow& row : table)
+      if (std::string(row.foreign).find(to_string(g)) != std::string::npos)
+        found = true;
+    EXPECT_TRUE(found) << to_string(g);
+  }
+}
+
+TEST(CellMapping, BalancedDecompositionDepth) {
+  // 32-input AND: balanced halving must give log2 depth (5 NAND2/INV
+  // levels = 10 gate levels), not a 31-level chain.
+  std::ostringstream text;
+  text << "OUTPUT(y)\n";
+  for (int i = 0; i < 32; ++i) text << "INPUT(i" << i << ")\n";
+  text << "y = AND(";
+  for (int i = 0; i < 32; ++i) text << (i != 0 ? ", " : "") << "i" << i;
+  text << ")\n";
+  const Circuit ckt = read_bench_string(text.str());
+  EXPECT_EQ(circuit_stats(ckt).levels, 10);
+}
+
+// ------------------------------------------------------------ verilog
+
+TEST(VerilogFormat, ParsesFullAdderSubset) {
+  const std::string text = R"(// adder
+module full_adder (a, b, cin, sum, cout);
+  input a, b, cin;
+  output sum, cout;
+  xor (sum, a, b, cin);
+  MAJ3 u_carry (.Y(cout), .A(a), .B(b), .C(cin));
+endmodule
+)";
+  const Circuit parsed = read_verilog_string(text);
+  EXPECT_EQ(parsed.gate_count(), 2);
+  expect_equivalent(parsed, full_adder(), 17, 8);
+}
+
+TEST(VerilogFormat, AcceptsCommentsEscapesAndForwardRefs) {
+  const std::string text =
+      "/* block\n   comment */\n"
+      "module m (a, y);\n"
+      "  input a;\n"
+      "  output y;\n"
+      "  wire \\t$mp ;  // escaped identifier\n"
+      "  not n1 (y, \\t$mp );\n"
+      "  buf (\\t$mp , a);  // driver appears after the use\n"
+      "endmodule\n";
+  const Circuit ckt = read_verilog_string(text);
+  EXPECT_EQ(ckt.gate_count(), 2);
+  const Simulator sim(ckt);
+  EXPECT_EQ(sim.simulate({LogicV::k1}).value(ckt.find_net("y")),
+            LogicV::k0);
+}
+
+TEST(VerilogFormat, ErrorPathsCarryLineAndColumn) {
+  const auto expect_error = [](const std::string& text,
+                               const std::string& needle, int line) {
+    try {
+      (void)read_verilog_string(text);
+      FAIL() << "expected parse error for: " << text;
+    } catch (const ParseError& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+      EXPECT_EQ(e.line(), line) << e.what();
+      EXPECT_NE(std::string(e.what()).find("verilog line "),
+                std::string::npos)
+          << e.what();
+    }
+  };
+  const std::string head =
+      "module m (a, b, y);\n  input a, b;\n  output y;\n";
+  // Undeclared net.
+  expect_error(head + "  nand (y, a, ghost);\nendmodule\n",
+               "undeclared net 'ghost'", 4);
+  // Duplicate driver cites the earlier statement.
+  expect_error(head + "  not (y, a);\n  not (y, b);\nendmodule\n",
+               "already has a driver (line 4)", 5);
+  // Behavioral constructs are rejected by name.
+  expect_error(head + "  assign y = a;\nendmodule\n",
+               "'assign' is not supported", 4);
+  expect_error(head + "  reg q;\nendmodule\n", "'reg' declarations", 4);
+  // Vectors are rejected at the lexer with a targeted message.
+  expect_error("module m (a, y);\n  input [3:0] a;\n", "vector", 2);
+  // ANSI-style headers are rejected.
+  expect_error("module m (input a, output y);\nendmodule\n",
+               "ANSI-style", 1);
+  // Named-cell arity and port checks.
+  expect_error(head + "  NAND2 u (.Y(y), .A(a));\nendmodule\n",
+               "port 'B' is not connected", 4);
+  expect_error(head + "  NAND2 u (.Y(y), .A(a), .Q(b));\nendmodule\n",
+               "has no port 'Q'", 4);
+  expect_error(head + "  NAND2 u (y, a);\nendmodule\n", "takes 3 terminals",
+               4);
+  // Unknown cells and mis-cased primitives.
+  expect_error(head + "  FROB u (y, a, b);\nendmodule\n",
+               "unknown cell 'FROB'", 4);
+  expect_error(head + "  NAND u (y, a, b);\nendmodule\n",
+               "lowercase", 4);
+  // Truncated file.
+  expect_error(head + "  nand (y, a, b);\n",
+               "unexpected end of file, expected 'endmodule'", 5);
+  expect_error("module m (a, y);\n  /* unterminated\n", "unterminated", 2);
+}
+
+TEST(VerilogFormat, WriterRoundTripsExactly) {
+  // Verilog keeps MAJ3/XOR3 structurally exact: same gate count back.
+  const Circuit original = alu_slice();
+  const std::string text = to_verilog_string(original, "alu_slice");
+  const Circuit parsed = read_verilog_string(text);
+  EXPECT_EQ(parsed.gate_count(), original.gate_count());
+  expect_equivalent(original, parsed, 19, 64);
+}
+
+TEST(VerilogFormat, WriterEscapesForeignNames) {
+  // Synthesized "<out>$k" nets from a .bench decomposition must survive
+  // a Verilog round trip via escaped identifiers.
+  const Circuit parsed = read_bench_string(
+      "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\ny = XNOR(a, b, c)\n");
+  const std::string text = to_verilog_string(parsed);
+  EXPECT_NE(text.find('\\'), std::string::npos) << text;
+  expect_equivalent(parsed, read_verilog_string(text), 23, 16);
+}
+
+// --------------------------------------------------------- round trips
+
+TEST(NetlistIngest, BenchToCircuitToCpnToCircuit) {
+  // The satellite contract: .bench -> Circuit -> .cpn -> Circuit keeps
+  // behavior; synthesized '$' nets are legal .cpn tokens.
+  const std::string bench = R"(
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+OUTPUT(y)
+OUTPUT(z)
+t0 = AND(a, b, c)
+t1 = XNOR(c, d)
+y = OR(t0, t1)
+z = NAND(t0, t1, d)
+)";
+  const Circuit first = read_bench_string(bench);
+  const std::string cpn = to_netlist_string(first);
+  std::istringstream is(cpn);
+  const Circuit second = read_netlist(is);
+  EXPECT_EQ(first.gate_count(), second.gate_count());
+  expect_equivalent(first, second, 29, 64);
+}
+
+TEST(NetlistIngest, FormatFromPathDispatch) {
+  EXPECT_EQ(format_from_path("x/y/c17.bench"), NetlistFormat::kBench);
+  EXPECT_EQ(format_from_path("a.CPN"), NetlistFormat::kCpn);
+  EXPECT_EQ(format_from_path("top.v"), NetlistFormat::kVerilog);
+  EXPECT_EQ(format_from_path("top.sv"), NetlistFormat::kVerilog);
+  EXPECT_THROW((void)format_from_path("top.vhdl"), std::invalid_argument);
+  EXPECT_THROW((void)format_from_path("noext"), std::invalid_argument);
+}
+
+TEST(NetlistIngest, StatsJsonShape) {
+  const CircuitStats stats = circuit_stats(c17());
+  EXPECT_EQ(stats.gates, 6);
+  EXPECT_EQ(stats.primary_inputs, 5);
+  EXPECT_EQ(stats.primary_outputs, 2);
+  EXPECT_EQ(stats.levels, 3);
+  const std::string json = stats_json(stats);
+  EXPECT_NE(json.find("\"gates\":6"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"NAND2\":6"), std::string::npos) << json;
+}
+
+// ------------------------------------------------------------ fixtures
+
+TEST(NetlistIngest, CommittedFixturesParse) {
+  const std::string dir = CPSINW_TEST_DATA_DIR;
+  const Circuit c17_fixture = load_circuit_file(dir + "/c17.bench");
+  expect_equivalent(c17_fixture, c17(), 31, 64);
+
+  const Circuit fa_v = load_circuit_file(dir + "/full_adder.v");
+  expect_equivalent(fa_v, full_adder(), 37, 8);
+
+  const Circuit fa_cpn = load_circuit_file(dir + "/full_adder.cpn");
+  expect_equivalent(fa_cpn, full_adder(), 41, 8);
+
+  const Circuit voter = load_circuit_file(dir + "/voter_cells.v");
+  EXPECT_EQ(voter.gate_count(), 4);
+  expect_equivalent(voter, tmr_voter(2), 43, 64);
+}
+
+TEST(NetlistIngest, GeneratedLargeFixtureMatchesGenerator) {
+  // The build emits alu_array_64.bench via the CLI; parsing it back must
+  // agree with the in-process generator and clear the 1000-gate floor.
+  const std::string path =
+      std::string(CPSINW_GEN_DATA_DIR) + "/alu_array_64.bench";
+  const Circuit parsed = load_circuit_file(path);
+  EXPECT_GE(parsed.gate_count(), 1000);
+  expect_equivalent(parsed, alu_array(64), 47, 16);
+}
+
+}  // namespace
+}  // namespace cpsinw::logic

@@ -1,0 +1,175 @@
+// cpsinw_netlist: the netlist ingestion CLI over the three accepted
+// formats (.cpn, ISCAS-85 .bench, structural-Verilog subset; format
+// picked by extension — see docs/FORMATS.md).
+//
+//   validate FILE...      parse + finalize each file, report diagnostics
+//   stats FILE...         one JSON line of summary statistics per file
+//   convert IN OUT        read IN, write OUT (formats from extensions)
+//   gen NAME OUT          emit a generated benchmark circuit to OUT
+//   gen --list            list the generator roster
+//
+// `gen` is how the 1k–10k-gate `.bench` fixtures under tests/data/ are
+// produced at build time (parameterized names: alu_array_64,
+// adder_tree_16x64, parity_tree_4096, ripple_adder_256, ...).
+//
+// Exit codes: 0 success, 1 any file failed to parse/convert, 2 usage
+// error.
+#include <exception>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "logic/benchmarks.hpp"
+#include "logic/netlist_ingest.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: cpsinw_netlist validate FILE...\n"
+    "       cpsinw_netlist stats FILE...\n"
+    "       cpsinw_netlist convert IN OUT\n"
+    "       cpsinw_netlist gen NAME OUT | gen --list\n"
+    "Formats are selected by extension: .cpn (native), .bench (ISCAS-85\n"
+    "combinational subset), .v/.sv (structural-Verilog subset).  See\n"
+    "docs/FORMATS.md for the grammars and the foreign-gate cell mapping.\n";
+
+/// Parses "<prefix>_<n>" into n; returns false when `name` does not
+/// start with `prefix` + '_' or the tail is not a positive integer.
+bool match_param(const std::string& name, const std::string& prefix,
+                 int* n) {
+  if (name.size() <= prefix.size() + 1 || name.compare(0, prefix.size(), prefix) != 0 ||
+      name[prefix.size()] != '_')
+    return false;
+  const std::string tail = name.substr(prefix.size() + 1);
+  for (const char c : tail)
+    if (c < '0' || c > '9') return false;
+  *n = std::stoi(tail);
+  return *n > 0;
+}
+
+/// Parses "adder_tree_<ops>x<bits>".
+bool match_adder_tree(const std::string& name, int* ops, int* bits) {
+  const std::string prefix = "adder_tree_";
+  if (name.compare(0, prefix.size(), prefix) != 0) return false;
+  const std::string tail = name.substr(prefix.size());
+  const auto x = tail.find('x');
+  if (x == std::string::npos || x == 0 || x + 1 >= tail.size()) return false;
+  for (std::size_t i = 0; i < tail.size(); ++i)
+    if (i != x && (tail[i] < '0' || tail[i] > '9')) return false;
+  *ops = std::stoi(tail.substr(0, x));
+  *bits = std::stoi(tail.substr(x + 1));
+  return *ops > 1 && *bits > 0;
+}
+
+constexpr const char* kGenRoster =
+    "c17                  the classic 6-NAND benchmark\n"
+    "full_adder           XOR3 + MAJ3 single-bit adder\n"
+    "ripple_adder_<N>     N-bit ripple-carry adder\n"
+    "parity_tree_<N>      N-leaf XOR3/XOR2 parity tree\n"
+    "xor3_chain_<N>       N-leaf XOR3-only parity chain (odd N)\n"
+    "alu_array_<N>        N carry-chained ALU slices (~24 gates each)\n"
+    "adder_tree_<N>x<B>   sum of N B-bit words via a ripple-adder tree\n"
+    "tmr_voter_<N>        N-channel MAJ3 voter with AND-reduce\n";
+
+cpsinw::logic::Circuit generate(const std::string& name) {
+  using namespace cpsinw::logic;
+  int n = 0;
+  int bits = 0;
+  if (name == "c17") return c17();
+  if (name == "full_adder") return full_adder();
+  if (match_param(name, "ripple_adder", &n)) return ripple_adder(n);
+  if (match_param(name, "parity_tree", &n)) return parity_tree(n);
+  if (match_param(name, "xor3_chain", &n)) return xor3_parity_chain(n);
+  if (match_param(name, "alu_array", &n)) return alu_array(n);
+  if (match_param(name, "tmr_voter", &n)) return tmr_voter(n);
+  if (match_adder_tree(name, &n, &bits)) return adder_tree(n, bits);
+  throw std::invalid_argument("unknown generator '" + name +
+                              "' (try: gen --list)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cpsinw;
+
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty() || args[0] == "--help" || args[0] == "-h") {
+    std::cout << kUsage;
+    return args.empty() ? 2 : 0;
+  }
+  const std::string cmd = args[0];
+
+  if (cmd == "validate" || cmd == "stats") {
+    if (args.size() < 2) {
+      std::cerr << kUsage;
+      return 2;
+    }
+    bool ok = true;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      const std::string& path = args[i];
+      try {
+        const logic::Circuit ckt = logic::load_circuit_file(path);
+        const logic::CircuitStats stats = logic::circuit_stats(ckt);
+        if (cmd == "stats") {
+          std::string json = logic::stats_json(stats);
+          std::cout << "{\"file\":\"" << path << "\",\"format\":\""
+                    << logic::to_string(logic::format_from_path(path))
+                    << "\"," << json.substr(1) << "\n";
+        } else {
+          std::cout << path << ": OK (" << stats.gates << " gates, "
+                    << stats.nets << " nets, " << stats.levels
+                    << " levels)\n";
+        }
+      } catch (const std::exception& e) {
+        std::cerr << path << ": " << e.what() << "\n";
+        ok = false;
+      }
+    }
+    return ok ? 0 : 1;
+  }
+
+  if (cmd == "convert") {
+    if (args.size() != 3) {
+      std::cerr << kUsage;
+      return 2;
+    }
+    try {
+      const logic::Circuit ckt = logic::load_circuit_file(args[1]);
+      logic::save_circuit_file(ckt, args[2]);
+      const logic::CircuitStats stats = logic::circuit_stats(ckt);
+      std::cout << args[1] << " -> " << args[2] << " (" << stats.gates
+                << " gates)\n";
+    } catch (const std::exception& e) {
+      std::cerr << "convert: " << e.what() << "\n";
+      return 1;
+    }
+    return 0;
+  }
+
+  if (cmd == "gen") {
+    if (args.size() == 2 && args[1] == "--list") {
+      std::cout << kGenRoster;
+      return 0;
+    }
+    if (args.size() != 3) {
+      std::cerr << kUsage;
+      return 2;
+    }
+    try {
+      const logic::Circuit ckt = generate(args[1]);
+      logic::save_circuit_file(ckt, args[2]);
+      const logic::CircuitStats stats = logic::circuit_stats(ckt);
+      std::cout << args[1] << " -> " << args[2] << " (" << stats.gates
+                << " gates, " << stats.levels << " levels)\n";
+    } catch (const std::exception& e) {
+      std::cerr << "gen: " << e.what() << "\n";
+      return 1;
+    }
+    return 0;
+  }
+
+  std::cerr << "cpsinw_netlist: unknown command '" << cmd << "'\n"
+            << kUsage;
+  return 2;
+}
